@@ -1,0 +1,35 @@
+//! Spanning paths, (pseudo-)arterial edges and hierarchy-level assignment —
+//! the machinery of Sections 2 and 4.2 of the paper.
+//!
+//! The crate implements the *incremental* construction that makes AH
+//! scalable (Section 4.2 / Appendix D):
+//!
+//! 1. Start from the original graph as an *overlay* ([`Overlay`]): arcs are
+//!    original edges, later augmented by shortcut arcs, each tagged with the
+//!    grid region that generated it (the *coverage* information).
+//! 2. For each grid `R_1, …, R_h` (finest to coarsest), find the *spanning
+//!    paths* of every non-empty sliding (4×4)-cell region via region-local
+//!    Dijkstra searches from the region's *border nodes* (Definition 2),
+//!    restricted by the paper's *border* and *coverage* conditions. Edges of
+//!    those paths crossing a bisector are *pseudo-arterial edges*; their
+//!    endpoints become the next level's cores.
+//! 3. Contract everything that is not a core into shortcuts (per region, so
+//!    coverage stays meaningful) and drop all nodes that are neither cores
+//!    nor border nodes of the next grid.
+//!
+//! At level 1 the overlay *is* the original graph, so pseudo-arterial edges
+//! coincide with the arterial edges of Definition 1; at coarser levels they
+//! are the tractable stand-in the paper itself uses (each pseudo-arterial
+//! edge corresponds to a path containing an arterial edge — Lemma 9/12).
+//! The per-region counts collected along the way regenerate Figure 3, and
+//! the resulting [`LevelAssignment`] feeds the FC and AH indices.
+
+mod dimension;
+mod local;
+mod overlay;
+mod selection;
+
+pub use dimension::{measure_arterial_dimension, ResolutionStats};
+pub use local::LocalSearch;
+pub use overlay::{OArc, Overlay, Span};
+pub use selection::{assign_levels, LevelAssignment, SelectionConfig};

@@ -1,0 +1,632 @@
+//! Incremental hierarchy-level assignment (Section 4.2 / Appendix D).
+
+use std::collections::HashSet;
+
+use ah_graph::{Graph, NodeId};
+use ah_grid::{Axis, Cell, GridHierarchy, Region};
+
+use crate::local::{Dir, LocalSearch};
+use crate::overlay::{OArc, Overlay, Span};
+
+/// Tunables for [`assign_levels`].
+#[derive(Debug, Clone, Copy)]
+pub struct SelectionConfig {
+    /// Upper bound on the number of grid levels `h` (the paper's planetary
+    /// bound is 26).
+    pub max_levels: u32,
+}
+
+impl Default for SelectionConfig {
+    fn default() -> Self {
+        SelectionConfig { max_levels: 26 }
+    }
+}
+
+/// The output of level assignment: the node hierarchy levels plus the
+/// per-stage pseudo-arterial evidence (used for ranking and for Figure 3).
+#[derive(Debug, Clone)]
+pub struct LevelAssignment {
+    /// The grid hierarchy the levels were computed against.
+    pub grid: GridHierarchy,
+    /// Hierarchy level per node, `0 ..= h`.
+    pub level: Vec<u8>,
+    /// `pseudo_arterial[s-1]` = the distinct pseudo-arterial edges found at
+    /// stage `s` (endpoints of these were promoted to level `s`). Oriented
+    /// as forward edges of the overlay.
+    pub pseudo_arterial: Vec<Vec<(NodeId, NodeId)>>,
+    /// `region_counts[s-1]` = for every non-empty (4×4)-cell region of
+    /// `R_s`, the number of distinct pseudo-arterial edges found in it
+    /// (the Figure 3 measurements).
+    pub region_counts: Vec<Vec<u32>>,
+    /// Number of contraction shortcuts the overlay accumulated (an index
+    /// construction cost metric).
+    pub overlay_shortcuts: usize,
+}
+
+impl LevelAssignment {
+    /// The number of grid levels `h`.
+    pub fn h(&self) -> u32 {
+        self.grid.levels()
+    }
+
+    /// Level of node `v`.
+    #[inline]
+    pub fn level_of(&self, v: NodeId) -> u8 {
+        self.level[v as usize]
+    }
+
+    /// Histogram of node counts per level (`result[l]` = nodes at level
+    /// `l`).
+    pub fn level_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.h() as usize + 1];
+        for &l in &self.level {
+            hist[l as usize] += 1;
+        }
+        hist
+    }
+}
+
+/// Internal per-run state shared by the selection and shortcut phases.
+struct Stage<'a> {
+    /// The original road network (Definition 2's border-node test runs on
+    /// *original* edges — they are short, so border sets shrink
+    /// geometrically with the cell size, which is what keeps the reduced
+    /// graphs small).
+    g: &'a Graph,
+    /// `R_1` cell per node (coarser cells derived by shifting).
+    r1: &'a [Cell],
+    s: u32,
+}
+
+impl Stage<'_> {
+    #[inline]
+    fn cell(&self, v: NodeId) -> Cell {
+        let c = self.r1[v as usize];
+        let sh = self.s - 1;
+        Cell {
+            x: c.x >> sh,
+            y: c.y >> sh,
+        }
+    }
+
+    #[inline]
+    fn cell_at(&self, v: NodeId, lvl: u32) -> Cell {
+        let c = self.r1[v as usize];
+        let sh = lvl - 1;
+        Cell {
+            x: c.x >> sh,
+            y: c.y >> sh,
+        }
+    }
+
+    /// Border-node test (Definition 2) for `v` against region `b` at this
+    /// stage's grid, evaluated on original edges.
+    fn is_border_of(&self, b: &Region, v: NodeId) -> bool {
+        self.is_border_of_at(b, v, self.s)
+    }
+
+    /// Border test for `v` against a region of an arbitrary grid level
+    /// (used for the next-stage retention set).
+    fn is_border_of_at(&self, b: &Region, v: NodeId, lvl: u32) -> bool {
+        let cv = self.cell_at(v, lvl);
+        if !b.contains_cell(cv) || b.in_center_2x2(cv) {
+            return false;
+        }
+        let crosses = |to: NodeId| b.edge_crosses_strip_boundary(cv, self.cell_at(to, lvl));
+        self.g.out_edges(v).iter().any(|a| crosses(a.head))
+            || self.g.in_edges(v).iter().any(|a| crosses(a.head))
+    }
+}
+
+/// Assigns hierarchy levels to every node of `g` with the paper's
+/// incremental reduction (Section 4.2), collecting the pseudo-arterial
+/// evidence along the way.
+pub fn assign_levels(g: &Graph, cfg: &SelectionConfig) -> LevelAssignment {
+    let n = g.num_nodes();
+    let bb = g.bounding_box();
+    if n == 0 || bb.is_empty() {
+        let grid = GridHierarchy::fit(
+            ah_graph::BoundingBox::of([ah_graph::Point::new(0, 0), ah_graph::Point::new(1, 1)]),
+            1,
+        );
+        return LevelAssignment {
+            grid,
+            level: vec![0; n],
+            pseudo_arterial: Vec::new(),
+            region_counts: Vec::new(),
+            overlay_shortcuts: 0,
+        };
+    }
+
+    let grid = GridHierarchy::fit_to_points(g.coords(), cfg.max_levels);
+    let h = grid.levels();
+    let r1: Vec<Cell> = (0..n as NodeId).map(|v| grid.cell_of(1, g.coord(v))).collect();
+
+    let mut ov = Overlay::from_graph(g);
+    let mut level = vec![0u8; n];
+    let mut active = vec![true; n];
+    let mut ls = LocalSearch::new();
+
+    let mut pseudo_arterial: Vec<Vec<(NodeId, NodeId)>> = Vec::with_capacity(h as usize);
+    let mut region_counts: Vec<Vec<u32>> = Vec::with_capacity(h as usize);
+
+    let trace = std::env::var_os("AH_TRACE_SELECT").is_some();
+    for s in 1..=h {
+        let stage_t0 = std::time::Instant::now();
+        let stage = Stage { g, r1: &r1, s };
+        let regions = non_empty_regions(&grid, s, &r1, &active);
+        let buckets = CellBuckets::build(s, &r1, &active);
+
+        // ---- selection: pseudo-arterial edges of every region -----------
+        let mut stage_edges: HashSet<(NodeId, NodeId)> = HashSet::new();
+        let mut counts = Vec::with_capacity(regions.len());
+        for &b in &regions {
+            let bspan = Span::of_region(b);
+            let mut region_edges: HashSet<(NodeId, NodeId)> = HashSet::new();
+            for u in buckets.members(&b) {
+                if !stage.is_border_of(&b, u) {
+                    continue;
+                }
+                for dir in [Dir::Forward, Dir::Backward] {
+                    // Interiors: any active node inside B. The paper
+                    // restricts interiors to previous-level cores; we keep
+                    // retained border nodes traversable as well, which
+                    // finds a superset of the paper's spanning paths (safe
+                    // for Lemma 3) and lets the shortcut phase decompose
+                    // paths at retained nodes instead of building
+                    // all-pairs cliques.
+                    ls.run(
+                        &ov,
+                        u,
+                        dir,
+                        |v| active[v as usize] && b.contains_cell(stage.cell(v)),
+                        |_, a: &OArc| {
+                            active[a.to as usize] && a.span.covered_by(&bspan)
+                        },
+                    );
+                    collect_spanning_crossings(&ls, &stage, &b, u, dir, &mut region_edges);
+                }
+            }
+            counts.push(region_edges.len() as u32);
+            stage_edges.extend(region_edges.iter().copied());
+        }
+        counts.sort_unstable();
+        region_counts.push(counts);
+        let select_elapsed = stage_t0.elapsed();
+
+        // ---- promote cores ----------------------------------------------
+        for &(a, b) in &stage_edges {
+            level[a as usize] = s as u8;
+            level[b as usize] = s as u8;
+        }
+        let mut edges: Vec<(NodeId, NodeId)> = stage_edges.into_iter().collect();
+        edges.sort_unstable();
+        pseudo_arterial.push(edges);
+
+        // ---- shortcuts + reduction for the next stage --------------------
+        if s == h {
+            break;
+        }
+        let border_next = compute_border_next(&grid, s + 1, &r1, &active, &stage);
+        let cur = s as u8;
+        for &b in &regions {
+            let bspan = Span::of_region(b);
+            // Shortcut endpoints: the nodes the next stage retains (its
+            // cores and the next grid's border nodes). Restricting to the
+            // retained set keeps the overlay linear in n.
+            let eligible = |v: NodeId| {
+                active[v as usize] && (level[v as usize] == cur || border_next[v as usize])
+            };
+            let members: Vec<NodeId> = buckets.members(&b).filter(|&v| eligible(v)).collect();
+            for &u in &members {
+                // Interiors: nodes the reduction is about to drop. The
+                // search stops at retained nodes, so shortcuts only bridge
+                // maximal removed segments (paths through other retained
+                // nodes decompose there) — this keeps the overlay linear.
+                ls.run(
+                    &ov,
+                    u,
+                    Dir::Forward,
+                    |v| {
+                        active[v as usize]
+                            && !(level[v as usize] == cur || border_next[v as usize])
+                            && b.contains_cell(stage.cell(v))
+                    },
+                    |_, a: &OArc| {
+                        active[a.to as usize]
+                            && a.span.covered_by(&bspan)
+                            && b.contains_cell(stage.cell(a.to))
+                    },
+                );
+                // Snapshot targets first: add_shortcut mutates the overlay.
+                // Each shortcut is tagged with the bounding box of its
+                // *actual underlying path* (node cells plus the spans of
+                // any contracted sub-arcs): the tightest correct coverage
+                // footprint, and identical no matter which sliding window
+                // discovered the pair — so overlapping windows dedup to a
+                // single arc.
+                let targets: Vec<(NodeId, ah_graph::Dist, Span)> = ls
+                    .settled_list()
+                    .iter()
+                    .copied()
+                    .filter(|&v| v != u && ls.parent(v) != Some(u) && eligible(v))
+                    .map(|v| {
+                        let mut span = Span::of_cell(r1[v as usize].x, r1[v as usize].y);
+                        let mut cur_node = v;
+                        while cur_node != u {
+                            span = span.union(ls.in_span(cur_node));
+                            let p = ls.parent(cur_node).expect("chain reaches source");
+                            span = span.union(Span::of_cell(
+                                r1[p as usize].x,
+                                r1[p as usize].y,
+                            ));
+                            cur_node = p;
+                        }
+                        (v, ls.dist(v), span)
+                    })
+                    .collect();
+                for (v, d, span) in targets {
+                    ov.add_shortcut(u, v, d, span);
+                }
+            }
+        }
+        for v in 0..n {
+            active[v] = active[v] && (level[v] == cur || border_next[v]);
+        }
+        if trace {
+            eprintln!(
+                "stage {s}/{h}: regions={} active={} cores={} shortcuts_total={} \
+                 select={select_elapsed:?} total={:?}",
+                regions.len(),
+                active.iter().filter(|&&a| a).count(),
+                level.iter().filter(|&&l| l == s as u8).count(),
+                ov.num_shortcuts(),
+                stage_t0.elapsed(),
+            );
+        }
+    }
+
+    LevelAssignment {
+        grid,
+        level,
+        pseudo_arterial,
+        region_counts,
+        overlay_shortcuts: ov.num_shortcuts(),
+    }
+}
+
+/// Walks every settled spanning-path endpoint of the last search and
+/// records the bisector-crossing arcs (pseudo-arterial edges), oriented as
+/// forward edges.
+#[allow(clippy::too_many_arguments)]
+fn collect_spanning_crossings(
+    ls: &LocalSearch,
+    stage: &Stage<'_>,
+    b: &Region,
+    u: NodeId,
+    dir: Dir,
+    out: &mut HashSet<(NodeId, NodeId)>,
+) {
+    let cu = stage.cell(u);
+    for &t in ls.settled_list() {
+        if t == u {
+            continue;
+        }
+        let ct = stage.cell(t);
+        let t_in = b.contains_cell(ct);
+        // Target eligibility: border of B (inside) or any retained node
+        // reached through one crossing arc (outside, type-(b)).
+        if t_in && !stage.is_border_of(b, t) {
+            continue;
+        }
+        // Orient endpoint cells in forward path order.
+        let (from_cell, to_cell) = match dir {
+            Dir::Forward => (cu, ct),
+            Dir::Backward => (ct, cu),
+        };
+        for axis in Axis::BOTH {
+            if !b.valid_spanning_endpoints(axis, from_cell, to_cell) {
+                continue;
+            }
+            // Walk the parent chain and record the first crossing arc.
+            let chain: Vec<NodeId> = ls.walk_to_source(t).collect();
+            for w in chain.windows(2) {
+                // Forward run: parent precedes child on the path, so the
+                // forward edge is (w[1] → w[0]); backward run: (w[0] → w[1]).
+                let (tail, head) = match dir {
+                    Dir::Forward => (w[1], w[0]),
+                    Dir::Backward => (w[0], w[1]),
+                };
+                if b.edge_crosses_bisector(axis, stage.cell(tail), stage.cell(head)) {
+                    out.insert((tail, head));
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// All sliding (4×4)-cell regions of `R_s` containing at least one active
+/// node, deduplicated and sorted.
+fn non_empty_regions(
+    grid: &GridHierarchy,
+    s: u32,
+    r1: &[Cell],
+    active: &[bool],
+) -> Vec<Region> {
+    let sh = s - 1;
+    let mut cells: Vec<Cell> = active
+        .iter()
+        .enumerate()
+        .filter(|&(_, &a)| a)
+        .map(|(v, _)| {
+            let c = r1[v];
+            Cell {
+                x: c.x >> sh,
+                y: c.y >> sh,
+            }
+        })
+        .collect();
+    cells.sort_unstable();
+    cells.dedup();
+    let mut regions: Vec<Region> = cells
+        .iter()
+        .flat_map(|&c| grid.regions_containing_cell(s, c))
+        .collect();
+    regions.sort_unstable();
+    regions.dedup();
+    regions
+}
+
+/// Active nodes bucketed by their `R_s` cell, so region membership is a
+/// 16-cell lookup instead of a node scan.
+struct CellBuckets {
+    map: std::collections::HashMap<(u32, u32), Vec<NodeId>>,
+}
+
+impl CellBuckets {
+    fn build(s: u32, r1: &[Cell], active: &[bool]) -> Self {
+        let sh = s - 1;
+        let mut map: std::collections::HashMap<(u32, u32), Vec<NodeId>> =
+            std::collections::HashMap::new();
+        for v in 0..r1.len() {
+            if !active[v] {
+                continue;
+            }
+            let c = r1[v];
+            map.entry((c.x >> sh, c.y >> sh))
+                .or_default()
+                .push(v as NodeId);
+        }
+        CellBuckets { map }
+    }
+
+    /// Nodes whose cell lies inside the (4×4)-cell region `b`.
+    fn members(&self, b: &Region) -> impl Iterator<Item = NodeId> + '_ {
+        let (bx, by) = (b.x, b.y);
+        (0..16u32).flat_map(move |i| {
+            let cell = (bx + i % 4, by + i / 4);
+            self.map.get(&cell).into_iter().flatten().copied()
+        })
+    }
+}
+
+/// Marks every active node that is a border node of some region of
+/// `R_next` (the retention rule for the next stage's reduced graph).
+fn compute_border_next(
+    grid: &GridHierarchy,
+    next: u32,
+    r1: &[Cell],
+    active: &[bool],
+    stage: &Stage<'_>,
+) -> Vec<bool> {
+    let n = r1.len();
+    let mut border = vec![false; n];
+    let sh = next - 1;
+    for v in 0..n as NodeId {
+        if !active[v as usize] {
+            continue;
+        }
+        let c = r1[v as usize];
+        let cv = Cell {
+            x: c.x >> sh,
+            y: c.y >> sh,
+        };
+        for b in grid.regions_containing_cell(next, cv) {
+            if stage.is_border_of_at(&b, v, next) {
+                border[v as usize] = true;
+                break;
+            }
+        }
+    }
+    border
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ah_data::fixtures;
+    use ah_search::{dijkstra_path, DijkstraDriver, SearchOptions};
+
+    /// Empirical check of Lemma 3 / Statement 4: for far-apart pairs (no
+    /// (3×3)-cell region of `R_j` covers both), the canonical shortest path
+    /// must contain a node at level ≥ j (an interior one when the path has
+    /// several edges).
+    fn check_lemma3(g: &ah_graph::Graph, la: &LevelAssignment, pairs: &[(NodeId, NodeId)]) {
+        for &(s, t) in pairs {
+            let Some(path) = dijkstra_path(g, s, t) else {
+                continue;
+            };
+            let Some(j) = la
+                .grid
+                .separation_level(g.coord(s), g.coord(t))
+            else {
+                continue;
+            };
+            let max_level = path.nodes.iter().map(|&v| la.level_of(v) as u32).max().unwrap();
+            assert!(
+                max_level >= j,
+                "pair ({s},{t}): separation level {j} but max path level {max_level}; \
+                 path = {:?}, levels = {:?}",
+                path.nodes,
+                path.nodes.iter().map(|&v| la.level_of(v)).collect::<Vec<_>>()
+            );
+            if path.num_edges() >= 2 {
+                let interior_max = path.nodes[1..path.nodes.len() - 1]
+                    .iter()
+                    .map(|&v| la.level_of(v) as u32)
+                    .max()
+                    .unwrap();
+                assert!(
+                    interior_max >= j,
+                    "pair ({s},{t}): no interior node at level ≥ {j}"
+                );
+            }
+        }
+    }
+
+    fn all_distant_pairs(g: &ah_graph::Graph, stride: usize) -> Vec<(NodeId, NodeId)> {
+        let n = g.num_nodes() as NodeId;
+        let mut pairs = Vec::new();
+        for s in (0..n).step_by(stride) {
+            for t in (0..n).step_by(stride) {
+                if s != t {
+                    pairs.push((s, t));
+                }
+            }
+        }
+        pairs
+    }
+
+    #[test]
+    fn levels_on_line_fixture() {
+        let g = fixtures::line(64, 10);
+        let la = assign_levels(&g, &SelectionConfig::default());
+        assert!(la.h() >= 3);
+        // A line is a single "highway": every node can legitimately end up
+        // arterial, so we only check that cores exist and Lemma 3 holds.
+        assert!(
+            la.level.iter().any(|&l| l > 0),
+            "a 64-node line must produce cores"
+        );
+        check_lemma3(&g, &la, &all_distant_pairs(&g, 5));
+    }
+
+    #[test]
+    fn levels_on_lattice_fixture() {
+        let g = fixtures::lattice(16, 16, 8);
+        let la = assign_levels(&g, &SelectionConfig::default());
+        check_lemma3(&g, &la, &all_distant_pairs(&g, 13));
+    }
+
+    #[test]
+    fn levels_on_figure1_fixture() {
+        let g = fixtures::figure1_like();
+        let la = assign_levels(&g, &SelectionConfig::default());
+        check_lemma3(&g, &la, &all_distant_pairs(&g, 1));
+    }
+
+    #[test]
+    fn levels_on_small_road_network() {
+        let g = ah_data::hierarchical_grid(&ah_data::HierarchicalGridConfig {
+            width: 24,
+            height: 24,
+            seed: 42,
+            ..Default::default()
+        });
+        let la = assign_levels(&g, &SelectionConfig::default());
+        check_lemma3(&g, &la, &all_distant_pairs(&g, 29));
+        // The hierarchy must discriminate: the top level holds a small
+        // fraction of the network (Lemma 4's density bound in spirit).
+        let hist = la.level_histogram();
+        let top = *hist.last().unwrap();
+        assert!(
+            top * 8 < g.num_nodes(),
+            "top level too crowded: {hist:?}"
+        );
+    }
+
+    #[test]
+    fn levels_on_random_geometric() {
+        let g = ah_data::random_geometric(120, 800, 140, 5);
+        let la = assign_levels(&g, &SelectionConfig::default());
+        check_lemma3(&g, &la, &all_distant_pairs(&g, 7));
+    }
+
+    #[test]
+    fn empty_and_tiny_graphs() {
+        let empty = ah_graph::GraphBuilder::new().build();
+        let la = assign_levels(&empty, &SelectionConfig::default());
+        assert!(la.level.is_empty());
+
+        let single = fixtures::line(1, 1);
+        let la1 = assign_levels(&single, &SelectionConfig::default());
+        assert_eq!(la1.level, vec![0]);
+    }
+
+    #[test]
+    fn region_counts_are_recorded_per_stage() {
+        let g = fixtures::lattice(16, 16, 8);
+        let la = assign_levels(&g, &SelectionConfig::default());
+        assert_eq!(la.region_counts.len(), la.h() as usize);
+        // Stage 1 has many non-empty regions on a 16×16 lattice.
+        assert!(!la.region_counts[0].is_empty());
+        // Counts are sorted for quantile extraction.
+        for counts in &la.region_counts {
+            assert!(counts.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn pseudo_arterial_endpoints_have_matching_levels() {
+        let g = fixtures::lattice(12, 12, 16);
+        let la = assign_levels(&g, &SelectionConfig::default());
+        for (idx, edges) in la.pseudo_arterial.iter().enumerate() {
+            let s = (idx + 1) as u8;
+            for &(a, b) in edges {
+                assert!(la.level_of(a) >= s, "endpoint {a} below stage {s}");
+                assert!(la.level_of(b) >= s);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_assignment() {
+        let g = fixtures::lattice(10, 10, 8);
+        let a = assign_levels(&g, &SelectionConfig::default());
+        let b = assign_levels(&g, &SelectionConfig::default());
+        assert_eq!(a.level, b.level);
+        assert_eq!(a.pseudo_arterial, b.pseudo_arterial);
+    }
+
+    /// The query-time pruning also needs a *directed* refinement of the
+    /// Lemma 3 check on one-way networks; exercise a network with one-way
+    /// streets.
+    #[test]
+    fn lemma3_with_one_way_streets() {
+        let g = ah_data::hierarchical_grid(&ah_data::HierarchicalGridConfig {
+            width: 16,
+            height: 16,
+            one_way: 0.3,
+            seed: 9,
+            ..Default::default()
+        });
+        let la = assign_levels(&g, &SelectionConfig::default());
+        check_lemma3(&g, &la, &all_distant_pairs(&g, 17));
+    }
+
+    #[test]
+    fn max_levels_cap_respected() {
+        let g = fixtures::lattice(16, 16, 64);
+        let la = assign_levels(&g, &SelectionConfig { max_levels: 3 });
+        assert_eq!(la.h(), 3);
+        assert!(la.level.iter().all(|&l| l <= 3));
+    }
+
+    // Silence unused-import warning for DijkstraDriver/SearchOptions which
+    // document the intended debugging workflow.
+    #[allow(dead_code)]
+    fn _unused(d: &mut DijkstraDriver, g: &ah_graph::Graph) {
+        d.run(g, 0, &SearchOptions::default(), |_| true);
+    }
+}

@@ -1,0 +1,56 @@
+//! Criterion micro-benchmarks for distance queries (a statistically
+//! rigorous slice of Figure 8 on the S1 dataset).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_distance(c: &mut Criterion) {
+    let spec = ah_bench::REGISTRY[1]; // S1 ≈ 2K nodes
+    let g = spec.build();
+    let sets = ah_workload::generate_query_sets(&g, 64, 7);
+    let ah = ah_core::AhIndex::build(&g, &Default::default());
+    let ch = ah_ch::ChIndex::build(&g);
+
+    let mut group = c.benchmark_group("distance");
+    for set in sets.iter().filter(|s| !s.pairs.is_empty()).step_by(3) {
+        let pairs = &set.pairs;
+        let mut ahq = ah_core::AhQuery::new();
+        group.bench_with_input(BenchmarkId::new("AH", format!("Q{}", set.index)), pairs, |b, pairs| {
+            let mut i = 0;
+            b.iter(|| {
+                let (s, t) = pairs[i % pairs.len()];
+                i += 1;
+                ahq.distance(&ah, s, t)
+            });
+        });
+        let mut chq = ah_ch::ChQuery::new();
+        group.bench_with_input(BenchmarkId::new("CH", format!("Q{}", set.index)), pairs, |b, pairs| {
+            let mut i = 0;
+            b.iter(|| {
+                let (s, t) = pairs[i % pairs.len()];
+                i += 1;
+                chq.distance(&ch, s, t)
+            });
+        });
+        let mut bd = ah_search::BidirectionalDijkstra::new();
+        group.bench_with_input(
+            BenchmarkId::new("BiDijkstra", format!("Q{}", set.index)),
+            pairs,
+            |b, pairs| {
+                let mut i = 0;
+                b.iter(|| {
+                    let (s, t) = pairs[i % pairs.len()];
+                    i += 1;
+                    bd.distance(&g, s, t)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_distance
+}
+criterion_main!(benches);

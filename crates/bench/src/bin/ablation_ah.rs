@@ -1,0 +1,97 @@
+//! **Ablation study** of the design choices DESIGN.md calls out:
+//!
+//! * proximity constraint on/off (query time),
+//! * elevating edges on/off (build: index size; query: long-range time),
+//! * vertex-cover in-level ranking + downgrading vs arbitrary order
+//!   (index size and query time),
+//! * stall-on-demand on/off.
+//!
+//! Every variant remains exact (this binary asserts agreement on a sample
+//! of queries); the table shows what each ingredient buys.
+
+use ah_bench::{load_dataset, HarnessArgs, time_once, time_query_set};
+use ah_core::{AhIndex, AhQuery, BuildConfig, QueryConfig};
+
+fn main() {
+    let mut args = HarnessArgs::parse();
+    if std::env::args().len() == 1 {
+        args.through = 3; // ablations default to S0..S3
+    }
+    for spec in args.datasets() {
+        let ds = load_dataset(spec, args.pairs, args.seed);
+        let g = &ds.graph;
+        let n = g.num_nodes();
+        eprintln!("[ablation] {} (n = {n}) …", spec.name);
+        let long = ds.query_sets.iter().rev().find(|s| !s.pairs.is_empty());
+        let Some(set) = long else { continue };
+
+        println!("\n{} (n = {n}), query set Q{} ({} pairs)", spec.name, set.index, set.pairs.len());
+        println!("variant\tbuild_s\tindex_MB\tquery_us");
+
+        let build_variants: [(&str, BuildConfig); 3] = [
+            ("full AH", BuildConfig::default()),
+            (
+                "no elevating edges",
+                BuildConfig {
+                    elevating_edges: false,
+                    ..Default::default()
+                },
+            ),
+            (
+                "arbitrary in-level order",
+                BuildConfig {
+                    vertex_cover_rank: false,
+                    downgrade_non_cover: false,
+                    ..Default::default()
+                },
+            ),
+        ];
+
+        let mut reference: Option<Vec<Option<u64>>> = None;
+        for (name, bc) in &build_variants {
+            let (idx, secs) = time_once(|| AhIndex::build(g, bc));
+            let mb = idx.size_bytes() as f64 / (1024.0 * 1024.0);
+            let query_variants: [(&str, QueryConfig); 4] = [
+                ("all constraints", QueryConfig::default()),
+                (
+                    "no proximity",
+                    QueryConfig {
+                        proximity: false,
+                        ..Default::default()
+                    },
+                ),
+                (
+                    "no elevating",
+                    QueryConfig {
+                        elevating: false,
+                        ..Default::default()
+                    },
+                ),
+                (
+                    "no stalling",
+                    QueryConfig {
+                        stall_on_demand: false,
+                        ..Default::default()
+                    },
+                ),
+            ];
+            for (qname, qc) in &query_variants {
+                let mut q = AhQuery::with_config(*qc);
+                let us = time_query_set(&set.pairs, |s, t| q.distance(&idx, s, t).unwrap_or(0));
+                println!("{name} + {qname}\t{secs:.2}\t{mb:.2}\t{us:.2}");
+                // Exactness guard: all variants agree.
+                let answers: Vec<Option<u64>> = set
+                    .pairs
+                    .iter()
+                    .take(50)
+                    .map(|&(s, t)| q.distance(&idx, s, t))
+                    .collect();
+                match &reference {
+                    None => reference = Some(answers),
+                    Some(r) => assert_eq!(r, &answers, "variant {name}+{qname} diverged"),
+                }
+            }
+        }
+    }
+    println!("\nall ablation variants returned identical distances ✓");
+}

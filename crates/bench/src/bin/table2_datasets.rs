@@ -1,0 +1,33 @@
+//! **Table 2**: dataset characteristics.
+//!
+//! Prints, for every dataset in the registry, the paper dataset it mirrors
+//! plus its node and edge counts, degree bound and coordinate aspect ratio
+//! `α = dmax/dmin` (the quantity behind `h ≤ log2 α − 1`).
+
+use ah_bench::{HarnessArgs, REGISTRY};
+use ah_graph::GraphStats;
+
+fn main() {
+    let mut args = HarnessArgs::parse();
+    // Table 2 is cheap: list the full family unless explicitly narrowed.
+    if std::env::args().len() == 1 {
+        args.through = REGISTRY.len() - 1;
+    }
+    println!("name\tmirrors\tnodes\tedges\tmax_degree\talpha\th_bound");
+    for spec in args.datasets() {
+        let g = spec.build();
+        let st = GraphStats::compute(&g);
+        let alpha = st.alpha();
+        let h_bound = alpha.map(|a| (64 - a.leading_zeros()).saturating_sub(1));
+        println!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            spec.name,
+            spec.mirrors,
+            st.num_nodes,
+            st.num_edges,
+            st.max_degree,
+            alpha.map_or("-".into(), |a| a.to_string()),
+            h_bound.map_or("-".into(), |h| h.to_string()),
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! Shared machinery for the figure/table binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md's per-experiment index). They share dataset selection,
+//! index construction, query timing and the TSV/console output format
+//! through this library so that methods are always compared under
+//! identical conditions.
+
+use std::time::Instant;
+
+use ah_graph::Graph;
+use ah_workload::{QuerySet, SeriesRecord};
+
+pub use ah_data::registry::{by_name, REGISTRY};
+pub use ah_data::DatasetSpec;
+
+/// Command-line options shared by the figure binaries.
+#[derive(Debug, Clone)]
+pub struct HarnessArgs {
+    /// Last dataset to include (index into [`REGISTRY`]).
+    pub through: usize,
+    /// Query pairs per query set.
+    pub pairs: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        HarnessArgs {
+            through: 5, // S0..S5 by default (see registry docs)
+            pairs: 500,
+            seed: 0xF16,
+        }
+    }
+}
+
+impl HarnessArgs {
+    /// Parses `--through SN` / `--pairs N` / `--seed N` from `std::env`.
+    pub fn parse() -> Self {
+        let mut args = HarnessArgs::default();
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--through" => {
+                    let v = it.next().expect("--through needs a dataset name");
+                    args.through = REGISTRY
+                        .iter()
+                        .position(|d| d.name == v)
+                        .unwrap_or_else(|| panic!("unknown dataset {v}"));
+                }
+                "--pairs" => {
+                    args.pairs = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--pairs needs a number");
+                }
+                "--seed" => {
+                    args.seed = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--seed needs a number");
+                }
+                other => panic!("unknown argument {other} (try --through S9 | --pairs N | --seed N)"),
+            }
+        }
+        args
+    }
+
+    /// The selected dataset slice.
+    pub fn datasets(&self) -> &'static [DatasetSpec] {
+        &REGISTRY[..=self.through.min(REGISTRY.len() - 1)]
+    }
+}
+
+/// A dataset instantiated for an experiment run.
+pub struct LoadedDataset {
+    pub spec: DatasetSpec,
+    pub graph: Graph,
+    pub query_sets: Vec<QuerySet>,
+}
+
+/// Builds the graph and query workload for one registry entry.
+pub fn load_dataset(spec: &DatasetSpec, pairs: usize, seed: u64) -> LoadedDataset {
+    let graph = spec.build();
+    let query_sets = ah_workload::generate_query_sets(&graph, pairs, seed);
+    LoadedDataset {
+        spec: *spec,
+        graph,
+        query_sets,
+    }
+}
+
+/// Times `f()` once, in seconds.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t = Instant::now();
+    let out = f();
+    (out, t.elapsed().as_secs_f64())
+}
+
+/// Times a per-pair query function over a query set; returns µs/query.
+/// The accumulated checksum prevents the optimizer from discarding work.
+pub fn time_query_set(
+    pairs: &[(u32, u32)],
+    mut f: impl FnMut(u32, u32) -> u64,
+) -> f64 {
+    let mut acc = 0u64;
+    let t = Instant::now();
+    for &(s, d) in pairs {
+        acc = acc.wrapping_add(f(s, d));
+    }
+    let us = t.elapsed().as_secs_f64() * 1e6 / pairs.len().max(1) as f64;
+    std::hint::black_box(acc);
+    us
+}
+
+/// Pretty-prints a series of records as a console table and TSV block.
+pub fn print_records(title: &str, records: &[SeriesRecord]) {
+    println!("\n== {title} ==");
+    println!("{}", SeriesRecord::tsv_header());
+    for r in records {
+        println!("{}", r.tsv_line());
+    }
+}
+
+/// Convenience constructor for a record.
+pub fn record(
+    dataset: &DatasetSpec,
+    nodes: usize,
+    method: &str,
+    query_set: u32,
+    value: f64,
+    unit: &str,
+) -> SeriesRecord {
+    SeriesRecord {
+        dataset: dataset.name.to_string(),
+        nodes,
+        method: method.to_string(),
+        query_set,
+        value,
+        unit: unit.to_string(),
+    }
+}
+
+/// SILC is only feasible on the smaller networks (its preprocessing and
+/// space are the point of Figure 10); this mirrors the paper's cut-off of
+/// 500K nodes, scaled to our registry.
+pub fn silc_feasible(nodes: usize) -> bool {
+    nodes <= 10_000
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_args_select_s0_to_s5() {
+        let a = HarnessArgs::default();
+        assert_eq!(a.datasets().len(), 6);
+        assert_eq!(a.datasets()[5].name, "S5");
+    }
+
+    #[test]
+    fn load_smallest_dataset() {
+        let d = load_dataset(&REGISTRY[0], 10, 1);
+        assert!(d.graph.num_nodes() > 500);
+        assert_eq!(d.query_sets.len(), 10);
+    }
+
+    #[test]
+    fn timing_helpers() {
+        let (v, secs) = time_once(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+        let us = time_query_set(&[(0, 1), (1, 2)], |a, b| (a + b) as u64);
+        assert!(us >= 0.0);
+    }
+
+    #[test]
+    fn silc_cutoff() {
+        assert!(silc_feasible(1_000));
+        assert!(!silc_feasible(50_000));
+    }
+}

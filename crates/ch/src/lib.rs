@@ -1,0 +1,162 @@
+//! Contraction Hierarchies (CH) — the paper's strongest baseline
+//! (Geisberger, Sanders, Schultes, Delling, WEA 2008; reference \[11\]).
+//!
+//! CH heuristically imposes a total order on the nodes (edge difference +
+//! deleted neighbours, lazily maintained), contracts them in that order
+//! with witness searches, and answers queries with a bidirectional upward
+//! Dijkstra. It is the method AH is benchmarked against throughout
+//! Section 6: CH has the cheapest preprocessing and smallest index, AH
+//! beats it on query time, especially for long-range queries.
+//!
+//! The heavy lifting lives in [`ah_contraction`]; this crate packages it
+//! behind the same `build / distance / path` surface the other methods
+//! expose, so the benchmark harness treats all methods uniformly.
+//!
+//! ```
+//! use ah_ch::{ChIndex, ChQuery};
+//!
+//! let g = ah_data::fixtures::lattice(6, 6, 16);
+//! let idx = ChIndex::build(&g);
+//! let mut q = ChQuery::new();
+//! assert_eq!(
+//!     q.distance(&idx, 0, 35),
+//!     ah_search::dijkstra_distance(&g, 0, 35).map(|d| d.length)
+//! );
+//! ```
+
+use ah_contraction::{contract_adaptive, BidirUpwardQuery, ContractionConfig, Hierarchy};
+use ah_graph::{Dist, Graph, NodeId, Path};
+
+/// A built Contraction Hierarchies index.
+pub struct ChIndex {
+    hierarchy: Hierarchy,
+    order: Vec<NodeId>,
+}
+
+impl ChIndex {
+    /// Builds the index with default witness budgets.
+    pub fn build(g: &Graph) -> ChIndex {
+        Self::build_with_config(g, ContractionConfig::default())
+    }
+
+    /// Builds the index with an explicit contraction configuration.
+    pub fn build_with_config(g: &Graph, cfg: ContractionConfig) -> ChIndex {
+        let (hierarchy, order) = contract_adaptive(g, cfg);
+        ChIndex { hierarchy, order }
+    }
+
+    /// The contraction order (`order[0]` contracted first).
+    pub fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// The underlying hierarchy.
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+
+    /// Number of shortcut arcs.
+    pub fn num_shortcuts(&self) -> usize {
+        self.hierarchy.num_shortcuts()
+    }
+
+    /// Approximate index size in bytes (Figure 10a accounting).
+    pub fn size_bytes(&self) -> usize {
+        self.hierarchy.size_bytes() + self.order.len() * std::mem::size_of::<NodeId>()
+    }
+}
+
+/// Reusable CH query state (one per thread).
+#[derive(Default)]
+pub struct ChQuery {
+    inner: BidirUpwardQuery,
+}
+
+impl ChQuery {
+    /// Creates a query engine.
+    pub fn new() -> ChQuery {
+        ChQuery {
+            inner: BidirUpwardQuery::new(),
+        }
+    }
+
+    /// Disables stall-on-demand (for ablation runs).
+    pub fn set_stall_on_demand(&mut self, on: bool) {
+        self.inner.stall_on_demand = on;
+    }
+
+    /// Network distance from `s` to `t`.
+    pub fn distance(&mut self, idx: &ChIndex, s: NodeId, t: NodeId) -> Option<u64> {
+        self.distance_full(idx, s, t).map(|d| d.length)
+    }
+
+    /// Distance with the nuance tie-break component.
+    pub fn distance_full(&mut self, idx: &ChIndex, s: NodeId, t: NodeId) -> Option<Dist> {
+        self.inner
+            .distance(&idx.hierarchy, s, t, |_| true, |_| true)
+    }
+
+    /// Shortest path from `s` to `t` in the original network.
+    pub fn path(&mut self, idx: &ChIndex, s: NodeId, t: NodeId) -> Option<Path> {
+        self.inner.path(&idx.hierarchy, s, t, |_| true, |_| true)
+    }
+
+    /// Nodes settled by the last query (telemetry).
+    pub fn settled_count(&self) -> usize {
+        self.inner.settled_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ah_search::{dijkstra_distance, dijkstra_path};
+
+    fn check(g: &Graph, stride: usize) {
+        let idx = ChIndex::build(g);
+        let mut q = ChQuery::new();
+        let n = g.num_nodes() as NodeId;
+        for s in (0..n).step_by(stride) {
+            for t in (0..n).step_by(stride) {
+                assert_eq!(
+                    q.distance_full(&idx, s, t),
+                    dijkstra_distance(g, s, t),
+                    "({s},{t})"
+                );
+                if let Some(want) = dijkstra_path(g, s, t) {
+                    let p = q.path(&idx, s, t).unwrap();
+                    p.verify(g).unwrap();
+                    assert_eq!(p.dist, want.dist);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn correct_on_lattice() {
+        check(&ah_data::fixtures::lattice(7, 5, 12), 3);
+    }
+
+    #[test]
+    fn correct_on_road_network() {
+        let g = ah_data::hierarchical_grid(&ah_data::HierarchicalGridConfig {
+            width: 13,
+            height: 13,
+            one_way: 0.2,
+            seed: 77,
+            ..Default::default()
+        });
+        check(&g, 7);
+    }
+
+    #[test]
+    fn index_accounting() {
+        let g = ah_data::fixtures::lattice(6, 6, 12);
+        let idx = ChIndex::build(&g);
+        assert_eq!(idx.order().len(), 36);
+        assert!(idx.size_bytes() > 0);
+        let mut q = ChQuery::new();
+        q.distance(&idx, 0, 35);
+        assert!(q.settled_count() > 0);
+    }
+}

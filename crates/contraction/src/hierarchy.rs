@@ -1,0 +1,293 @@
+//! The contracted hierarchy: upward adjacency plus path unpacking.
+
+use ah_graph::{Dist, NodeId, INVALID_NODE};
+
+/// A hierarchy arc: target (or source, for upward-in arcs), nuance-tagged
+/// length, and the *middle node* recorded at shortcut creation
+/// ([`INVALID_NODE`] for original edges). The middle node turns any
+/// shortcut into a two-hop path, giving O(k) unpacking (Section 4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HArc {
+    /// The other endpoint.
+    pub to: NodeId,
+    /// Length of the represented path.
+    pub dist: Dist,
+    /// Interior node bypassed by this shortcut; [`INVALID_NODE`] for
+    /// original edges.
+    pub middle: NodeId,
+}
+
+impl HArc {
+    /// True if this arc is an original road-network edge.
+    #[inline]
+    pub fn is_original(&self) -> bool {
+        self.middle == INVALID_NODE
+    }
+}
+
+/// A contracted graph in CSR form, split into the four adjacency views a
+/// bidirectional upward query needs.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    /// Rank (contraction position) per node; higher = more important.
+    rank: Vec<u32>,
+    up_out_offsets: Vec<u32>,
+    up_out_arcs: Vec<HArc>,
+    up_in_offsets: Vec<u32>,
+    up_in_arcs: Vec<HArc>,
+    /// Downward views, needed only for unpacking (finding the sub-arcs of
+    /// a shortcut): `down_out[u]` = arcs `u → x` with `rank(x) < rank(u)`.
+    down_out_offsets: Vec<u32>,
+    down_out_arcs: Vec<HArc>,
+    down_in_offsets: Vec<u32>,
+    down_in_arcs: Vec<HArc>,
+    num_shortcuts: usize,
+}
+
+impl Hierarchy {
+    /// Assembles the CSR views from per-node arc lists.
+    ///
+    /// `out[u]` must contain every hierarchy arc `u → v` (original +
+    /// shortcut, deduplicated to the minimum distance per head), and `inn`
+    /// the mirrored lists.
+    pub(crate) fn assemble(
+        rank: Vec<u32>,
+        out: &[Vec<HArc>],
+        inn: &[Vec<HArc>],
+    ) -> Self {
+        let n = rank.len();
+        let mut num_shortcuts = 0usize;
+        let mut up_out: Vec<Vec<HArc>> = vec![Vec::new(); n];
+        let mut up_in: Vec<Vec<HArc>> = vec![Vec::new(); n];
+        let mut down_out: Vec<Vec<HArc>> = vec![Vec::new(); n];
+        let mut down_in: Vec<Vec<HArc>> = vec![Vec::new(); n];
+        for u in 0..n {
+            for &a in &out[u] {
+                if !a.is_original() {
+                    num_shortcuts += 1;
+                }
+                if rank[a.to as usize] > rank[u] {
+                    up_out[u].push(a);
+                } else {
+                    down_out[u].push(a);
+                }
+            }
+            for &a in &inn[u] {
+                if rank[a.to as usize] > rank[u] {
+                    up_in[u].push(a);
+                } else {
+                    down_in[u].push(a);
+                }
+            }
+        }
+        // Sort upward arcs by rank of the head: keeps query relaxation
+        // cache-friendly and deterministic.
+        for lists in [&mut up_out, &mut up_in, &mut down_out, &mut down_in] {
+            for l in lists.iter_mut() {
+                l.sort_unstable_by_key(|a| (rank[a.to as usize], a.to));
+            }
+        }
+        let (up_out_offsets, up_out_arcs) = to_csr(&up_out);
+        let (up_in_offsets, up_in_arcs) = to_csr(&up_in);
+        let (down_out_offsets, down_out_arcs) = to_csr(&down_out);
+        let (down_in_offsets, down_in_arcs) = to_csr(&down_in);
+        Hierarchy {
+            rank,
+            up_out_offsets,
+            up_out_arcs,
+            up_in_offsets,
+            up_in_arcs,
+            down_out_offsets,
+            down_out_arcs,
+            down_in_offsets,
+            down_in_arcs,
+            num_shortcuts,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.rank.len()
+    }
+
+    /// Contraction rank of `v` (higher = contracted later = more
+    /// important).
+    #[inline]
+    pub fn rank(&self, v: NodeId) -> u32 {
+        self.rank[v as usize]
+    }
+
+    /// Number of shortcut arcs in the hierarchy.
+    pub fn num_shortcuts(&self) -> usize {
+        self.num_shortcuts
+    }
+
+    /// Upward out-arcs of `u`: arcs `u → v` with `rank(v) > rank(u)`
+    /// (relaxed by the forward search).
+    #[inline]
+    pub fn up_out(&self, u: NodeId) -> &[HArc] {
+        slice(&self.up_out_offsets, &self.up_out_arcs, u)
+    }
+
+    /// Upward in-arcs of `u`: arcs `v → u` with `rank(v) > rank(u)`
+    /// (relaxed by the backward search; [`HArc::to`] is the tail `v`).
+    #[inline]
+    pub fn up_in(&self, u: NodeId) -> &[HArc] {
+        slice(&self.up_in_offsets, &self.up_in_arcs, u)
+    }
+
+    /// Downward out-arcs of `u` (used for unpacking and stall checks).
+    #[inline]
+    pub fn down_out(&self, u: NodeId) -> &[HArc] {
+        slice(&self.down_out_offsets, &self.down_out_arcs, u)
+    }
+
+    /// Downward in-arcs of `u`.
+    #[inline]
+    pub fn down_in(&self, u: NodeId) -> &[HArc] {
+        slice(&self.down_in_offsets, &self.down_in_arcs, u)
+    }
+
+    /// Approximate heap footprint (Figure 10a accounting).
+    pub fn size_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.rank.len() * size_of::<u32>()
+            + (self.up_out_offsets.len()
+                + self.up_in_offsets.len()
+                + self.down_out_offsets.len()
+                + self.down_in_offsets.len())
+                * size_of::<u32>()
+            + (self.up_out_arcs.len()
+                + self.up_in_arcs.len()
+                + self.down_out_arcs.len()
+                + self.down_in_arcs.len())
+                * size_of::<HArc>()
+    }
+
+    /// Expands the hierarchy arc `u → v` (found in the forward/upward
+    /// direction) into the original-edge node sequence, *excluding* `u` and
+    /// *including* `v`, appending to `out`.
+    pub fn unpack_arc(&self, u: NodeId, arc: &HArc, out: &mut Vec<NodeId>) {
+        if arc.is_original() {
+            out.push(arc.to);
+            return;
+        }
+        let m = arc.middle;
+        // First half u → m: m ranks below both endpoints, so the arc is
+        // recorded among m's upward in-arcs.
+        let first = self
+            .up_in(m)
+            .iter()
+            .find(|a| a.to == u)
+            .copied()
+            .unwrap_or_else(|| panic!("missing unpack arc {u} → {m}"));
+        // Flip orientation: we need it as "u → m".
+        let first = HArc {
+            to: m,
+            dist: first.dist,
+            middle: first.middle,
+        };
+        self.unpack_arc(u, &first, out);
+        // Second half m → v: recorded among m's upward out-arcs.
+        let second = self
+            .up_out(m)
+            .iter()
+            .find(|a| a.to == arc.to)
+            .copied()
+            .unwrap_or_else(|| panic!("missing unpack arc {m} → {}", arc.to));
+        self.unpack_arc(m, &second, out);
+    }
+}
+
+fn slice<'a>(offsets: &[u32], arcs: &'a [HArc], u: NodeId) -> &'a [HArc] {
+    &arcs[offsets[u as usize] as usize..offsets[u as usize + 1] as usize]
+}
+
+fn to_csr(lists: &[Vec<HArc>]) -> (Vec<u32>, Vec<HArc>) {
+    let mut offsets = Vec::with_capacity(lists.len() + 1);
+    offsets.push(0u32);
+    let total: usize = lists.iter().map(Vec::len).sum();
+    let mut arcs = Vec::with_capacity(total);
+    for l in lists {
+        arcs.extend_from_slice(l);
+        offsets.push(arcs.len() as u32);
+    }
+    (offsets, arcs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a tiny hand-made hierarchy: 0 —1→ 1 —1→ 2, ranks 0<2, 1 is
+    /// lowest; shortcut 0→2 via middle 1.
+    fn tiny() -> Hierarchy {
+        let e = |to, len, middle| HArc {
+            to,
+            dist: Dist::new(len, 0),
+            middle,
+        };
+        let rank = vec![1, 0, 2];
+        let out = vec![
+            vec![e(1, 1, INVALID_NODE), e(2, 2, 1)],
+            vec![e(2, 1, INVALID_NODE)],
+            vec![],
+        ];
+        let inn = vec![
+            vec![],
+            vec![e(0, 1, INVALID_NODE)],
+            vec![e(1, 1, INVALID_NODE), e(0, 2, 1)],
+        ];
+        Hierarchy::assemble(rank, &out, &inn)
+    }
+
+    #[test]
+    fn adjacency_partitions_by_rank() {
+        let h = tiny();
+        // 0 (rank 1): upward out-arc to 2 (rank 2); downward out-arc to 1.
+        assert_eq!(h.up_out(0).len(), 1);
+        assert_eq!(h.up_out(0)[0].to, 2);
+        assert_eq!(h.down_out(0).len(), 1);
+        assert_eq!(h.down_out(0)[0].to, 1);
+        // 1 (rank 0): both neighbours rank higher.
+        assert_eq!(h.up_out(1).len(), 1);
+        assert_eq!(h.up_in(1).len(), 1);
+        // 2 (rank 2) is the apex: nothing ranks above it, so its upward
+        // views are empty and both in-arcs are downward.
+        assert!(h.up_in(2).is_empty());
+        assert!(h.up_out(2).is_empty());
+        assert_eq!(h.down_in(2).len(), 2);
+        assert_eq!(h.num_shortcuts(), 1);
+    }
+
+    #[test]
+    fn unpack_shortcut() {
+        let h = tiny();
+        let sc = *h
+            .up_out(0)
+            .iter()
+            .find(|a| !a.is_original())
+            .expect("shortcut 0→2 present");
+        assert_eq!(sc.to, 2);
+        let mut nodes = vec![0u32];
+        h.unpack_arc(0, &sc, &mut nodes);
+        assert_eq!(nodes, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn unpack_original_edge() {
+        let h = tiny();
+        let arc = h.up_out(1)[0];
+        assert!(arc.is_original());
+        let mut nodes = vec![1u32];
+        h.unpack_arc(1, &arc, &mut nodes);
+        assert_eq!(nodes, vec![1, 2]);
+    }
+
+    #[test]
+    fn size_accounting() {
+        let h = tiny();
+        assert!(h.size_bytes() > 0);
+    }
+}

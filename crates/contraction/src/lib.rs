@@ -1,0 +1,34 @@
+//! Rank-ordered node contraction — the shortcut construction shared by AH
+//! and CH.
+//!
+//! Section 4.2 of the paper builds AH's shortcuts from local shortest-path
+//! trees: node `u` gets a shortcut to every nearby `v` that ranks above it
+//! while all interior nodes rank below `u`, and each shortcut remembers the
+//! highest-ranked interior node so it expands into a two-hop path in O(1).
+//! That construction is exactly *node contraction* in rank order (the
+//! paper's Lemma 16 proves the resulting unimodal-rank-path property), and
+//! contraction is also precisely how the Contraction Hierarchies baseline
+//! \[11\] builds its index — so the two share this engine:
+//!
+//! * [`Contractor`] — the dynamic remaining-graph with witness searches;
+//! * [`contract_with_order`] — contraction along a *fixed* total order
+//!   (AH: levels from the arterial construction + in-level rank);
+//! * [`contract_adaptive`] — CH's heuristic ordering (edge difference +
+//!   deleted neighbours, lazy updates);
+//! * [`Hierarchy`] — the resulting upward/downward search structure with
+//!   middle-node path unpacking.
+//!
+//! Correctness does not depend on the order: witness searches guarantee
+//! that for every node pair some shortest path is representable as an
+//! up-then-down rank sequence, for *any* strict total order (the paper
+//! makes the same observation in Section 4.2).
+
+mod contractor;
+mod hierarchy;
+mod ordering;
+mod query;
+
+pub use contractor::{ContractionConfig, Contractor, SimulationStats};
+pub use hierarchy::{HArc, Hierarchy};
+pub use ordering::{contract_adaptive, contract_with_order};
+pub use query::BidirUpwardQuery;

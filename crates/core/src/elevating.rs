@@ -1,0 +1,362 @@
+//! Elevating edges (Sections 4.2 / 4.3).
+//!
+//! An elevating arc `(v, ℓ): v → w` jumps from a low node `v` straight to
+//! a node `w` at hierarchy level ≥ ℓ, summarizing the shortest
+//! rank-increasing climb whose interior stays below level `ℓ`. During a
+//! long-range query (separation level `j`), a visited node below level `j`
+//! follows *only* its elevating arcs toward level `j`, skipping the low
+//! hierarchy levels entirely.
+//!
+//! Correctness contract: a `(v, ℓ)` set is stored only if it is
+//! **complete** — the construction search enumerated *every*
+//! rank-increasing path from `v` with interior levels < `ℓ` up to its
+//! first level-≥`ℓ` node (within a settle budget; over-budget sets are
+//! discarded and queries fall back to normal arcs at `v`). Completeness
+//! makes the pure-jump rule safe: any upward continuation from `v` factors
+//! through one of the recorded targets with the recorded (shortest)
+//! prefix distance. Every arc also stores its underlying hierarchy-arc
+//! chain so paths unpack exactly.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use ah_contraction::{HArc, Hierarchy};
+use ah_graph::{Dist, NodeId, INFINITY, INVALID_NODE};
+use ah_search::StampedVec;
+
+/// One elevating arc.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ElevArc {
+    /// The level-≥ℓ node reached.
+    pub to: NodeId,
+    /// Length of the climb.
+    pub dist: Dist,
+    /// Range into the shared chain buffer holding the underlying
+    /// hierarchy arcs as `(tail, arc)` pairs in forward path order.
+    chain_start: u32,
+    chain_len: u32,
+}
+
+/// Per-direction elevating sets for all nodes, CSR-packed.
+#[derive(Debug, Clone, Default)]
+pub struct ElevatingSide {
+    /// `node_offsets[v]..node_offsets[v+1]` indexes `entries`.
+    node_offsets: Vec<u32>,
+    /// Per (node, level) set: target level and arc range.
+    entries: Vec<(u8, u32, u32)>,
+    arcs: Vec<ElevArc>,
+    chains: Vec<(NodeId, HArc)>,
+}
+
+impl ElevatingSide {
+    /// The elevating arcs of `v` for the *largest* available level ≤
+    /// `max_level` that is strictly above `node_level`. Returns the chosen
+    /// level and the arcs.
+    pub fn best_set(
+        &self,
+        v: NodeId,
+        node_level: u8,
+        max_level: u8,
+    ) -> Option<(u8, &[ElevArc])> {
+        if self.node_offsets.len() <= v as usize + 1 {
+            return None; // sets were not built (elevating disabled)
+        }
+        let lo = self.node_offsets[v as usize] as usize;
+        let hi = self.node_offsets[v as usize + 1] as usize;
+        // Entries are stored in ascending level order; scan from the top.
+        for &(lvl, start, len) in self.entries[lo..hi].iter().rev() {
+            if lvl <= max_level && lvl > node_level {
+                return Some((lvl, &self.arcs[start as usize..(start + len) as usize]));
+            }
+        }
+        None
+    }
+
+    /// The hierarchy-arc chain of an elevating arc (for unpacking).
+    pub fn chain(&self, arc: &ElevArc) -> &[(NodeId, HArc)] {
+        &self.chains[arc.chain_start as usize..(arc.chain_start + arc.chain_len) as usize]
+    }
+
+    /// Number of elevating arcs stored.
+    pub fn num_arcs(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Approximate heap footprint.
+    pub fn size_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.node_offsets.len() * size_of::<u32>()
+            + self.entries.len() * size_of::<(u8, u32, u32)>()
+            + self.arcs.len() * size_of::<ElevArc>()
+            + self.chains.len() * size_of::<(NodeId, HArc)>()
+    }
+}
+
+/// Forward and backward elevating sets.
+#[derive(Debug, Clone, Default)]
+pub struct ElevatingSets {
+    pub forward: ElevatingSide,
+    pub backward: ElevatingSide,
+}
+
+impl ElevatingSets {
+    /// Total arc count (telemetry).
+    pub fn num_arcs(&self) -> usize {
+        self.forward.num_arcs() + self.backward.num_arcs()
+    }
+
+    /// Approximate heap footprint.
+    pub fn size_bytes(&self) -> usize {
+        self.forward.size_bytes() + self.backward.size_bytes()
+    }
+}
+
+/// Builder accumulating per-node sets before CSR packing.
+pub(crate) struct ElevatingBuilder {
+    per_node: Vec<Vec<(u8, Vec<(NodeId, Dist, Vec<(NodeId, HArc)>)>)>>,
+}
+
+impl ElevatingBuilder {
+    pub fn new(n: usize) -> Self {
+        ElevatingBuilder {
+            per_node: vec![Vec::new(); n],
+        }
+    }
+
+    pub fn push_set(
+        &mut self,
+        v: NodeId,
+        level: u8,
+        arcs: Vec<(NodeId, Dist, Vec<(NodeId, HArc)>)>,
+    ) {
+        self.per_node[v as usize].push((level, arcs));
+    }
+
+    pub fn finish(mut self) -> ElevatingSide {
+        let mut side = ElevatingSide::default();
+        side.node_offsets.push(0);
+        for sets in &mut self.per_node {
+            sets.sort_by_key(|&(lvl, _)| lvl);
+            for (lvl, arcs) in sets.iter() {
+                let start = side.arcs.len() as u32;
+                for (to, dist, chain) in arcs {
+                    let cs = side.chains.len() as u32;
+                    side.chains.extend_from_slice(chain);
+                    side.arcs.push(ElevArc {
+                        to: *to,
+                        dist: *dist,
+                        chain_start: cs,
+                        chain_len: chain.len() as u32,
+                    });
+                }
+                side.entries
+                    .push((*lvl, start, (side.arcs.len() as u32) - start));
+            }
+            side.node_offsets.push(side.entries.len() as u32);
+        }
+        side
+    }
+}
+
+/// A reusable upward search computing one complete `(v, ℓ)` elevating set:
+/// expand only through nodes with level < `ℓ`, settle level-≥`ℓ` nodes as
+/// targets. Returns `None` if the settle budget was exceeded (set must be
+/// discarded).
+pub(crate) struct ElevatingSearch {
+    dist: StampedVec<Dist>,
+    parent: StampedVec<NodeId>,
+    arc: StampedVec<HArc>,
+    settled: StampedVec<bool>,
+    heap: BinaryHeap<Reverse<(Dist, NodeId)>>,
+}
+
+const NO_ARC: HArc = HArc {
+    to: INVALID_NODE,
+    dist: INFINITY,
+    middle: INVALID_NODE,
+};
+
+impl ElevatingSearch {
+    pub fn new() -> Self {
+        ElevatingSearch {
+            dist: StampedVec::new(0, INFINITY),
+            parent: StampedVec::new(0, INVALID_NODE),
+            arc: StampedVec::new(0, NO_ARC),
+            settled: StampedVec::new(0, false),
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Computes the `(v, ℓ)` set in the given direction (`forward` uses
+    /// `up_out`, else `up_in`). `levels` are the final node levels.
+    #[allow(clippy::type_complexity)]
+    pub fn run(
+        &mut self,
+        h: &Hierarchy,
+        levels: &[u8],
+        v: NodeId,
+        ell: u8,
+        forward: bool,
+        settle_limit: usize,
+    ) -> Option<Vec<(NodeId, Dist, Vec<(NodeId, HArc)>)>> {
+        let n = h.num_nodes();
+        self.dist.ensure_len(n);
+        self.parent.ensure_len(n);
+        self.arc.ensure_len(n);
+        self.settled.ensure_len(n);
+        self.dist.reset();
+        self.parent.reset();
+        self.arc.reset();
+        self.settled.reset();
+        self.heap.clear();
+
+        self.dist.set(v as usize, Dist::ZERO);
+        self.heap.push(Reverse((Dist::ZERO, v)));
+        let mut targets: Vec<NodeId> = Vec::new();
+        let mut settled_count = 0usize;
+
+        while let Some(Reverse((d, u))) = self.heap.pop() {
+            if self.settled.get(u as usize) {
+                continue;
+            }
+            self.settled.set(u as usize, true);
+            settled_count += 1;
+            if settled_count > settle_limit {
+                return None; // incomplete: discard
+            }
+            if u != v && levels[u as usize] >= ell {
+                targets.push(u);
+                continue; // settle as target, do not climb further
+            }
+            let arcs = if forward { h.up_out(u) } else { h.up_in(u) };
+            for a in arcs {
+                if self.settled.get(a.to as usize) {
+                    continue;
+                }
+                let nd = d.concat(a.dist);
+                if nd < self.dist.get(a.to as usize) {
+                    self.dist.set(a.to as usize, nd);
+                    self.parent.set(a.to as usize, u);
+                    self.arc.set(a.to as usize, *a);
+                    self.heap.push(Reverse((nd, a.to)));
+                }
+            }
+        }
+
+        let mut out = Vec::with_capacity(targets.len());
+        for t in targets {
+            // Reconstruct the chain as (tail, arc) pairs in forward path
+            // order. Forward runs walk t → v and reverse (path v → … → t);
+            // backward runs walk the forward orientation directly
+            // (path t → … → v), flipping each stored up_in arc.
+            let mut chain: Vec<(NodeId, HArc)> = Vec::new();
+            let mut cur = t;
+            while cur != v {
+                let p = self.parent.get(cur as usize);
+                let a = self.arc.get(cur as usize);
+                if forward {
+                    chain.push((p, a));
+                } else {
+                    chain.push((
+                        cur,
+                        HArc {
+                            to: p,
+                            dist: a.dist,
+                            middle: a.middle,
+                        },
+                    ));
+                }
+                cur = p;
+            }
+            if forward {
+                chain.reverse();
+            }
+            out.push((t, self.dist.get(t as usize), chain));
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ah_contraction::{contract_with_order, ContractionConfig};
+
+    /// Line 0-1-2-3-4 with levels [0,0,1,0,2] and rank = by (level, id):
+    /// order 0,1,3,2,4.
+    fn setup() -> (ah_graph::Graph, Hierarchy, Vec<u8>) {
+        let g = ah_data::fixtures::line(5, 10);
+        let levels = vec![0u8, 0, 1, 0, 2];
+        let mut ids: Vec<NodeId> = (0..5).collect();
+        ids.sort_by_key(|&v| (levels[v as usize], v));
+        let h = contract_with_order(&g, &ids, ContractionConfig::default());
+        (g, h, levels)
+    }
+
+    #[test]
+    fn forward_set_reaches_first_high_node() {
+        let (_g, h, levels) = setup();
+        let mut es = ElevatingSearch::new();
+        // From node 0, climb to level ≥ 1: first such node on the line is 2.
+        let set = es.run(&h, &levels, 0, 1, true, 100).unwrap();
+        let tos: Vec<NodeId> = set.iter().map(|&(t, _, _)| t).collect();
+        assert!(tos.contains(&2), "targets: {tos:?}");
+        for (t, d, chain) in &set {
+            // Chain distances telescope to the recorded distance.
+            let sum = chain
+                .iter()
+                .fold(Dist::ZERO, |acc, (_, a)| acc.concat(a.dist));
+            assert_eq!(sum, *d, "chain of target {t}");
+            assert_eq!(chain.last().unwrap().1.to, *t);
+        }
+    }
+
+    #[test]
+    fn set_discarded_when_budget_exceeded() {
+        let (_g, h, levels) = setup();
+        let mut es = ElevatingSearch::new();
+        assert!(es.run(&h, &levels, 0, 2, true, 1).is_none());
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let (_g, h, levels) = setup();
+        let mut es = ElevatingSearch::new();
+        let set = es.run(&h, &levels, 0, 1, true, 100).unwrap();
+        let mut b = ElevatingBuilder::new(5);
+        b.push_set(0, 1, set.clone());
+        let side = b.finish();
+        let (lvl, arcs) = side.best_set(0, 0, 3).unwrap();
+        assert_eq!(lvl, 1);
+        assert_eq!(arcs.len(), set.len());
+        for (arc, (t, d, chain)) in arcs.iter().zip(&set) {
+            assert_eq!(arc.to, *t);
+            assert_eq!(arc.dist, *d);
+            assert_eq!(side.chain(arc).len(), chain.len());
+        }
+        // No set above the node's own level 1 → none for node_level = 1.
+        assert!(side.best_set(0, 1, 3).is_none());
+        // Cap below the stored level → none.
+        assert!(side.best_set(0, 0, 0).is_none());
+    }
+
+    #[test]
+    fn backward_set_mirrors() {
+        let (_g, h, levels) = setup();
+        let mut es = ElevatingSearch::new();
+        // Backward from node 0: climbs over up_in arcs (paths ending at 0).
+        let set = es.run(&h, &levels, 0, 1, false, 100).unwrap();
+        let entry = set
+            .iter()
+            .find(|&&(t, _, _)| t == 2)
+            .expect("node 2 reachable backward");
+        let (t, d, chain) = entry;
+        // Chain is in forward path order t → … → 0.
+        assert_eq!(chain.first().unwrap().0, *t);
+        assert_eq!(chain.last().unwrap().1.to, 0);
+        let sum = chain
+            .iter()
+            .fold(Dist::ZERO, |acc, (_, a)| acc.concat(a.dist));
+        assert_eq!(sum, *d);
+    }
+}

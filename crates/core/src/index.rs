@@ -1,0 +1,216 @@
+//! The Arterial Hierarchy index: construction and accessors.
+
+use ah_arterial::{assign_levels, SelectionConfig};
+use ah_contraction::{contract_with_order, Hierarchy};
+use ah_graph::{Graph, NodeId, Point};
+use ah_grid::GridHierarchy;
+
+use crate::config::BuildConfig;
+use crate::elevating::{ElevatingBuilder, ElevatingSearch, ElevatingSets};
+use crate::ranking::{rank_nodes, Ranking};
+
+/// Aggregate facts about a built index (experiment telemetry).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Grid levels `h`.
+    pub h: u32,
+    /// Nodes per hierarchy level (after downgrading).
+    pub level_histogram: Vec<usize>,
+    /// Shortcut arcs in the contracted hierarchy.
+    pub shortcuts: usize,
+    /// Elevating arcs (both directions).
+    pub elevating_arcs: usize,
+    /// Approximate index size in bytes (hierarchy + elevating sets +
+    /// levels + coordinates).
+    pub size_bytes: usize,
+}
+
+/// The Arterial Hierarchy over one road network. Immutable once built;
+/// queries run through [`crate::AhQuery`], which holds the per-thread
+/// mutable search state.
+pub struct AhIndex {
+    pub(crate) grid: GridHierarchy,
+    pub(crate) hierarchy: Hierarchy,
+    /// Final hierarchy level per node.
+    pub(crate) level: Vec<u8>,
+    /// Node coordinates (for grid predicates at query time).
+    pub(crate) coords: Vec<Point>,
+    pub(crate) elevating: ElevatingSets,
+}
+
+impl AhIndex {
+    /// Builds the index: level assignment (Section 4.2) → ranking
+    /// (Section 4.4) → rank-ordered contraction → elevating sets.
+    pub fn build(g: &Graph, cfg: &BuildConfig) -> AhIndex {
+        let la = assign_levels(
+            g,
+            &SelectionConfig {
+                max_levels: cfg.max_levels,
+            },
+        );
+        let Ranking { level, order, .. } =
+            rank_nodes(&la, cfg.vertex_cover_rank, cfg.downgrade_non_cover);
+        let hierarchy = contract_with_order(g, &order, cfg.contraction);
+
+        let elevating = if cfg.elevating_edges {
+            build_elevating(g, &la.grid, &hierarchy, &level, cfg)
+        } else {
+            ElevatingSets::default()
+        };
+
+        AhIndex {
+            grid: la.grid,
+            hierarchy,
+            level,
+            coords: g.coords().to_vec(),
+            elevating,
+        }
+    }
+
+    /// Number of nodes indexed.
+    pub fn num_nodes(&self) -> usize {
+        self.level.len()
+    }
+
+    /// The grid hierarchy the index was built against.
+    pub fn grid(&self) -> &GridHierarchy {
+        &self.grid
+    }
+
+    /// Hierarchy level of `v`.
+    pub fn level_of(&self, v: NodeId) -> u8 {
+        self.level[v as usize]
+    }
+
+    /// The contracted hierarchy (exposed for diagnostics and benches).
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+
+    /// Telemetry snapshot.
+    pub fn stats(&self) -> IndexStats {
+        let h = self.grid.levels();
+        let mut hist = vec![0usize; h as usize + 1];
+        for &l in &self.level {
+            hist[(l as usize).min(h as usize)] += 1;
+        }
+        IndexStats {
+            h,
+            level_histogram: hist,
+            shortcuts: self.hierarchy.num_shortcuts(),
+            elevating_arcs: self.elevating.num_arcs(),
+            size_bytes: self.size_bytes(),
+        }
+    }
+
+    /// Approximate heap footprint of the index (Figure 10a accounting).
+    pub fn size_bytes(&self) -> usize {
+        self.hierarchy.size_bytes()
+            + self.elevating.size_bytes()
+            + self.level.len()
+            + self.coords.len() * std::mem::size_of::<Point>()
+    }
+}
+
+/// Builds the forward/backward elevating sets for every border node and
+/// level where the budgeted search certifies completeness.
+fn build_elevating(
+    g: &Graph,
+    grid: &GridHierarchy,
+    hierarchy: &Hierarchy,
+    level: &[u8],
+    cfg: &BuildConfig,
+) -> ElevatingSets {
+    let n = g.num_nodes();
+    let h = grid.levels();
+    let mut search = ElevatingSearch::new();
+    let mut fwd = ElevatingBuilder::new(n);
+    let mut bwd = ElevatingBuilder::new(n);
+
+    for v in 0..n as NodeId {
+        let own = level[v as usize];
+        for ell in (own as u32 + 1)..=h {
+            if !is_border_at(g, grid, v, ell) {
+                continue;
+            }
+            let lvl = ell as u8;
+            if let Some(set) =
+                search.run(hierarchy, level, v, lvl, true, cfg.elevating_settle_limit)
+            {
+                if !set.is_empty() && set.len() <= cfg.elevating_max_arcs {
+                    fwd.push_set(v, lvl, set);
+                }
+            }
+            if let Some(set) =
+                search.run(hierarchy, level, v, lvl, false, cfg.elevating_settle_limit)
+            {
+                if !set.is_empty() && set.len() <= cfg.elevating_max_arcs {
+                    bwd.push_set(v, lvl, set);
+                }
+            }
+        }
+    }
+    ElevatingSets {
+        forward: fwd.finish(),
+        backward: bwd.finish(),
+    }
+}
+
+/// True if `v` is a border node of some (4×4)-cell region of `R_ell`
+/// (Definition 2, evaluated on the original edges).
+fn is_border_at(g: &Graph, grid: &GridHierarchy, v: NodeId, ell: u32) -> bool {
+    let cv = grid.cell_of(ell, g.coord(v));
+    for b in grid.regions_containing_cell(ell, cv) {
+        if b.in_center_2x2(cv) {
+            continue;
+        }
+        let crosses = |to: NodeId| {
+            b.edge_crosses_strip_boundary(cv, grid.cell_of(ell, g.coord(to)))
+        };
+        if g.out_edges(v).iter().any(|a| crosses(a.head))
+            || g.in_edges(v).iter().any(|a| crosses(a.head))
+        {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BuildConfig;
+
+    #[test]
+    fn build_smoke_test() {
+        let g = ah_data::fixtures::lattice(8, 8, 16);
+        let idx = AhIndex::build(&g, &BuildConfig::default());
+        assert_eq!(idx.num_nodes(), 64);
+        let stats = idx.stats();
+        assert!(stats.h >= 2);
+        assert_eq!(stats.level_histogram.iter().sum::<usize>(), 64);
+        assert!(stats.size_bytes > 0);
+    }
+
+    #[test]
+    fn build_without_optional_features() {
+        let g = ah_data::fixtures::lattice(6, 6, 16);
+        let cfg = BuildConfig {
+            elevating_edges: false,
+            vertex_cover_rank: false,
+            downgrade_non_cover: false,
+            ..Default::default()
+        };
+        let idx = AhIndex::build(&g, &cfg);
+        assert_eq!(idx.stats().elevating_arcs, 0);
+    }
+
+    #[test]
+    fn levels_accessible() {
+        let g = ah_data::fixtures::lattice(8, 8, 16);
+        let idx = AhIndex::build(&g, &BuildConfig::default());
+        for v in 0..64u32 {
+            assert!(idx.level_of(v) as u32 <= idx.grid().levels());
+        }
+    }
+}

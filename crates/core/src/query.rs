@@ -1,0 +1,508 @@
+//! The AH query algorithm (Section 4.3): bidirectional upward search with
+//! rank, proximity and elevating-edge rules.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use ah_contraction::HArc;
+use ah_graph::{Dist, NodeId, Path, Point, INFINITY, INVALID_NODE};
+use ah_search::StampedVec;
+
+use crate::config::QueryConfig;
+use crate::elevating::ElevArc;
+use crate::index::AhIndex;
+
+/// How a node was reached: over a hierarchy arc or an elevating arc.
+#[derive(Debug, Clone, Copy)]
+enum PArc {
+    None,
+    H(HArc),
+    E(ElevArc),
+}
+
+/// Reusable AH query state. Create once per thread, run many queries.
+#[derive(Debug)]
+pub struct AhQuery {
+    /// Constraint toggles (ablation).
+    pub cfg: QueryConfig,
+    dist_f: StampedVec<Dist>,
+    dist_b: StampedVec<Dist>,
+    parent_f: StampedVec<NodeId>,
+    parent_b: StampedVec<NodeId>,
+    parc_f: StampedVec<PArc>,
+    parc_b: StampedVec<PArc>,
+    settled_f: StampedVec<bool>,
+    settled_b: StampedVec<bool>,
+    heap_f: BinaryHeap<Reverse<(Dist, NodeId)>>,
+    heap_b: BinaryHeap<Reverse<(Dist, NodeId)>>,
+    meeting: Option<NodeId>,
+    /// Nodes settled by the last query (telemetry for the experiments).
+    pub settled_count: usize,
+}
+
+impl Default for AhQuery {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AhQuery {
+    /// Creates a query engine with the paper's default constraints.
+    pub fn new() -> Self {
+        Self::with_config(QueryConfig::default())
+    }
+
+    /// Creates a query engine with explicit constraint toggles.
+    pub fn with_config(cfg: QueryConfig) -> Self {
+        AhQuery {
+            cfg,
+            dist_f: StampedVec::new(0, INFINITY),
+            dist_b: StampedVec::new(0, INFINITY),
+            parent_f: StampedVec::new(0, INVALID_NODE),
+            parent_b: StampedVec::new(0, INVALID_NODE),
+            parc_f: StampedVec::new(0, PArc::None),
+            parc_b: StampedVec::new(0, PArc::None),
+            settled_f: StampedVec::new(0, false),
+            settled_b: StampedVec::new(0, false),
+            heap_f: BinaryHeap::new(),
+            heap_b: BinaryHeap::new(),
+            meeting: None,
+            settled_count: 0,
+        }
+    }
+
+    /// Network distance from `s` to `t`, or `None` if unreachable.
+    pub fn distance(&mut self, idx: &AhIndex, s: NodeId, t: NodeId) -> Option<u64> {
+        self.distance_full(idx, s, t).map(|d| d.length)
+    }
+
+    /// Distance with the nuance component (for cross-method equivalence
+    /// tests).
+    pub fn distance_full(&mut self, idx: &AhIndex, s: NodeId, t: NodeId) -> Option<Dist> {
+        self.search(idx, s, t)
+    }
+
+    /// Shortest path from `s` to `t` in the original network.
+    pub fn path(&mut self, idx: &AhIndex, s: NodeId, t: NodeId) -> Option<Path> {
+        let dist = self.search(idx, s, t)?;
+        let m = self.meeting.expect("finite distance implies meeting");
+        // Forward half: hierarchy/elevating arcs s → … → m.
+        let mut fwd: Vec<(NodeId, PArc)> = Vec::new();
+        let mut cur = m;
+        while self.parent_f.get(cur as usize) != INVALID_NODE {
+            let p = self.parent_f.get(cur as usize);
+            fwd.push((p, self.parc_f.get(cur as usize)));
+            cur = p;
+        }
+        fwd.reverse();
+        let mut nodes = vec![s];
+        for (tail, parc) in fwd {
+            unpack_parc(idx, tail, parc, true, &mut nodes);
+        }
+        // Backward half: m → … → t, arcs already forward-oriented.
+        let mut cur = m;
+        while self.parent_b.get(cur as usize) != INVALID_NODE {
+            let parc = self.parc_b.get(cur as usize);
+            let next = self.parent_b.get(cur as usize);
+            unpack_parc(idx, cur, parc, false, &mut nodes);
+            cur = next;
+        }
+        debug_assert_eq!(*nodes.last().unwrap(), t);
+        Some(Path { nodes, dist })
+    }
+
+    fn search(&mut self, idx: &AhIndex, s: NodeId, t: NodeId) -> Option<Dist> {
+        let n = idx.num_nodes();
+        for v in [&mut self.dist_f, &mut self.dist_b] {
+            v.ensure_len(n);
+            v.reset();
+        }
+        for v in [&mut self.parent_f, &mut self.parent_b] {
+            v.ensure_len(n);
+            v.reset();
+        }
+        for v in [&mut self.parc_f, &mut self.parc_b] {
+            v.ensure_len(n);
+            v.reset();
+        }
+        for v in [&mut self.settled_f, &mut self.settled_b] {
+            v.ensure_len(n);
+            v.reset();
+        }
+        self.heap_f.clear();
+        self.heap_b.clear();
+        self.meeting = None;
+        self.settled_count = 0;
+
+        if s == t {
+            self.meeting = Some(s);
+            return Some(Dist::ZERO);
+        }
+
+        let coord_s = idx.coords[s as usize];
+        let coord_t = idx.coords[t as usize];
+        // Lemma 3: the shortest path must climb to the separation level, so
+        // elevating jumps may target it directly.
+        let sep = idx.grid.separation_level(coord_s, coord_t).unwrap_or(0) as u8;
+
+        self.dist_f.set(s as usize, Dist::ZERO);
+        self.dist_b.set(t as usize, Dist::ZERO);
+        self.heap_f.push(Reverse((Dist::ZERO, s)));
+        self.heap_b.push(Reverse((Dist::ZERO, t)));
+
+        let mut best = INFINITY;
+        loop {
+            let top_f = self
+                .heap_f
+                .peek()
+                .map(|Reverse((d, _))| *d)
+                .unwrap_or(INFINITY);
+            let top_b = self
+                .heap_b
+                .peek()
+                .map(|Reverse((d, _))| *d)
+                .unwrap_or(INFINITY);
+            let go_f = top_f < best;
+            let go_b = top_b < best;
+            if !go_f && !go_b {
+                break;
+            }
+            let forward = if go_f && go_b { top_f <= top_b } else { go_f };
+
+            if forward {
+                let Reverse((d, u)) = self.heap_f.pop().expect("peeked");
+                if self.settled_f.get(u as usize) {
+                    continue;
+                }
+                self.settled_f.set(u as usize, true);
+                self.settled_count += 1;
+                let other = self.dist_b.get(u as usize);
+                if !other.is_infinite() {
+                    let through = d.concat(other);
+                    if through < best {
+                        best = through;
+                        self.meeting = Some(u);
+                    }
+                }
+                if self.cfg.stall_on_demand && stalled(idx, u, d, &self.dist_f, true) {
+                    continue;
+                }
+                expand(
+                    idx,
+                    &self.cfg,
+                    u,
+                    d,
+                    coord_s,
+                    sep,
+                    true,
+                    &mut self.dist_f,
+                    &mut self.parent_f,
+                    &mut self.parc_f,
+                    &self.settled_f,
+                    &mut self.heap_f,
+                );
+            } else {
+                let Reverse((d, u)) = self.heap_b.pop().expect("peeked");
+                if self.settled_b.get(u as usize) {
+                    continue;
+                }
+                self.settled_b.set(u as usize, true);
+                self.settled_count += 1;
+                let other = self.dist_f.get(u as usize);
+                if !other.is_infinite() {
+                    let through = other.concat(d);
+                    if through < best {
+                        best = through;
+                        self.meeting = Some(u);
+                    }
+                }
+                if self.cfg.stall_on_demand && stalled(idx, u, d, &self.dist_b, false) {
+                    continue;
+                }
+                expand(
+                    idx,
+                    &self.cfg,
+                    u,
+                    d,
+                    coord_t,
+                    sep,
+                    false,
+                    &mut self.dist_b,
+                    &mut self.parent_b,
+                    &mut self.parc_b,
+                    &self.settled_b,
+                    &mut self.heap_b,
+                );
+            }
+        }
+
+        (!best.is_infinite()).then_some(best)
+    }
+}
+
+/// Proximity constraint (Sections 3.2/4.3): a level-`i` node may be
+/// relaxed only if it shares a (3×3)-cell region of `R_(i+1)` with the
+/// side's query endpoint. Top-level nodes always pass.
+#[inline]
+fn proximity_ok(idx: &AhIndex, endpoint: Point, x: NodeId) -> bool {
+    let lx = idx.level[x as usize] as u32;
+    let h = idx.grid.levels();
+    if lx >= h {
+        return true;
+    }
+    idx.grid
+        .same_3x3_region(lx + 1, idx.coords[x as usize], endpoint)
+}
+
+/// Relaxes the out-arcs of `u` on one side, applying the elevating-edge
+/// rule (jump when a complete set toward the separation level exists) and
+/// the proximity constraint.
+#[allow(clippy::too_many_arguments)]
+fn expand(
+    idx: &AhIndex,
+    cfg: &QueryConfig,
+    u: NodeId,
+    d: Dist,
+    endpoint: Point,
+    sep: u8,
+    forward: bool,
+    dist: &mut StampedVec<Dist>,
+    parent: &mut StampedVec<NodeId>,
+    parc: &mut StampedVec<PArc>,
+    settled: &StampedVec<bool>,
+    heap: &mut BinaryHeap<Reverse<(Dist, NodeId)>>,
+) {
+    let own_level = idx.level[u as usize];
+    if cfg.elevating && own_level < sep {
+        let side = if forward {
+            &idx.elevating.forward
+        } else {
+            &idx.elevating.backward
+        };
+        if let Some((_lvl, arcs)) = side.best_set(u, own_level, sep) {
+            for a in arcs {
+                if settled.get(a.to as usize) {
+                    continue;
+                }
+                if cfg.proximity && !proximity_ok(idx, endpoint, a.to) {
+                    continue;
+                }
+                let nd = d.concat(a.dist);
+                if nd < dist.get(a.to as usize) {
+                    dist.set(a.to as usize, nd);
+                    parent.set(a.to as usize, u);
+                    parc.set(a.to as usize, PArc::E(*a));
+                    heap.push(Reverse((nd, a.to)));
+                }
+            }
+            return; // pure jump: normal arcs are skipped entirely
+        }
+    }
+    let arcs = if forward {
+        idx.hierarchy.up_out(u)
+    } else {
+        idx.hierarchy.up_in(u)
+    };
+    for a in arcs {
+        if settled.get(a.to as usize) {
+            continue;
+        }
+        if cfg.proximity && !proximity_ok(idx, endpoint, a.to) {
+            continue;
+        }
+        let nd = d.concat(a.dist);
+        if nd < dist.get(a.to as usize) {
+            dist.set(a.to as usize, nd);
+            parent.set(a.to as usize, u);
+            let stored = if forward {
+                *a
+            } else {
+                // Store the real arc a.to → u in forward orientation.
+                HArc {
+                    to: u,
+                    dist: a.dist,
+                    middle: a.middle,
+                }
+            };
+            parc.set(a.to as usize, PArc::H(stored));
+            heap.push(Reverse((nd, a.to)));
+        }
+    }
+}
+
+/// Stall-on-demand (identical to the CH variant, on the AH hierarchy).
+fn stalled(idx: &AhIndex, u: NodeId, d: Dist, dist: &StampedVec<Dist>, forward: bool) -> bool {
+    let arcs = if forward {
+        idx.hierarchy.up_in(u)
+    } else {
+        idx.hierarchy.up_out(u)
+    };
+    for a in arcs {
+        let dw = dist.get(a.to as usize);
+        if !dw.is_infinite() && dw.concat(a.dist) < d {
+            return true;
+        }
+    }
+    false
+}
+
+/// Appends the original-edge expansion of one parent arc to `nodes`.
+/// For the forward side, `tail` is the arc's tail; for the backward side
+/// the stored arcs are already forward-oriented with `tail` = the current
+/// node walking toward `t`.
+fn unpack_parc(idx: &AhIndex, tail: NodeId, parc: PArc, forward: bool, nodes: &mut Vec<NodeId>) {
+    match parc {
+        PArc::None => unreachable!("unpacking a node without a parent arc"),
+        PArc::H(arc) => idx.hierarchy.unpack_arc(tail, &arc, nodes),
+        PArc::E(earc) => {
+            let side = if forward {
+                &idx.elevating.forward
+            } else {
+                &idx.elevating.backward
+            };
+            for (t, harc) in side.chain(&earc) {
+                idx.hierarchy.unpack_arc(*t, harc, nodes);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AhIndex, BuildConfig, QueryConfig};
+    use ah_search::{dijkstra_distance, dijkstra_path};
+
+    fn check_all_pairs(g: &ah_graph::Graph, idx: &AhIndex, cfg: QueryConfig, stride: usize) {
+        let mut q = AhQuery::with_config(cfg);
+        let n = g.num_nodes() as NodeId;
+        for s in (0..n).step_by(stride) {
+            for t in (0..n).step_by(stride) {
+                let want = dijkstra_distance(g, s, t);
+                let got = q.distance_full(idx, s, t);
+                assert_eq!(
+                    got, want,
+                    "distance ({s},{t}) with cfg {cfg:?}"
+                );
+                if let Some(want_path) = dijkstra_path(g, s, t) {
+                    let p = q.path(idx, s, t).expect("path exists");
+                    p.verify(g).unwrap();
+                    assert_eq!(p.dist, want_path.dist, "path ({s},{t})");
+                    assert_eq!(p.source(), s);
+                    assert_eq!(p.target(), t);
+                }
+            }
+        }
+    }
+
+    fn all_configs() -> Vec<QueryConfig> {
+        let mut v = Vec::new();
+        for proximity in [false, true] {
+            for elevating in [false, true] {
+                for stall in [false, true] {
+                    v.push(QueryConfig {
+                        proximity,
+                        elevating,
+                        stall_on_demand: stall,
+                    });
+                }
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn exhaustive_on_lattice() {
+        let g = ah_data::fixtures::lattice(7, 7, 16);
+        let idx = AhIndex::build(&g, &BuildConfig::default());
+        for cfg in all_configs() {
+            check_all_pairs(&g, &idx, cfg, 3);
+        }
+    }
+
+    #[test]
+    fn exhaustive_on_figure1() {
+        let g = ah_data::fixtures::figure1_like();
+        let idx = AhIndex::build(&g, &BuildConfig::default());
+        for cfg in all_configs() {
+            check_all_pairs(&g, &idx, cfg, 1);
+        }
+    }
+
+    #[test]
+    fn road_network_with_one_ways() {
+        let g = ah_data::hierarchical_grid(&ah_data::HierarchicalGridConfig {
+            width: 14,
+            height: 14,
+            one_way: 0.25,
+            seed: 21,
+            ..Default::default()
+        });
+        let idx = AhIndex::build(&g, &BuildConfig::default());
+        check_all_pairs(&g, &idx, QueryConfig::default(), 7);
+        check_all_pairs(
+            &g,
+            &idx,
+            QueryConfig {
+                proximity: true,
+                elevating: false,
+                stall_on_demand: false,
+            },
+            7,
+        );
+    }
+
+    #[test]
+    fn random_geometric_stress() {
+        let g = ah_data::random_geometric(90, 700, 150, 17);
+        let idx = AhIndex::build(&g, &BuildConfig::default());
+        check_all_pairs(&g, &idx, QueryConfig::default(), 5);
+    }
+
+    #[test]
+    fn ring_and_line() {
+        for g in [ah_data::fixtures::ring(16), ah_data::fixtures::line(24, 12)] {
+            let idx = AhIndex::build(&g, &BuildConfig::default());
+            check_all_pairs(&g, &idx, QueryConfig::default(), 1);
+        }
+    }
+
+    #[test]
+    fn build_config_ablations_stay_correct() {
+        let g = ah_data::hierarchical_grid(&ah_data::HierarchicalGridConfig {
+            width: 12,
+            height: 12,
+            seed: 5,
+            ..Default::default()
+        });
+        for vc in [false, true] {
+            for dg in [false, true] {
+                for el in [false, true] {
+                    let cfg = BuildConfig {
+                        vertex_cover_rank: vc,
+                        downgrade_non_cover: dg,
+                        elevating_edges: el,
+                        ..Default::default()
+                    };
+                    let idx = AhIndex::build(&g, &cfg);
+                    check_all_pairs(&g, &idx, QueryConfig::default(), 11);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_and_self() {
+        let mut b = ah_graph::GraphBuilder::new();
+        b.add_node(ah_graph::Point::new(0, 0));
+        b.add_node(ah_graph::Point::new(100, 100));
+        b.add_edge(0, 1, 9);
+        let g = b.build();
+        let idx = AhIndex::build(&g, &BuildConfig::default());
+        let mut q = AhQuery::new();
+        assert_eq!(q.distance(&idx, 0, 1), Some(9));
+        assert_eq!(q.distance(&idx, 1, 0), None);
+        assert!(q.path(&idx, 1, 0).is_none());
+        assert_eq!(q.distance(&idx, 1, 1), Some(0));
+    }
+}

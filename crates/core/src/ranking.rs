@@ -1,0 +1,274 @@
+//! Node ranking and selection (Section 4.4).
+//!
+//! Within every hierarchy level the shortcut construction needs a strict
+//! total order. The paper orders level-`i` cores by a greedy vertex cover
+//! of the pseudo-arterial edge graph `S_i` — hub nodes covering many
+//! arterial connections rank highest — and *downgrades* cores the cover
+//! never needed (their arterial edges are covered by the other endpoint,
+//! which keeps its level, so Lemma 3 stays intact). Level 0 uses a
+//! pseudo-random order.
+
+use ah_arterial::LevelAssignment;
+use ah_graph::NodeId;
+
+/// The strict total order on nodes.
+#[derive(Debug, Clone)]
+pub struct Ranking {
+    /// Final hierarchy level per node (after downgrading).
+    pub level: Vec<u8>,
+    /// Contraction order: `order[0]` contracted first (lowest rank).
+    pub order: Vec<NodeId>,
+    /// Rank per node (position in `order`).
+    pub rank: Vec<u32>,
+}
+
+/// Greedy max-degree vertex cover *sequence* over an edge list: repeatedly
+/// emits the node covering the most not-yet-covered edges (the classic
+/// linear-time O(log n)-approximation the paper cites). Returns the
+/// sequence `ξ`; every edge has at least one endpoint in it.
+pub fn greedy_cover_sequence(edges: &[(NodeId, NodeId)]) -> Vec<NodeId> {
+    use std::collections::HashMap;
+    if edges.is_empty() {
+        return Vec::new();
+    }
+    // Adjacency over the edge indices.
+    let mut incident: HashMap<NodeId, Vec<usize>> = HashMap::new();
+    for (i, &(a, b)) in edges.iter().enumerate() {
+        incident.entry(a).or_default().push(i);
+        if b != a {
+            incident.entry(b).or_default().push(i);
+        }
+    }
+    let mut covered = vec![false; edges.len()];
+    let mut degree: HashMap<NodeId, usize> = incident
+        .iter()
+        .map(|(&v, l)| (v, l.len()))
+        .collect();
+    // Bucket queue over degrees for O(E) total work.
+    let max_deg = degree.values().copied().max().unwrap_or(0);
+    let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); max_deg + 1];
+    for (&v, &d) in &degree {
+        buckets[d].push(v);
+    }
+    // Deterministic iteration: sort each bucket.
+    for b in &mut buckets {
+        b.sort_unstable();
+    }
+    let mut xi = Vec::new();
+    let mut remaining = edges.len();
+    let mut cur = max_deg;
+    while remaining > 0 {
+        // Find the highest non-empty bucket with an up-to-date entry.
+        while cur > 0 && buckets[cur].is_empty() {
+            cur -= 1;
+        }
+        let Some(v) = buckets[cur].pop() else {
+            break;
+        };
+        let d = *degree.get(&v).unwrap_or(&0);
+        if d != cur {
+            // Stale entry: reinsert at its true degree.
+            if d > 0 {
+                buckets[d].push(v);
+            }
+            continue;
+        }
+        if d == 0 {
+            continue;
+        }
+        xi.push(v);
+        // Cover v's uncovered edges; decrement the other endpoints.
+        let Some(edge_ids) = incident.get(&v) else {
+            continue;
+        };
+        for &ei in edge_ids {
+            if covered[ei] {
+                continue;
+            }
+            covered[ei] = true;
+            remaining -= 1;
+            let (a, b) = edges[ei];
+            for other in [a, b] {
+                if other == v {
+                    continue;
+                }
+                if let Some(dd) = degree.get_mut(&other) {
+                    if *dd > 0 {
+                        *dd -= 1;
+                        if *dd > 0 {
+                            buckets[*dd].push(other);
+                        }
+                    }
+                }
+            }
+        }
+        degree.insert(v, 0);
+    }
+    xi
+}
+
+/// SplitMix-style hash used for the pseudo-random level-0 order and as the
+/// global tie-break (deterministic across runs).
+fn hash_id(v: NodeId) -> u64 {
+    let mut z = (v as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives the strict total order from a [`LevelAssignment`]:
+/// `(level, in-level cover rank, hash tie-break)`, with optional
+/// downgrading of non-cover cores (processed top level first so cascades
+/// settle naturally).
+pub fn rank_nodes(
+    la: &LevelAssignment,
+    vertex_cover_rank: bool,
+    downgrade_non_cover: bool,
+) -> Ranking {
+    let n = la.level.len();
+    let h = la.h() as usize;
+    let mut level: Vec<u8> = la.level.clone();
+    // In-level rank; larger = more important. 0 = bottom of the level.
+    let mut in_level: Vec<u32> = vec![0; n];
+
+    if vertex_cover_rank {
+        for s in (1..=h).rev() {
+            let edges = &la.pseudo_arterial[s - 1];
+            let xi = greedy_cover_sequence(edges);
+            let mut pos: std::collections::HashMap<NodeId, u32> = std::collections::HashMap::new();
+            for (i, &v) in xi.iter().enumerate() {
+                pos.insert(v, i as u32);
+            }
+            let xi_len = xi.len() as u32;
+            for v in 0..n {
+                if level[v] as usize != s {
+                    continue;
+                }
+                match pos.get(&(v as NodeId)) {
+                    Some(&p) => in_level[v] = xi_len - p, // earlier ⇒ higher
+                    None => {
+                        if downgrade_non_cover && s >= 1 {
+                            level[v] = (s - 1) as u8;
+                            in_level[v] = 0;
+                        } else {
+                            in_level[v] = 0;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+    order.sort_unstable_by_key(|&v| {
+        (
+            level[v as usize],
+            in_level[v as usize],
+            hash_id(v),
+            v,
+        )
+    });
+    let mut rank = vec![0u32; n];
+    for (i, &v) in order.iter().enumerate() {
+        rank[v as usize] = i as u32;
+    }
+    Ranking { level, order, rank }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cover_sequence_prefers_hubs() {
+        // Star: center 0 touches 1..5 → cover = [0].
+        let edges: Vec<(u32, u32)> = (1..=5).map(|i| (0, i)).collect();
+        let xi = greedy_cover_sequence(&edges);
+        assert_eq!(xi, vec![0]);
+    }
+
+    #[test]
+    fn cover_sequence_covers_every_edge() {
+        let edges = vec![(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)];
+        let xi = greedy_cover_sequence(&edges);
+        let cover: std::collections::HashSet<u32> = xi.iter().copied().collect();
+        for &(a, b) in &edges {
+            assert!(cover.contains(&a) || cover.contains(&b), "({a},{b}) uncovered");
+        }
+    }
+
+    #[test]
+    fn cover_sequence_empty() {
+        assert!(greedy_cover_sequence(&[]).is_empty());
+    }
+
+    #[test]
+    fn cover_sequence_deterministic() {
+        let edges = vec![(0, 1), (2, 3), (4, 5), (1, 2)];
+        assert_eq!(greedy_cover_sequence(&edges), greedy_cover_sequence(&edges));
+    }
+
+    #[test]
+    fn ranking_is_level_monotone() {
+        let g = ah_data::fixtures::lattice(10, 10, 12);
+        let la = ah_arterial::assign_levels(&g, &Default::default());
+        let r = rank_nodes(&la, true, true);
+        // Ranks must sort primarily by (possibly downgraded) level.
+        for w in r.order.windows(2) {
+            assert!(r.level[w[0] as usize] <= r.level[w[1] as usize]);
+        }
+        // Permutation sanity.
+        let mut sorted = r.order.clone();
+        sorted.sort_unstable();
+        for (i, v) in sorted.iter().enumerate() {
+            assert_eq!(i as u32, *v);
+        }
+    }
+
+    #[test]
+    fn downgrading_only_lowers_levels() {
+        let g = ah_data::fixtures::lattice(10, 10, 12);
+        let la = ah_arterial::assign_levels(&g, &Default::default());
+        let with = rank_nodes(&la, true, true);
+        let without = rank_nodes(&la, true, false);
+        for v in 0..la.level.len() {
+            assert!(with.level[v] <= without.level[v]);
+            assert_eq!(without.level[v], la.level[v]);
+        }
+    }
+
+    #[test]
+    fn downgraded_edge_keeps_one_high_endpoint() {
+        // The safety property behind downgrading: every pseudo-arterial
+        // edge of stage s keeps at least one endpoint at level ≥ s.
+        let g = ah_data::hierarchical_grid(&ah_data::HierarchicalGridConfig {
+            width: 20,
+            height: 20,
+            seed: 3,
+            ..Default::default()
+        });
+        let la = ah_arterial::assign_levels(&g, &Default::default());
+        let r = rank_nodes(&la, true, true);
+        for (idx, edges) in la.pseudo_arterial.iter().enumerate() {
+            let s = (idx + 1) as u8;
+            for &(a, b) in edges {
+                assert!(
+                    r.level[a as usize] >= s || r.level[b as usize] >= s,
+                    "edge ({a},{b}) lost both endpoints below level {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hash_rank_without_cover() {
+        let g = ah_data::fixtures::lattice(6, 6, 12);
+        let la = ah_arterial::assign_levels(&g, &Default::default());
+        let r = rank_nodes(&la, false, false);
+        assert_eq!(r.level, la.level);
+        // Still a valid permutation sorted by level.
+        for w in r.order.windows(2) {
+            assert!(r.level[w[0] as usize] <= r.level[w[1] as usize]);
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Tiny deterministic graphs shared by unit tests across the workspace.
+
+use ah_graph::{Graph, GraphBuilder, Point};
+
+/// A bidirectional path `0 — 1 — … — (n-1)` with unit weights, laid out on
+/// the x-axis with the given spacing.
+pub fn line(n: u32, spacing: i32) -> Graph {
+    assert!(n >= 1);
+    let mut b = GraphBuilder::new();
+    for i in 0..n {
+        b.add_node(Point::new(i as i32 * spacing, 0));
+    }
+    for i in 0..n.saturating_sub(1) {
+        b.add_bidirectional_edge(i, i + 1, 1);
+    }
+    b.build()
+}
+
+/// A bidirectional ring of `n` nodes with unit weights, laid out on a
+/// square outline.
+pub fn ring(n: u32) -> Graph {
+    assert!(n >= 3);
+    let mut b = GraphBuilder::new();
+    for i in 0..n {
+        // Place on a coarse circle-ish square so coordinates are distinct.
+        let angle = (i as f64) / (n as f64) * std::f64::consts::TAU;
+        let x = (1000.0 * angle.cos()).round() as i32;
+        let y = (1000.0 * angle.sin()).round() as i32;
+        b.add_node(Point::new(x, y));
+    }
+    for i in 0..n {
+        b.add_bidirectional_edge(i, (i + 1) % n, 1);
+    }
+    b.build()
+}
+
+/// A `w × h` bidirectional unit-weight lattice with the given coordinate
+/// spacing; node `(x, y)` has id `y*w + x`.
+pub fn lattice(w: u32, h: u32, spacing: i32) -> Graph {
+    assert!(w >= 1 && h >= 1);
+    let mut b = GraphBuilder::new();
+    for y in 0..h {
+        for x in 0..w {
+            b.add_node(Point::new(x as i32 * spacing, y as i32 * spacing));
+        }
+    }
+    let id = |x: u32, y: u32| y * w + x;
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                b.add_bidirectional_edge(id(x, y), id(x + 1, y), 1);
+            }
+            if y + 1 < h {
+                b.add_bidirectional_edge(id(x, y), id(x, y + 1), 1);
+            }
+        }
+    }
+    b.build()
+}
+
+/// The running example in the spirit of the paper's Figure 1: a small
+/// two-weight network where a fast "arterial" loop connects two slow local
+/// clusters. Eleven nodes, bidirectional.
+pub fn figure1_like() -> Graph {
+    let mut b = GraphBuilder::new();
+    // Local cluster A (west) — slow streets.
+    let v1 = b.add_node(Point::new(0, 0));
+    let v2 = b.add_node(Point::new(0, 60));
+    let v5 = b.add_node(Point::new(20, 80));
+    let v9 = b.add_node(Point::new(30, 60));
+    let v11 = b.add_node(Point::new(20, 10));
+    // Local cluster B (east).
+    let v3 = b.add_node(Point::new(120, 70));
+    let v4 = b.add_node(Point::new(120, 0));
+    let v8 = b.add_node(Point::new(100, 70));
+    // Arterial spine.
+    let v6 = b.add_node(Point::new(55, 65));
+    let v10 = b.add_node(Point::new(75, 55));
+    let v7 = b.add_node(Point::new(60, 10));
+    for (a, c, w) in [
+        (v1, v2, 2),
+        (v1, v11, 1),
+        (v2, v9, 2),
+        (v5, v9, 1),
+        (v5, v6, 2),
+        (v9, v6, 1),
+        (v9, v11, 2),
+        (v6, v10, 1),
+        (v10, v8, 1),
+        (v8, v3, 2),
+        (v3, v4, 2),
+        (v4, v7, 1),
+        (v7, v10, 2),
+        (v7, v11, 1),
+    ] {
+        b.add_bidirectional_edge(a, c, w);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ah_graph::strongly_connected_components;
+
+    #[test]
+    fn line_shape() {
+        let g = line(5, 10);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 8);
+        assert_eq!(g.edge_weight(0, 1), Some(1));
+        assert_eq!(g.edge_weight(0, 2), None);
+    }
+
+    #[test]
+    fn ring_is_strongly_connected() {
+        let g = ring(8);
+        let (_, c) = strongly_connected_components(&g);
+        assert_eq!(c, 1);
+        assert_eq!(g.num_edges(), 16);
+    }
+
+    #[test]
+    fn lattice_shape() {
+        let g = lattice(3, 4, 5);
+        assert_eq!(g.num_nodes(), 12);
+        // Horizontal: 2×4, vertical: 3×3, each bidirectional.
+        assert_eq!(g.num_edges(), 2 * (2 * 4 + 3 * 3));
+    }
+
+    #[test]
+    fn figure1_like_is_connected_and_bidirectional() {
+        let g = figure1_like();
+        assert_eq!(g.num_nodes(), 11);
+        let (_, c) = strongly_connected_components(&g);
+        assert_eq!(c, 1);
+        for (u, a) in g.edges() {
+            assert_eq!(g.edge_weight(a.head, u), Some(a.weight));
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Dataset substrate: synthetic road networks, DIMACS I/O, fixtures.
+//!
+//! The paper evaluates on ten US road networks from the 9th DIMACS
+//! implementation challenge (48K–24M nodes, travel-time weights). Those
+//! files are not bundled here, so this crate provides:
+//!
+//! * [`synthetic::hierarchical_grid`] — a deterministic generator of
+//!   road-*like* networks: a jittered lattice whose rows/columns are
+//!   organized into speed tiers (local / collector / arterial / highway),
+//!   with random street removals and one-way conversions. The tiered
+//!   structure gives the networks the property the paper's machinery
+//!   depends on — a small *arterial dimension* (few fast through-roads
+//!   cross any bisector) — so every experiment exercises the same code
+//!   paths as the real data.
+//! * [`synthetic::random_geometric`] — an unstructured geometric graph used
+//!   as an adversarial fixture in tests.
+//! * [`dimacs`] — readers/writers for the challenge's `.gr`/`.co` formats,
+//!   so the real datasets drop in unchanged when available.
+//! * [`registry`] — the named dataset family `S0..S9` mirroring Table 2 at
+//!   container scale.
+//! * [`fixtures`] — tiny deterministic graphs shared by unit tests across
+//!   the workspace.
+
+pub mod dimacs;
+pub mod fixtures;
+pub mod registry;
+pub mod synthetic;
+
+pub use registry::{DatasetSpec, REGISTRY};
+pub use synthetic::{hierarchical_grid, random_geometric, HierarchicalGridConfig};

@@ -1,0 +1,105 @@
+//! The dataset family mirroring the paper's Table 2 at container scale.
+//!
+//! The paper's ten datasets range from Delaware (48,812 nodes) to the full
+//! US (23,947,347 nodes). We mirror the family with ten synthetic networks
+//! `S0..S9` whose sizes double from ~1K to ~260K nodes — large enough to
+//! show every asymptotic trend on one machine, small enough to rebuild all
+//! indices in a benchmark run. Each spec names the paper dataset it stands
+//! in for.
+
+use ah_graph::Graph;
+
+use crate::synthetic::{hierarchical_grid, HierarchicalGridConfig};
+
+/// A named synthetic dataset standing in for one of the paper's networks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DatasetSpec {
+    /// Registry name (`"S0"` …).
+    pub name: &'static str,
+    /// The Table 2 dataset this one mirrors.
+    pub mirrors: &'static str,
+    /// Lattice width (intersections).
+    pub width: u32,
+    /// Lattice height (intersections).
+    pub height: u32,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// Approximate node count (before SCC trimming).
+    pub fn approx_nodes(&self) -> usize {
+        self.width as usize * self.height as usize
+    }
+
+    /// Generates the dataset.
+    pub fn build(&self) -> Graph {
+        hierarchical_grid(&HierarchicalGridConfig {
+            width: self.width,
+            height: self.height,
+            seed: self.seed,
+            ..Default::default()
+        })
+    }
+}
+
+/// The ten-dataset family (Table 2 analogue).
+///
+/// Sizes double up to S6 and grow by √2 beyond, topping out at ~190K
+/// nodes: large enough that every asymptotic trend of Section 6 is visible
+/// on commodity hardware, small enough that all indices (including AH's
+/// `O(hn²)` worst-case preprocessing) can be built in one benchmarking
+/// session. The figure binaries default to S0..S5 and take `--through SN`
+/// for the larger networks.
+pub const REGISTRY: [DatasetSpec; 10] = [
+    DatasetSpec { name: "S0", mirrors: "DE", width: 32, height: 32, seed: 101 },
+    DatasetSpec { name: "S1", mirrors: "NH", width: 45, height: 45, seed: 102 },
+    DatasetSpec { name: "S2", mirrors: "ME", width: 64, height: 64, seed: 103 },
+    DatasetSpec { name: "S3", mirrors: "CO", width: 91, height: 91, seed: 104 },
+    DatasetSpec { name: "S4", mirrors: "FL", width: 128, height: 128, seed: 105 },
+    DatasetSpec { name: "S5", mirrors: "CA", width: 181, height: 181, seed: 106 },
+    DatasetSpec { name: "S6", mirrors: "E-US", width: 256, height: 256, seed: 107 },
+    DatasetSpec { name: "S7", mirrors: "W-US", width: 304, height: 304, seed: 108 },
+    DatasetSpec { name: "S8", mirrors: "C-US", width: 362, height: 362, seed: 109 },
+    DatasetSpec { name: "S9", mirrors: "US", width: 431, height: 431, seed: 110 },
+];
+
+/// Looks a dataset up by name.
+pub fn by_name(name: &str) -> Option<&'static DatasetSpec> {
+    REGISTRY.iter().find(|d| d.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_grows_monotonically() {
+        for w in REGISTRY.windows(2) {
+            let ratio = w[1].approx_nodes() as f64 / w[0].approx_nodes() as f64;
+            assert!((1.3..=2.3).contains(&ratio), "ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(by_name("S3").unwrap().mirrors, "CO");
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn smallest_dataset_builds() {
+        let g = REGISTRY[0].build();
+        let n = g.num_nodes();
+        assert!(n > 800 && n <= 1024, "n = {n}");
+        assert!(g.num_edges() > n); // road networks have m ≈ 2.5n
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = REGISTRY.iter().map(|d| d.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), REGISTRY.len());
+    }
+}

@@ -1,0 +1,218 @@
+//! Mutable construction of [`Graph`]s.
+
+use crate::dist::edge_nuance;
+use crate::graph::{Arc, Graph};
+use crate::point::Point;
+use crate::{NodeId, Weight};
+
+/// Accumulates nodes and edges, then freezes them into a CSR [`Graph`].
+///
+/// * Self-loops are dropped (they can never lie on a shortest path with
+///   positive weights).
+/// * Parallel edges are deduplicated keeping the smallest weight.
+/// * Zero weights are clamped to 1, preserving the paper's "positive weight"
+///   precondition even for sloppy inputs.
+#[derive(Debug, Default, Clone)]
+pub struct GraphBuilder {
+    coords: Vec<Point>,
+    edges: Vec<(NodeId, NodeId, Weight)>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder with capacity reserved for `nodes` nodes and
+    /// `edges` directed edges.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        GraphBuilder {
+            coords: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Adds a node at `p`, returning its id.
+    pub fn add_node(&mut self, p: Point) -> NodeId {
+        let id = self.coords.len() as NodeId;
+        self.coords.push(p);
+        id
+    }
+
+    /// Number of nodes added so far.
+    pub fn num_nodes(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Coordinate of an already-added node.
+    ///
+    /// # Panics
+    /// Panics if `v` has not been added.
+    pub fn coord(&self, v: NodeId) -> Point {
+        self.coords[v as usize]
+    }
+
+    /// Number of (not yet deduplicated) directed edges added so far.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds the directed edge `tail → head` with weight `w`.
+    ///
+    /// # Panics
+    /// Panics if either endpoint has not been added.
+    pub fn add_edge(&mut self, tail: NodeId, head: NodeId, w: Weight) {
+        assert!(
+            (tail as usize) < self.coords.len() && (head as usize) < self.coords.len(),
+            "edge ({tail}, {head}) references an unknown node"
+        );
+        if tail == head {
+            return; // self-loop: never on a shortest path
+        }
+        self.edges.push((tail, head, w.max(1)));
+    }
+
+    /// Adds both `a → b` and `b → a` with the same weight (road networks in
+    /// the paper's datasets are bidirectional).
+    pub fn add_bidirectional_edge(&mut self, a: NodeId, b: NodeId, w: Weight) {
+        self.add_edge(a, b, w);
+        self.add_edge(b, a, w);
+    }
+
+    /// Freezes into an immutable CSR graph.
+    pub fn build(mut self) -> Graph {
+        let n = self.coords.len();
+
+        // Sort and deduplicate, keeping the lightest parallel edge.
+        self.edges
+            .sort_unstable_by_key(|&(t, h, w)| (t, h, w));
+        self.edges.dedup_by_key(|&mut (t, h, _)| (t, h));
+
+        let m = self.edges.len();
+        let mut out_offsets = vec![0u32; n + 1];
+        let mut in_offsets = vec![0u32; n + 1];
+        for &(t, h, _) in &self.edges {
+            out_offsets[t as usize + 1] += 1;
+            in_offsets[h as usize + 1] += 1;
+        }
+        for i in 0..n {
+            out_offsets[i + 1] += out_offsets[i];
+            in_offsets[i + 1] += in_offsets[i];
+        }
+
+        let dummy = Arc {
+            head: 0,
+            weight: 0,
+            nuance: 0,
+        };
+        let mut out_arcs = vec![dummy; m];
+        let mut in_arcs = vec![dummy; m];
+        let mut out_cursor = out_offsets.clone();
+        let mut in_cursor = in_offsets.clone();
+        for &(t, h, w) in &self.edges {
+            let nu = edge_nuance(t, h, w) as u32;
+            out_arcs[out_cursor[t as usize] as usize] = Arc {
+                head: h,
+                weight: w,
+                nuance: nu,
+            };
+            out_cursor[t as usize] += 1;
+            in_arcs[in_cursor[h as usize] as usize] = Arc {
+                head: t,
+                weight: w,
+                nuance: nu,
+            };
+            in_cursor[h as usize] += 1;
+        }
+
+        Graph::from_parts(out_offsets, out_arcs, in_offsets, in_arcs, self.coords)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_loops_dropped() {
+        let mut b = GraphBuilder::new();
+        let v = b.add_node(Point::new(0, 0));
+        b.add_edge(v, v, 5);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn parallel_edges_keep_minimum() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(Point::new(0, 0));
+        let c = b.add_node(Point::new(1, 0));
+        b.add_edge(a, c, 9);
+        b.add_edge(a, c, 3);
+        b.add_edge(a, c, 7);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edge_weight(a, c), Some(3));
+    }
+
+    #[test]
+    fn zero_weight_clamped_to_one() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(Point::new(0, 0));
+        let c = b.add_node(Point::new(1, 0));
+        b.add_edge(a, c, 0);
+        let g = b.build();
+        assert_eq!(g.edge_weight(a, c), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node")]
+    fn unknown_endpoint_panics() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(Point::new(0, 0));
+        b.add_edge(a, 99, 1);
+    }
+
+    #[test]
+    fn bidirectional_adds_both_arcs() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(Point::new(0, 0));
+        let c = b.add_node(Point::new(1, 0));
+        b.add_bidirectional_edge(a, c, 4);
+        let g = b.build();
+        assert_eq!(g.edge_weight(a, c), Some(4));
+        assert_eq!(g.edge_weight(c, a), Some(4));
+    }
+
+    #[test]
+    fn deterministic_build() {
+        let mk = || {
+            let mut b = GraphBuilder::new();
+            for i in 0..10 {
+                b.add_node(Point::new(i, -i));
+            }
+            for i in 0..9u32 {
+                b.add_bidirectional_edge(i, i + 1, i + 1);
+            }
+            b.build()
+        };
+        let g1 = mk();
+        let g2 = mk();
+        for v in g1.node_ids() {
+            assert_eq!(g1.out_edges(v), g2.out_edges(v));
+        }
+    }
+
+    #[test]
+    fn with_capacity_builds_same_graph() {
+        let mut b = GraphBuilder::with_capacity(2, 2);
+        let a = b.add_node(Point::new(0, 0));
+        let c = b.add_node(Point::new(5, 5));
+        b.add_edge(a, c, 2);
+        assert_eq!(b.num_nodes(), 2);
+        assert_eq!(b.num_edges(), 1);
+        let g = b.build();
+        assert_eq!(g.num_nodes(), 2);
+    }
+}

@@ -1,0 +1,150 @@
+//! Lexicographic distance with nuance tie-breaking (paper Appendix A).
+//!
+//! The paper's correctness arguments assume *unique* local shortest paths
+//! (Assumption 2) and enforce the assumption by attaching a random integer
+//! *nuance* `ρ(e)` to every edge: two paths of equal length are ordered by
+//! total nuance. [`Dist`] realizes this as the pair `(length, nuance)` under
+//! lexicographic order. All internal shortest-path computations in the
+//! workspace run on `Dist`; public query results report only
+//! [`Dist::length`], so perturbation never changes an answer, only which of
+//! several equal-length paths is considered canonical.
+
+/// A path length with nuance tie-break. Ordered lexicographically by
+/// `(length, nuance)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Dist {
+    /// Sum of edge weights along the path.
+    pub length: u64,
+    /// Sum of edge nuances along the path (Appendix A's ρ).
+    pub nuance: u64,
+}
+
+/// The unreachable distance.
+pub const INFINITY: Dist = Dist {
+    length: u64::MAX,
+    nuance: u64::MAX,
+};
+
+impl Dist {
+    /// The zero distance (a path of no edges).
+    pub const ZERO: Dist = Dist {
+        length: 0,
+        nuance: 0,
+    };
+
+    /// Creates a distance from explicit components.
+    pub const fn new(length: u64, nuance: u64) -> Self {
+        Dist { length, nuance }
+    }
+
+    /// True if this is the unreachable sentinel.
+    pub fn is_infinite(&self) -> bool {
+        self.length == u64::MAX
+    }
+
+    /// Extends the path by one edge of weight `w` and nuance `nu`.
+    /// Saturates instead of overflowing so `INFINITY + e == INFINITY`.
+    #[inline]
+    pub fn step(self, w: u64, nu: u64) -> Dist {
+        Dist {
+            length: self.length.saturating_add(w),
+            nuance: self.nuance.saturating_add(nu),
+        }
+    }
+
+    /// Concatenates two path distances.
+    #[inline]
+    pub fn concat(self, other: Dist) -> Dist {
+        self.step(other.length, other.nuance)
+    }
+}
+
+impl std::fmt::Display for Dist {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_infinite() {
+            write!(f, "∞")
+        } else {
+            write!(f, "{}", self.length)
+        }
+    }
+}
+
+/// Deterministic pseudo-random nuance for an edge, derived from its
+/// endpoints and weight with a SplitMix64-style mixer. Using a hash instead
+/// of an RNG keeps graph construction reproducible and dependency-free while
+/// retaining the "random integer per edge" behaviour of Appendix A.
+pub(crate) fn edge_nuance(tail: u32, head: u32, weight: u32) -> u64 {
+    let mut z = ((tail as u64) << 32 | head as u64) ^ ((weight as u64) << 17);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    // Keep nuances small (< 2^24) so that even paths with 2^40 edges cannot
+    // overflow the u64 nuance accumulator.
+    z & 0x00FF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexicographic_order() {
+        let a = Dist::new(5, 100);
+        let b = Dist::new(5, 101);
+        let c = Dist::new(6, 0);
+        assert!(a < b);
+        assert!(b < c);
+        assert!(a < c);
+        assert!(a < INFINITY);
+    }
+
+    #[test]
+    fn step_accumulates_both_components() {
+        let d = Dist::ZERO.step(10, 3).step(5, 7);
+        assert_eq!(d, Dist::new(15, 10));
+    }
+
+    #[test]
+    fn infinity_saturates() {
+        assert_eq!(INFINITY.step(1, 1), INFINITY);
+        assert!(INFINITY.is_infinite());
+        assert!(!Dist::ZERO.is_infinite());
+    }
+
+    #[test]
+    fn concat_matches_repeated_step() {
+        let a = Dist::new(3, 4);
+        let b = Dist::new(5, 6);
+        assert_eq!(a.concat(b), Dist::new(8, 10));
+    }
+
+    #[test]
+    fn nuance_is_deterministic_and_bounded() {
+        let n1 = edge_nuance(1, 2, 10);
+        let n2 = edge_nuance(1, 2, 10);
+        assert_eq!(n1, n2);
+        assert!(n1 < 1 << 24);
+        // Direction matters: the reverse edge gets an independent nuance.
+        assert_ne!(edge_nuance(1, 2, 10), edge_nuance(2, 1, 10));
+    }
+
+    #[test]
+    fn nuances_spread_out() {
+        // A weak sanity check that the mixer does not collapse: 1000 edges
+        // should produce (almost) 1000 distinct nuances.
+        let mut seen = std::collections::HashSet::new();
+        for t in 0..100u32 {
+            for h in 0..10u32 {
+                seen.insert(edge_nuance(t, h, t + h));
+            }
+        }
+        assert!(seen.len() > 990, "only {} distinct nuances", seen.len());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Dist::new(42, 7).to_string(), "42");
+        assert_eq!(INFINITY.to_string(), "∞");
+    }
+}

@@ -1,0 +1,258 @@
+//! The immutable CSR road-network graph.
+
+use crate::point::{BoundingBox, Point};
+use crate::{NodeId, Weight};
+
+/// A directed edge as stored in an adjacency array: the endpoint it leads to
+/// plus its weight and nuance (Appendix A tie-break value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arc {
+    /// Endpoint of the arc: the head for forward adjacency, the tail for
+    /// backward adjacency.
+    pub head: NodeId,
+    /// Positive edge weight (travel time).
+    pub weight: Weight,
+    /// Nuance used for lexicographic tie-breaking; see [`crate::Dist`].
+    pub nuance: u32,
+}
+
+/// A directed, coordinate-embedded road network in compressed-sparse-row
+/// form with both forward and backward adjacency.
+///
+/// Construct with [`crate::GraphBuilder`]. The structure is immutable; index
+/// structures (FC/AH/CH/SILC) reference it by shared borrow or `Arc`.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    out_offsets: Vec<u32>,
+    out_arcs: Vec<Arc>,
+    in_offsets: Vec<u32>,
+    in_arcs: Vec<Arc>,
+    coords: Vec<Point>,
+}
+
+impl Graph {
+    pub(crate) fn from_parts(
+        out_offsets: Vec<u32>,
+        out_arcs: Vec<Arc>,
+        in_offsets: Vec<u32>,
+        in_arcs: Vec<Arc>,
+        coords: Vec<Point>,
+    ) -> Self {
+        debug_assert_eq!(out_offsets.len(), coords.len() + 1);
+        debug_assert_eq!(in_offsets.len(), coords.len() + 1);
+        debug_assert_eq!(out_arcs.len(), in_arcs.len());
+        Graph {
+            out_offsets,
+            out_arcs,
+            in_offsets,
+            in_arcs,
+            coords,
+        }
+    }
+
+    /// Number of nodes `n`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Number of directed edges `m`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.out_arcs.len()
+    }
+
+    /// Arcs leaving `v`.
+    #[inline]
+    pub fn out_edges(&self, v: NodeId) -> &[Arc] {
+        let lo = self.out_offsets[v as usize] as usize;
+        let hi = self.out_offsets[v as usize + 1] as usize;
+        &self.out_arcs[lo..hi]
+    }
+
+    /// Arcs entering `v`; each returned [`Arc::head`] is the *tail* of the
+    /// original edge.
+    #[inline]
+    pub fn in_edges(&self, v: NodeId) -> &[Arc] {
+        let lo = self.in_offsets[v as usize] as usize;
+        let hi = self.in_offsets[v as usize + 1] as usize;
+        &self.in_arcs[lo..hi]
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.out_edges(v).len()
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.in_edges(v).len()
+    }
+
+    /// Planar position of `v`.
+    #[inline]
+    pub fn coord(&self, v: NodeId) -> Point {
+        self.coords[v as usize]
+    }
+
+    /// All node coordinates, indexed by [`NodeId`].
+    #[inline]
+    pub fn coords(&self) -> &[Point] {
+        &self.coords
+    }
+
+    /// Iterator over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.num_nodes() as NodeId
+    }
+
+    /// Iterator over all directed edges as `(tail, arc)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, Arc)> + '_ {
+        self.node_ids()
+            .flat_map(move |v| self.out_edges(v).iter().map(move |&a| (v, a)))
+    }
+
+    /// Weight of the edge `(u, v)` if present (the minimum if parallel edges
+    /// survived deduplication, which the builder prevents).
+    pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<Weight> {
+        self.out_edges(u)
+            .iter()
+            .find(|a| a.head == v)
+            .map(|a| a.weight)
+    }
+
+    /// Bounding box of all node coordinates.
+    pub fn bounding_box(&self) -> BoundingBox {
+        BoundingBox::of(self.coords.iter().copied())
+    }
+
+    /// Maximum of in- and out-degree over all nodes (the paper assumes this
+    /// is bounded by a constant).
+    pub fn max_degree(&self) -> usize {
+        self.node_ids()
+            .map(|v| self.out_degree(v).max(self.in_degree(v)))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Approximate heap footprint of the CSR arrays, for Figure 10a style
+    /// accounting.
+    pub fn size_bytes(&self) -> usize {
+        self.out_offsets.len() * std::mem::size_of::<u32>()
+            + self.in_offsets.len() * std::mem::size_of::<u32>()
+            + (self.out_arcs.len() + self.in_arcs.len()) * std::mem::size_of::<Arc>()
+            + self.coords.len() * std::mem::size_of::<Point>()
+    }
+
+    /// True if every node can reach every other node ignoring edge
+    /// direction. (Strong connectivity is checked by
+    /// [`crate::strongly_connected_components`].)
+    pub fn is_weakly_connected(&self) -> bool {
+        let n = self.num_nodes();
+        if n == 0 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0 as NodeId];
+        seen[0] = true;
+        let mut count = 1usize;
+        while let Some(v) = stack.pop() {
+            for a in self.out_edges(v).iter().chain(self.in_edges(v)) {
+                if !seen[a.head as usize] {
+                    seen[a.head as usize] = true;
+                    count += 1;
+                    stack.push(a.head);
+                }
+            }
+        }
+        count == n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{GraphBuilder, Point};
+
+    fn diamond() -> crate::Graph {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3
+        let mut b = GraphBuilder::new();
+        for i in 0..4 {
+            b.add_node(Point::new(i, i));
+        }
+        b.add_edge(0, 1, 1);
+        b.add_edge(1, 3, 2);
+        b.add_edge(0, 2, 3);
+        b.add_edge(2, 3, 4);
+        b.build()
+    }
+
+    #[test]
+    fn csr_adjacency_roundtrip() {
+        let g = diamond();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        let heads: Vec<_> = g.out_edges(0).iter().map(|a| a.head).collect();
+        assert_eq!(heads, vec![1, 2]);
+        let tails: Vec<_> = g.in_edges(3).iter().map(|a| a.head).collect();
+        assert_eq!(tails, vec![1, 2]);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(0), 0);
+        assert_eq!(g.in_degree(3), 2);
+    }
+
+    #[test]
+    fn edge_weight_lookup() {
+        let g = diamond();
+        assert_eq!(g.edge_weight(0, 1), Some(1));
+        assert_eq!(g.edge_weight(2, 3), Some(4));
+        assert_eq!(g.edge_weight(3, 0), None);
+    }
+
+    #[test]
+    fn edges_iterator_counts_all() {
+        let g = diamond();
+        assert_eq!(g.edges().count(), 4);
+        let total: u64 = g.edges().map(|(_, a)| a.weight as u64).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn forward_and_backward_arcs_agree() {
+        let g = diamond();
+        for (tail, arc) in g.edges() {
+            assert!(g
+                .in_edges(arc.head)
+                .iter()
+                .any(|b| b.head == tail && b.weight == arc.weight && b.nuance == arc.nuance));
+        }
+    }
+
+    #[test]
+    fn weak_connectivity() {
+        let g = diamond();
+        assert!(g.is_weakly_connected());
+
+        let mut b = GraphBuilder::new();
+        b.add_node(Point::new(0, 0));
+        b.add_node(Point::new(1, 1));
+        let g2 = b.build();
+        assert!(!g2.is_weakly_connected());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.is_weakly_connected());
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn size_accounting_positive() {
+        let g = diamond();
+        assert!(g.size_bytes() > 0);
+    }
+}

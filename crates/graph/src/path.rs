@@ -1,0 +1,118 @@
+//! Concrete shortest paths returned by path queries.
+
+use crate::graph::Graph;
+use crate::{Dist, NodeId};
+
+/// A path through the original road network: the node sequence plus the
+/// (nuance-tagged) total distance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Path {
+    /// Node sequence `s = nodes[0], …, nodes[k] = t`. A single-element
+    /// sequence is the trivial path from a node to itself.
+    pub nodes: Vec<NodeId>,
+    /// Total distance of the path.
+    pub dist: Dist,
+}
+
+impl Path {
+    /// The trivial zero-length path at `v`.
+    pub fn trivial(v: NodeId) -> Self {
+        Path {
+            nodes: vec![v],
+            dist: Dist::ZERO,
+        }
+    }
+
+    /// Number of edges on the path (the paper's `k`).
+    pub fn num_edges(&self) -> usize {
+        self.nodes.len().saturating_sub(1)
+    }
+
+    /// Source node.
+    pub fn source(&self) -> NodeId {
+        *self.nodes.first().expect("paths are non-empty")
+    }
+
+    /// Target node.
+    pub fn target(&self) -> NodeId {
+        *self.nodes.last().expect("paths are non-empty")
+    }
+
+    /// Checks that every consecutive pair is a real edge of `g` and that the
+    /// recorded length equals the sum of edge weights. Used pervasively by
+    /// tests; `Err` carries a human-readable reason.
+    pub fn verify(&self, g: &Graph) -> Result<(), String> {
+        if self.nodes.is_empty() {
+            return Err("empty node sequence".into());
+        }
+        let mut total = 0u64;
+        for w in self.nodes.windows(2) {
+            let (u, v) = (w[0], w[1]);
+            match g.edge_weight(u, v) {
+                Some(wt) => total += wt as u64,
+                None => return Err(format!("({u}, {v}) is not an edge")),
+            }
+        }
+        if total != self.dist.length {
+            return Err(format!(
+                "recorded length {} but edges sum to {total}",
+                self.dist.length
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GraphBuilder, Point};
+
+    fn line() -> Graph {
+        let mut b = GraphBuilder::new();
+        for i in 0..3 {
+            b.add_node(Point::new(i, 0));
+        }
+        b.add_edge(0, 1, 2);
+        b.add_edge(1, 2, 3);
+        b.build()
+    }
+
+    #[test]
+    fn trivial_path() {
+        let p = Path::trivial(5);
+        assert_eq!(p.num_edges(), 0);
+        assert_eq!(p.source(), 5);
+        assert_eq!(p.target(), 5);
+    }
+
+    #[test]
+    fn verify_accepts_valid_path() {
+        let g = line();
+        let p = Path {
+            nodes: vec![0, 1, 2],
+            dist: Dist::new(5, 0),
+        };
+        assert!(p.verify(&g).is_ok());
+    }
+
+    #[test]
+    fn verify_rejects_missing_edge() {
+        let g = line();
+        let p = Path {
+            nodes: vec![0, 2],
+            dist: Dist::new(5, 0),
+        };
+        assert!(p.verify(&g).unwrap_err().contains("not an edge"));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_length() {
+        let g = line();
+        let p = Path {
+            nodes: vec![0, 1, 2],
+            dist: Dist::new(4, 0),
+        };
+        assert!(p.verify(&g).unwrap_err().contains("edges sum"));
+    }
+}

@@ -1,0 +1,161 @@
+//! Planar coordinates and bounding boxes.
+//!
+//! The paper's grids are defined over the L∞ geometry of node coordinates;
+//! `dmax`/`dmin` in the `h ≤ log2(dmax/dmin) − 1` bound are L∞ distances.
+
+/// A node position in the plane. Coordinates follow the DIMACS convention of
+/// signed integers (the challenge data stores micro-degrees).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Point {
+    pub x: i32,
+    pub y: i32,
+}
+
+impl Point {
+    /// Creates a point at `(x, y)`.
+    pub const fn new(x: i32, y: i32) -> Self {
+        Point { x, y }
+    }
+
+    /// L∞ (Chebyshev) distance to `other`, the metric the grid hierarchy is
+    /// defined on.
+    pub fn linf_distance(&self, other: &Point) -> u64 {
+        let dx = (self.x as i64 - other.x as i64).unsigned_abs();
+        let dy = (self.y as i64 - other.y as i64).unsigned_abs();
+        dx.max(dy)
+    }
+
+    /// Squared Euclidean distance; used only for nearest-neighbour style
+    /// lookups in examples, never for correctness-relevant geometry.
+    pub fn l2_squared(&self, other: &Point) -> u64 {
+        let dx = (self.x as i64 - other.x as i64).unsigned_abs();
+        let dy = (self.y as i64 - other.y as i64).unsigned_abs();
+        dx * dx + dy * dy
+    }
+}
+
+/// Axis-aligned bounding box of a set of points. `max_x`/`max_y` are
+/// inclusive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundingBox {
+    pub min_x: i32,
+    pub min_y: i32,
+    pub max_x: i32,
+    pub max_y: i32,
+}
+
+impl BoundingBox {
+    /// The empty bounding box; extending it with any point yields that point.
+    pub const EMPTY: BoundingBox = BoundingBox {
+        min_x: i32::MAX,
+        min_y: i32::MAX,
+        max_x: i32::MIN,
+        max_y: i32::MIN,
+    };
+
+    /// Computes the bounding box of an iterator of points. Returns
+    /// [`BoundingBox::EMPTY`] for an empty iterator.
+    pub fn of(points: impl IntoIterator<Item = Point>) -> Self {
+        let mut bb = Self::EMPTY;
+        for p in points {
+            bb.extend(p);
+        }
+        bb
+    }
+
+    /// Grows the box to contain `p`.
+    pub fn extend(&mut self, p: Point) {
+        self.min_x = self.min_x.min(p.x);
+        self.min_y = self.min_y.min(p.y);
+        self.max_x = self.max_x.max(p.x);
+        self.max_y = self.max_y.max(p.y);
+    }
+
+    /// True if no point has been added.
+    pub fn is_empty(&self) -> bool {
+        self.min_x > self.max_x
+    }
+
+    /// True if `p` lies inside the box (inclusive).
+    pub fn contains(&self, p: Point) -> bool {
+        !self.is_empty()
+            && p.x >= self.min_x
+            && p.x <= self.max_x
+            && p.y >= self.min_y
+            && p.y <= self.max_y
+    }
+
+    /// Width of the box (`0` for a single column of points).
+    pub fn width(&self) -> u64 {
+        debug_assert!(!self.is_empty());
+        (self.max_x as i64 - self.min_x as i64) as u64
+    }
+
+    /// Height of the box.
+    pub fn height(&self) -> u64 {
+        debug_assert!(!self.is_empty());
+        (self.max_y as i64 - self.min_y as i64) as u64
+    }
+
+    /// Side of the smallest enclosing square, i.e. `max(width, height)`.
+    pub fn square_side(&self) -> u64 {
+        self.width().max(self.height())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linf_distance_is_chebyshev() {
+        let a = Point::new(0, 0);
+        assert_eq!(a.linf_distance(&Point::new(3, -4)), 4);
+        assert_eq!(a.linf_distance(&Point::new(-7, 2)), 7);
+        assert_eq!(a.linf_distance(&a), 0);
+    }
+
+    #[test]
+    fn linf_distance_handles_extremes_without_overflow() {
+        let a = Point::new(i32::MIN, i32::MIN);
+        let b = Point::new(i32::MAX, i32::MAX);
+        assert_eq!(a.linf_distance(&b), u32::MAX as u64);
+    }
+
+    #[test]
+    fn bounding_box_of_points() {
+        let bb = BoundingBox::of([Point::new(1, 5), Point::new(-3, 2), Point::new(4, -1)]);
+        assert_eq!(bb.min_x, -3);
+        assert_eq!(bb.max_x, 4);
+        assert_eq!(bb.min_y, -1);
+        assert_eq!(bb.max_y, 5);
+        assert_eq!(bb.width(), 7);
+        assert_eq!(bb.height(), 6);
+        assert_eq!(bb.square_side(), 7);
+    }
+
+    #[test]
+    fn empty_bounding_box() {
+        let bb = BoundingBox::of([]);
+        assert!(bb.is_empty());
+        assert!(!bb.contains(Point::new(0, 0)));
+    }
+
+    #[test]
+    fn contains_is_inclusive() {
+        let bb = BoundingBox::of([Point::new(0, 0), Point::new(10, 10)]);
+        assert!(bb.contains(Point::new(0, 0)));
+        assert!(bb.contains(Point::new(10, 10)));
+        assert!(bb.contains(Point::new(5, 5)));
+        assert!(!bb.contains(Point::new(11, 5)));
+        assert!(!bb.contains(Point::new(5, -1)));
+    }
+
+    #[test]
+    fn single_point_box() {
+        let bb = BoundingBox::of([Point::new(3, 3)]);
+        assert_eq!(bb.width(), 0);
+        assert_eq!(bb.square_side(), 0);
+        assert!(bb.contains(Point::new(3, 3)));
+    }
+}

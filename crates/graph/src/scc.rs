@@ -1,0 +1,205 @@
+//! Strongly connected components (iterative Tarjan) and SCC condensation.
+//!
+//! The paper assumes a connected network. Real DIMACS data and synthetic
+//! generators can leave stray weakly-connected fringes; restricting to the
+//! largest SCC is the standard preprocessing step shared by all methods.
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use crate::NodeId;
+
+/// Computes the strongly connected components of `g`. Returns
+/// `(component_id per node, component count)`; component ids are arbitrary
+/// but contiguous in `0..count`.
+pub fn strongly_connected_components(g: &Graph) -> (Vec<u32>, usize) {
+    const UNVISITED: u32 = u32::MAX;
+    let n = g.num_nodes();
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut comp = vec![UNVISITED; n];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut next_index = 0u32;
+    let mut num_components = 0usize;
+
+    // Explicit DFS stack: (node, next out-edge position to examine).
+    let mut call_stack: Vec<(NodeId, usize)> = Vec::new();
+
+    for root in g.node_ids() {
+        if index[root as usize] != UNVISITED {
+            continue;
+        }
+        call_stack.push((root, 0));
+        index[root as usize] = next_index;
+        lowlink[root as usize] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+
+        while let Some(&mut (v, ref mut ei)) = call_stack.last_mut() {
+            let out = g.out_edges(v);
+            if *ei < out.len() {
+                let w = out[*ei].head;
+                *ei += 1;
+                if index[w as usize] == UNVISITED {
+                    index[w as usize] = next_index;
+                    lowlink[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    call_stack.push((w, 0));
+                } else if on_stack[w as usize] {
+                    lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                }
+            } else {
+                call_stack.pop();
+                if let Some(&mut (parent, _)) = call_stack.last_mut() {
+                    lowlink[parent as usize] =
+                        lowlink[parent as usize].min(lowlink[v as usize]);
+                }
+                if lowlink[v as usize] == index[v as usize] {
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        comp[w as usize] = num_components as u32;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    num_components += 1;
+                }
+            }
+        }
+    }
+    (comp, num_components)
+}
+
+/// Restricts `g` to its largest strongly connected component. Returns the
+/// new graph and, for each new node, the original [`NodeId`] it came from.
+/// An empty graph maps to an empty graph.
+pub fn condense_to_largest_scc(g: &Graph) -> (Graph, Vec<NodeId>) {
+    let (comp, count) = strongly_connected_components(g);
+    if count <= 1 {
+        return (g.clone(), g.node_ids().collect());
+    }
+    let mut sizes = vec![0usize; count];
+    for &c in &comp {
+        sizes[c as usize] += 1;
+    }
+    let largest = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, s)| *s)
+        .map(|(i, _)| i as u32)
+        .expect("non-empty component list");
+
+    let mut old_to_new = vec![u32::MAX; g.num_nodes()];
+    let mut new_to_old = Vec::with_capacity(sizes[largest as usize]);
+    let mut b = GraphBuilder::with_capacity(sizes[largest as usize], g.num_edges());
+    for v in g.node_ids() {
+        if comp[v as usize] == largest {
+            old_to_new[v as usize] = b.add_node(g.coord(v));
+            new_to_old.push(v);
+        }
+    }
+    for (tail, arc) in g.edges() {
+        if comp[tail as usize] == largest && comp[arc.head as usize] == largest {
+            b.add_edge(old_to_new[tail as usize], old_to_new[arc.head as usize], arc.weight);
+        }
+    }
+    (b.build(), new_to_old)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GraphBuilder, Point};
+
+    fn two_cycles_and_bridge() -> Graph {
+        // Cycle A: 0 <-> 1 <-> 2 (strongly connected via pairwise edges)
+        // Cycle B: 3 <-> 4
+        // One-way bridge 2 -> 3 keeps them weakly but not strongly joined.
+        let mut b = GraphBuilder::new();
+        for i in 0..5 {
+            b.add_node(Point::new(i, 0));
+        }
+        b.add_bidirectional_edge(0, 1, 1);
+        b.add_bidirectional_edge(1, 2, 1);
+        b.add_bidirectional_edge(3, 4, 1);
+        b.add_edge(2, 3, 1);
+        b.build()
+    }
+
+    #[test]
+    fn finds_two_components() {
+        let g = two_cycles_and_bridge();
+        let (comp, count) = strongly_connected_components(&g);
+        assert_eq!(count, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[3]);
+    }
+
+    #[test]
+    fn condense_keeps_larger_side() {
+        let g = two_cycles_and_bridge();
+        let (scc, mapping) = condense_to_largest_scc(&g);
+        assert_eq!(scc.num_nodes(), 3);
+        assert_eq!(mapping, vec![0, 1, 2]);
+        // Bridge edge to the dropped component must be gone.
+        assert_eq!(scc.num_edges(), 4);
+    }
+
+    #[test]
+    fn strongly_connected_graph_is_one_component() {
+        let mut b = GraphBuilder::new();
+        for i in 0..4 {
+            b.add_node(Point::new(i, 0));
+        }
+        for i in 0..4u32 {
+            b.add_edge(i, (i + 1) % 4, 1);
+        }
+        let g = b.build();
+        let (_, count) = strongly_connected_components(&g);
+        assert_eq!(count, 1);
+        let (scc, mapping) = condense_to_largest_scc(&g);
+        assert_eq!(scc.num_nodes(), 4);
+        assert_eq!(mapping.len(), 4);
+    }
+
+    #[test]
+    fn isolated_nodes_are_their_own_components() {
+        let mut b = GraphBuilder::new();
+        b.add_node(Point::new(0, 0));
+        b.add_node(Point::new(1, 0));
+        let g = b.build();
+        let (_, count) = strongly_connected_components(&g);
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn empty_graph_condenses_to_empty() {
+        let g = GraphBuilder::new().build();
+        let (scc, mapping) = condense_to_largest_scc(&g);
+        assert_eq!(scc.num_nodes(), 0);
+        assert!(mapping.is_empty());
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        // 100k-node directed path; recursion-based Tarjan would blow the
+        // stack, the iterative version must not.
+        let n = 100_000u32;
+        let mut b = GraphBuilder::with_capacity(n as usize, n as usize);
+        for i in 0..n {
+            b.add_node(Point::new(i as i32, 0));
+        }
+        for i in 0..n - 1 {
+            b.add_edge(i, i + 1, 1);
+        }
+        let g = b.build();
+        let (_, count) = strongly_connected_components(&g);
+        assert_eq!(count, n as usize);
+    }
+}

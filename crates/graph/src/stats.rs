@@ -1,0 +1,195 @@
+//! Summary statistics used by the dataset registry (Table 2) and by the
+//! grid hierarchy to size `h`.
+
+use crate::graph::Graph;
+
+/// Aggregate facts about a road network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphStats {
+    /// Number of nodes.
+    pub num_nodes: usize,
+    /// Number of directed edges.
+    pub num_edges: usize,
+    /// Maximum node degree (max of in/out).
+    pub max_degree: usize,
+    /// Smallest edge weight.
+    pub min_weight: u64,
+    /// Largest edge weight.
+    pub max_weight: u64,
+    /// Largest pairwise L∞ coordinate distance, approximated by the bounding
+    /// box side (exact for the max; the true `dmax` over node pairs equals
+    /// the box side in at least one axis).
+    pub dmax_linf: u64,
+    /// Smallest *positive* pairwise L∞ distance between nodes. `None` when
+    /// fewer than two distinct coordinates exist.
+    pub dmin_linf: Option<u64>,
+}
+
+impl GraphStats {
+    /// Computes statistics for `g`. `dmin` uses a grid-bucket sweep, which
+    /// is `O(n)` expected for road-like data.
+    pub fn compute(g: &Graph) -> Self {
+        let (mut min_w, mut max_w) = (u64::MAX, 0u64);
+        for (_, a) in g.edges() {
+            min_w = min_w.min(a.weight as u64);
+            max_w = max_w.max(a.weight as u64);
+        }
+        if g.num_edges() == 0 {
+            min_w = 0;
+        }
+        let bb = g.bounding_box();
+        let dmax = if bb.is_empty() { 0 } else { bb.square_side() };
+        GraphStats {
+            num_nodes: g.num_nodes(),
+            num_edges: g.num_edges(),
+            max_degree: g.max_degree(),
+            min_weight: min_w,
+            max_weight: max_w,
+            dmax_linf: dmax,
+            dmin_linf: min_positive_linf(g),
+        }
+    }
+
+    /// The paper's `α = dmax / dmin` aspect ratio (L∞). Returns `None` for
+    /// degenerate graphs.
+    pub fn alpha(&self) -> Option<u64> {
+        let dmin = self.dmin_linf?;
+        if dmin == 0 || self.dmax_linf == 0 {
+            return None;
+        }
+        Some(self.dmax_linf / dmin)
+    }
+}
+
+/// Smallest positive L∞ distance between any two nodes.
+///
+/// Strategy: bucket nodes into a coarse grid sized so the expected bucket
+/// occupancy is O(1), then compare each node with nodes in its 3×3 bucket
+/// neighbourhood, shrinking the candidate answer. Falls back to exact
+/// pairwise for tiny graphs.
+fn min_positive_linf(g: &Graph) -> Option<u64> {
+    let n = g.num_nodes();
+    if n < 2 {
+        return None;
+    }
+    if n <= 64 {
+        return min_positive_linf_exact(g);
+    }
+    let bb = g.bounding_box();
+    let side = bb.square_side().max(1);
+    // ~n buckets along each axis² → expected O(1) nodes per bucket.
+    let cells_per_axis = (n as f64).sqrt().ceil() as u64;
+    let cell = (side / cells_per_axis).max(1);
+
+    use std::collections::HashMap;
+    let mut buckets: HashMap<(u64, u64), Vec<u32>> = HashMap::new();
+    for v in g.node_ids() {
+        let p = g.coord(v);
+        let bx = (p.x as i64 - bb.min_x as i64) as u64 / cell;
+        let by = (p.y as i64 - bb.min_y as i64) as u64 / cell;
+        buckets.entry((bx, by)).or_default().push(v);
+    }
+
+    let mut best: Option<u64> = None;
+    for (&(bx, by), nodes) in &buckets {
+        for dx in -1i64..=1 {
+            for dy in -1i64..=1 {
+                let nb = (bx as i64 + dx, by as i64 + dy);
+                if nb.0 < 0 || nb.1 < 0 {
+                    continue;
+                }
+                let Some(neigh) = buckets.get(&(nb.0 as u64, nb.1 as u64)) else {
+                    continue;
+                };
+                for &u in nodes {
+                    for &v in neigh {
+                        if u >= v && (dx, dy) == (0, 0) {
+                            continue;
+                        }
+                        let d = g.coord(u).linf_distance(&g.coord(v));
+                        if d > 0 {
+                            best = Some(best.map_or(d, |b| b.min(d)));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // If all nodes inside every 3×3 neighbourhood coincide (or buckets are
+    // too coarse), fall back to exact.
+    best.or_else(|| min_positive_linf_exact(g))
+}
+
+fn min_positive_linf_exact(g: &Graph) -> Option<u64> {
+    let mut best: Option<u64> = None;
+    for u in g.node_ids() {
+        for v in (u + 1)..g.num_nodes() as u32 {
+            let d = g.coord(u).linf_distance(&g.coord(v));
+            if d > 0 {
+                best = Some(best.map_or(d, |b| b.min(d)));
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GraphBuilder, Point};
+
+    #[test]
+    fn stats_on_small_graph() {
+        let mut b = GraphBuilder::new();
+        b.add_node(Point::new(0, 0));
+        b.add_node(Point::new(10, 0));
+        b.add_node(Point::new(0, 3));
+        b.add_edge(0, 1, 5);
+        b.add_edge(1, 2, 8);
+        let g = b.build();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.num_nodes, 3);
+        assert_eq!(s.num_edges, 2);
+        assert_eq!(s.min_weight, 5);
+        assert_eq!(s.max_weight, 8);
+        assert_eq!(s.dmax_linf, 10);
+        assert_eq!(s.dmin_linf, Some(3));
+        assert_eq!(s.alpha(), Some(3));
+    }
+
+    #[test]
+    fn degenerate_graphs() {
+        let g = GraphBuilder::new().build();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.dmin_linf, None);
+        assert_eq!(s.alpha(), None);
+
+        let mut b = GraphBuilder::new();
+        b.add_node(Point::new(5, 5));
+        let s1 = GraphStats::compute(&b.build());
+        assert_eq!(s1.dmin_linf, None);
+    }
+
+    #[test]
+    fn coincident_points_ignored_for_dmin() {
+        let mut b = GraphBuilder::new();
+        b.add_node(Point::new(0, 0));
+        b.add_node(Point::new(0, 0));
+        b.add_node(Point::new(4, 0));
+        let s = GraphStats::compute(&b.build());
+        assert_eq!(s.dmin_linf, Some(4));
+    }
+
+    #[test]
+    fn bucketed_dmin_matches_exact_on_larger_graph() {
+        // 20×20 lattice with spacing 7 → dmin must be 7.
+        let mut b = GraphBuilder::new();
+        for y in 0..20 {
+            for x in 0..20 {
+                b.add_node(Point::new(x * 7, y * 7));
+            }
+        }
+        let s = GraphStats::compute(&b.build());
+        assert_eq!(s.dmin_linf, Some(7));
+    }
+}

@@ -1,0 +1,22 @@
+//! Square-grid hierarchy `R_1 … R_h` (paper Sections 2 and 3.1).
+//!
+//! The paper imposes a (4×4)-cell grid `R_h` that tightly covers the road
+//! network and recursively splits each cell into 2×2 smaller cells until
+//! every cell contains at most one node, producing grids
+//! `R_1, …, R_h` where `R_i` has `2^(h+2-i) × 2^(h+2-i)` cells
+//! (`R_1` finest, `R_h` the 4×4 grid). This crate provides:
+//!
+//! * [`GridHierarchy`] — cell geometry at every level, built from a
+//!   bounding box,
+//! * [`Region`] — a sliding (4×4)-cell region with its strips and bisectors
+//!   (Definition 1 geometry),
+//! * the 3×3 / 5×5 cover predicates behind the paper's *proximity
+//!   constraint* (Sections 3.2 and 4.3).
+//!
+//! Grid levels are numbered `1..=h` exactly as in the paper.
+
+mod hierarchy;
+mod region;
+
+pub use hierarchy::{Cell, GridHierarchy};
+pub use region::{Axis, Region, StripSide};

@@ -1,0 +1,335 @@
+//! Exact bidirectional Dijkstra on the plain graph.
+//!
+//! Not an index — this is the classic speedup of the baseline, provided both
+//! as a comparator and as the template for the constrained bidirectional
+//! searches used by FC and AH (Section 3.2's termination rule: stop a side
+//! once the best meeting distance is no larger than its queue minimum).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use ah_graph::{Dist, NodeId, Path, INFINITY, INVALID_NODE};
+
+use crate::search_graph::SearchGraph;
+use crate::stamped::StampedVec;
+
+/// Reusable bidirectional-Dijkstra state.
+#[derive(Debug)]
+pub struct BidirectionalDijkstra {
+    dist_f: StampedVec<Dist>,
+    dist_b: StampedVec<Dist>,
+    parent_f: StampedVec<NodeId>,
+    parent_b: StampedVec<NodeId>,
+    settled_f: StampedVec<bool>,
+    settled_b: StampedVec<bool>,
+    heap_f: BinaryHeap<Reverse<(Dist, NodeId)>>,
+    heap_b: BinaryHeap<Reverse<(Dist, NodeId)>>,
+    meeting: Option<NodeId>,
+}
+
+impl Default for BidirectionalDijkstra {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BidirectionalDijkstra {
+    /// Creates an empty engine; buffers grow on first use.
+    pub fn new() -> Self {
+        BidirectionalDijkstra {
+            dist_f: StampedVec::new(0, INFINITY),
+            dist_b: StampedVec::new(0, INFINITY),
+            parent_f: StampedVec::new(0, INVALID_NODE),
+            parent_b: StampedVec::new(0, INVALID_NODE),
+            settled_f: StampedVec::new(0, false),
+            settled_b: StampedVec::new(0, false),
+            heap_f: BinaryHeap::new(),
+            heap_b: BinaryHeap::new(),
+            meeting: None,
+        }
+    }
+
+    /// Shortest distance from `s` to `t`, or `None` if unreachable.
+    pub fn distance<G: SearchGraph>(&mut self, g: &G, s: NodeId, t: NodeId) -> Option<Dist> {
+        self.search(g, s, t)
+    }
+
+    /// Shortest path from `s` to `t`.
+    pub fn path<G: SearchGraph>(&mut self, g: &G, s: NodeId, t: NodeId) -> Option<Path> {
+        let dist = self.search(g, s, t)?;
+        let meet = self.meeting.expect("finite distance implies a meeting node");
+        let mut nodes = Vec::new();
+        // Forward half: s … meet.
+        let mut cur = meet;
+        loop {
+            nodes.push(cur);
+            let p = self.parent_f.get(cur as usize);
+            if p == INVALID_NODE {
+                break;
+            }
+            cur = p;
+        }
+        nodes.reverse();
+        // Backward half: meet … t (parents in the backward tree point
+        // toward t).
+        let mut cur = meet;
+        loop {
+            let p = self.parent_b.get(cur as usize);
+            if p == INVALID_NODE {
+                break;
+            }
+            nodes.push(p);
+            cur = p;
+        }
+        Some(Path { nodes, dist })
+    }
+
+    fn search<G: SearchGraph>(&mut self, g: &G, s: NodeId, t: NodeId) -> Option<Dist> {
+        let n = g.num_nodes();
+        for v in [
+            &mut self.dist_f,
+            &mut self.dist_b,
+        ] {
+            v.ensure_len(n);
+            v.reset();
+        }
+        for v in [&mut self.parent_f, &mut self.parent_b] {
+            v.ensure_len(n);
+            v.reset();
+        }
+        for v in [&mut self.settled_f, &mut self.settled_b] {
+            v.ensure_len(n);
+            v.reset();
+        }
+        self.heap_f.clear();
+        self.heap_b.clear();
+        self.meeting = None;
+
+        if s == t {
+            self.meeting = Some(s);
+            return Some(Dist::ZERO);
+        }
+
+        self.dist_f.set(s as usize, Dist::ZERO);
+        self.dist_b.set(t as usize, Dist::ZERO);
+        self.heap_f.push(Reverse((Dist::ZERO, s)));
+        self.heap_b.push(Reverse((Dist::ZERO, t)));
+
+        let mut best = INFINITY;
+        let mut buf: Vec<(NodeId, u64, u64)> = Vec::with_capacity(16);
+
+        loop {
+            let top_f = self.heap_f.peek().map(|Reverse((d, _))| *d).unwrap_or(INFINITY);
+            let top_b = self.heap_b.peek().map(|Reverse((d, _))| *d).unwrap_or(INFINITY);
+            if top_f.is_infinite() && top_b.is_infinite() {
+                break;
+            }
+            // Standard termination: once the sum of the two queue minima
+            // reaches the best meeting, no better path exists.
+            if !best.is_infinite() && top_f.concat(top_b) >= best {
+                break;
+            }
+
+            let forward = top_f <= top_b;
+            let Some(Reverse((d, u))) = (if forward {
+                self.heap_f.pop()
+            } else {
+                self.heap_b.pop()
+            }) else {
+                break;
+            };
+
+            if forward {
+                if self.settled_f.get(u as usize) {
+                    continue;
+                }
+                self.settled_f.set(u as usize, true);
+                let other = self.dist_b.get(u as usize);
+                if !other.is_infinite() {
+                    let through = d.concat(other);
+                    if through < best {
+                        best = through;
+                        self.meeting = Some(u);
+                    }
+                }
+                buf.clear();
+                g.for_each_out(u, |v, w, nu| buf.push((v, w, nu)));
+                expand(
+                    u,
+                    d,
+                    &buf,
+                    &mut self.settled_f,
+                    &mut self.dist_f,
+                    &mut self.parent_f,
+                    &mut self.heap_f,
+                );
+            } else {
+                if self.settled_b.get(u as usize) {
+                    continue;
+                }
+                self.settled_b.set(u as usize, true);
+                let other = self.dist_f.get(u as usize);
+                if !other.is_infinite() {
+                    let through = d.concat(other);
+                    if through < best {
+                        best = through;
+                        self.meeting = Some(u);
+                    }
+                }
+                buf.clear();
+                g.for_each_in(u, |v, w, nu| buf.push((v, w, nu)));
+                expand(
+                    u,
+                    d,
+                    &buf,
+                    &mut self.settled_b,
+                    &mut self.dist_b,
+                    &mut self.parent_b,
+                    &mut self.heap_b,
+                );
+            }
+        }
+
+        (!best.is_infinite()).then_some(best)
+    }
+}
+
+/// Relaxes the buffered arcs of one settled node for one search side.
+#[allow(clippy::too_many_arguments)]
+fn expand(
+    u: NodeId,
+    d: Dist,
+    arcs: &[(NodeId, u64, u64)],
+    settled: &mut StampedVec<bool>,
+    dist: &mut StampedVec<Dist>,
+    parent: &mut StampedVec<NodeId>,
+    heap: &mut BinaryHeap<Reverse<(Dist, NodeId)>>,
+) {
+    for &(v, w, nu) in arcs {
+        if settled.get(v as usize) {
+            continue;
+        }
+        let nd = d.step(w, nu);
+        if nd < dist.get(v as usize) {
+            dist.set(v as usize, nd);
+            parent.set(v as usize, u);
+            heap.push(Reverse((nd, v)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ah_graph::{Graph, GraphBuilder, Point};
+
+    fn grid3() -> Graph {
+        // 3×3 king-less grid with unit weights, bidirectional.
+        let mut b = GraphBuilder::new();
+        for y in 0..3 {
+            for x in 0..3 {
+                b.add_node(Point::new(x, y));
+            }
+        }
+        let id = |x: i32, y: i32| (y * 3 + x) as u32;
+        for y in 0..3 {
+            for x in 0..3 {
+                if x + 1 < 3 {
+                    b.add_bidirectional_edge(id(x, y), id(x + 1, y), 1);
+                }
+                if y + 1 < 3 {
+                    b.add_bidirectional_edge(id(x, y), id(x, y + 1), 1);
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn distances_match_manhattan() {
+        let g = grid3();
+        let mut bd = BidirectionalDijkstra::new();
+        assert_eq!(bd.distance(&g, 0, 8).unwrap().length, 4);
+        assert_eq!(bd.distance(&g, 0, 0).unwrap().length, 0);
+        assert_eq!(bd.distance(&g, 3, 5).unwrap().length, 2);
+    }
+
+    #[test]
+    fn path_is_valid_and_minimal() {
+        let g = grid3();
+        let mut bd = BidirectionalDijkstra::new();
+        let p = bd.path(&g, 0, 8).unwrap();
+        p.verify(&g).unwrap();
+        assert_eq!(p.dist.length, 4);
+        assert_eq!(p.source(), 0);
+        assert_eq!(p.target(), 8);
+        assert_eq!(p.num_edges(), 4);
+    }
+
+    #[test]
+    fn self_path_is_trivial() {
+        let g = grid3();
+        let mut bd = BidirectionalDijkstra::new();
+        let p = bd.path(&g, 4, 4).unwrap();
+        assert_eq!(p.nodes, vec![4]);
+        assert_eq!(p.dist, Dist::ZERO);
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let mut b = GraphBuilder::new();
+        b.add_node(Point::new(0, 0));
+        b.add_node(Point::new(5, 5));
+        b.add_edge(0, 1, 1); // one-way: 1 cannot reach 0
+        let g = b.build();
+        let mut bd = BidirectionalDijkstra::new();
+        assert!(bd.distance(&g, 1, 0).is_none());
+        assert!(bd.path(&g, 1, 0).is_none());
+        assert_eq!(bd.distance(&g, 0, 1).unwrap().length, 1);
+    }
+
+    #[test]
+    fn directed_asymmetry_respected() {
+        let mut b = GraphBuilder::new();
+        for i in 0..3 {
+            b.add_node(Point::new(i, 0));
+        }
+        b.add_edge(0, 1, 1);
+        b.add_edge(1, 2, 1);
+        b.add_edge(2, 0, 10);
+        let g = b.build();
+        let mut bd = BidirectionalDijkstra::new();
+        assert_eq!(bd.distance(&g, 0, 2).unwrap().length, 2);
+        assert_eq!(bd.distance(&g, 2, 0).unwrap().length, 10);
+    }
+
+    #[test]
+    fn agrees_with_unidirectional_on_random_graph() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut b = GraphBuilder::new();
+        let n = 60u32;
+        for i in 0..n {
+            b.add_node(Point::new((i % 8) as i32, (i / 8) as i32));
+        }
+        for _ in 0..240 {
+            let u = rng.random_range(0..n);
+            let v = rng.random_range(0..n);
+            let w = rng.random_range(1..50);
+            b.add_edge(u, v, w);
+        }
+        let g = b.build();
+        let mut bd = BidirectionalDijkstra::new();
+        let mut uni = crate::DijkstraDriver::new();
+        for _ in 0..50 {
+            let s = rng.random_range(0..n);
+            let t = rng.random_range(0..n);
+            uni.run(&g, s, &crate::SearchOptions::default(), |_| true);
+            let expect = uni.dist(t);
+            match bd.distance(&g, s, t) {
+                Some(d) => assert_eq!(d, expect, "s={s} t={t}"),
+                None => assert!(expect.is_infinite(), "s={s} t={t}"),
+            }
+        }
+    }
+}

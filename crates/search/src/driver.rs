@@ -1,0 +1,377 @@
+//! The reusable single-source Dijkstra engine.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use ah_graph::{Dist, NodeId, INFINITY, INVALID_NODE};
+
+use crate::search_graph::SearchGraph;
+use crate::stamped::StampedVec;
+
+/// Which adjacency a search follows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Direction {
+    /// Follow out-edges: computes distances *from* the source.
+    #[default]
+    Forward,
+    /// Follow in-edges: computes distances *to* the source.
+    Backward,
+}
+
+/// Knobs for a [`DijkstraDriver::run`] invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchOptions {
+    /// Adjacency direction.
+    pub direction: Direction,
+    /// Stop as soon as this node is settled.
+    pub target: Option<NodeId>,
+    /// Do not settle nodes farther than this (exclusive); used by witness
+    /// searches and local searches.
+    pub bound: Dist,
+    /// Settle at most this many nodes (witness-search budget).
+    pub max_settled: usize,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions {
+            direction: Direction::Forward,
+            target: None,
+            bound: INFINITY,
+            max_settled: usize::MAX,
+        }
+    }
+}
+
+/// Why a search stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchOutcome {
+    /// The requested target was settled at this distance.
+    TargetReached(Dist),
+    /// The priority queue drained.
+    Exhausted,
+    /// The next node exceeded [`SearchOptions::bound`].
+    BoundExceeded,
+    /// [`SearchOptions::max_settled`] was hit.
+    SettleLimit,
+}
+
+/// Reusable Dijkstra state. Construct once, call [`run`](Self::run) many
+/// times; buffers reset in O(1) between runs thanks to [`StampedVec`].
+#[derive(Debug)]
+pub struct DijkstraDriver {
+    dist: StampedVec<Dist>,
+    parent: StampedVec<NodeId>,
+    settled_mark: StampedVec<bool>,
+    settled_order: Vec<NodeId>,
+    heap: BinaryHeap<Reverse<(Dist, NodeId)>>,
+}
+
+impl Default for DijkstraDriver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DijkstraDriver {
+    /// Creates an empty driver; buffers grow to fit the first graph it runs
+    /// on.
+    pub fn new() -> Self {
+        DijkstraDriver {
+            dist: StampedVec::new(0, INFINITY),
+            parent: StampedVec::new(0, INVALID_NODE),
+            settled_mark: StampedVec::new(0, false),
+            settled_order: Vec::new(),
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Runs Dijkstra from `source`, relaxing only edges whose far endpoint
+    /// satisfies `allow`. See [`SearchOptions`] for termination knobs.
+    pub fn run<G, F>(&mut self, g: &G, source: NodeId, opts: &SearchOptions, allow: F) -> SearchOutcome
+    where
+        G: SearchGraph,
+        F: FnMut(NodeId) -> bool,
+    {
+        self.run_multi(g, &[(source, Dist::ZERO)], opts, allow)
+    }
+
+    /// Multi-source variant: each source starts at the given offset
+    /// distance.
+    pub fn run_multi<G, F>(
+        &mut self,
+        g: &G,
+        sources: &[(NodeId, Dist)],
+        opts: &SearchOptions,
+        mut allow: F,
+    ) -> SearchOutcome
+    where
+        G: SearchGraph,
+        F: FnMut(NodeId) -> bool,
+    {
+        let n = g.num_nodes();
+        self.dist.ensure_len(n);
+        self.parent.ensure_len(n);
+        self.settled_mark.ensure_len(n);
+        self.dist.reset();
+        self.parent.reset();
+        self.settled_mark.reset();
+        self.settled_order.clear();
+        self.heap.clear();
+
+        for &(s, d0) in sources {
+            if d0 < self.dist.get(s as usize) {
+                self.dist.set(s as usize, d0);
+                self.heap.push(Reverse((d0, s)));
+            }
+        }
+
+        // Reused arc buffer: lets us mutate `self` while iterating the
+        // borrowed adjacency of `g`, without a per-node allocation.
+        let mut buf: Vec<(NodeId, u64, u64)> = Vec::with_capacity(16);
+        while let Some(Reverse((d, u))) = self.heap.pop() {
+            if self.settled_mark.get(u as usize) {
+                continue; // stale heap entry
+            }
+            if d > opts.bound {
+                self.heap.clear();
+                return SearchOutcome::BoundExceeded;
+            }
+            self.settled_mark.set(u as usize, true);
+            self.settled_order.push(u);
+            if opts.target == Some(u) {
+                return SearchOutcome::TargetReached(d);
+            }
+            if self.settled_order.len() >= opts.max_settled {
+                return SearchOutcome::SettleLimit;
+            }
+
+            let relax = |driver: &mut Self, v: NodeId, w: u64, nu: u64, allow: &mut F| {
+                if driver.settled_mark.get(v as usize) || !allow(v) {
+                    return;
+                }
+                let nd = d.step(w, nu);
+                if nd < driver.dist.get(v as usize) {
+                    driver.dist.set(v as usize, nd);
+                    driver.parent.set(v as usize, u);
+                    driver.heap.push(Reverse((nd, v)));
+                }
+            };
+            buf.clear();
+            match opts.direction {
+                Direction::Forward => g.for_each_out(u, |v, w, nu| buf.push((v, w, nu))),
+                Direction::Backward => g.for_each_in(u, |v, w, nu| buf.push((v, w, nu))),
+            }
+            for &(v, w, nu) in &buf {
+                relax(self, v, w, nu, &mut allow);
+            }
+        }
+        SearchOutcome::Exhausted
+    }
+
+    /// Distance of `v` from the source(s) of the last run ([`INFINITY`] if
+    /// unreached).
+    #[inline]
+    pub fn dist(&self, v: NodeId) -> Dist {
+        self.dist.get(v as usize)
+    }
+
+    /// True if `v` was settled (its distance is final).
+    #[inline]
+    pub fn is_settled(&self, v: NodeId) -> bool {
+        self.settled_mark.get(v as usize)
+    }
+
+    /// Predecessor of `v` in the search tree, if any.
+    #[inline]
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        let p = self.parent.get(v as usize);
+        (p != INVALID_NODE).then_some(p)
+    }
+
+    /// Nodes in the order they were settled.
+    pub fn settled_order(&self) -> &[NodeId] {
+        &self.settled_order
+    }
+
+    /// Reconstructs the tree path to `v`. For a forward run the returned
+    /// sequence goes source → … → `v`; for a backward run it goes
+    /// `v` → … → source (i.e. it is already in forward edge orientation).
+    pub fn path_to(&self, v: NodeId, direction: Direction) -> Option<Vec<NodeId>> {
+        if self.dist.get(v as usize).is_infinite() {
+            return None;
+        }
+        let mut nodes = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.parent(cur) {
+            nodes.push(p);
+            cur = p;
+        }
+        if matches!(direction, Direction::Forward) {
+            nodes.reverse();
+        }
+        Some(nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ah_graph::{Graph, GraphBuilder, Point};
+
+    /// 0 —1→ 1 —1→ 2 —1→ 3, plus a slow direct edge 0 —5→ 3.
+    fn chain_with_shortcut() -> Graph {
+        let mut b = GraphBuilder::new();
+        for i in 0..4 {
+            b.add_node(Point::new(i, 0));
+        }
+        b.add_edge(0, 1, 1);
+        b.add_edge(1, 2, 1);
+        b.add_edge(2, 3, 1);
+        b.add_edge(0, 3, 5);
+        b.build()
+    }
+
+    #[test]
+    fn forward_distances() {
+        let g = chain_with_shortcut();
+        let mut d = DijkstraDriver::new();
+        d.run(&g, 0, &SearchOptions::default(), |_| true);
+        assert_eq!(d.dist(0).length, 0);
+        assert_eq!(d.dist(1).length, 1);
+        assert_eq!(d.dist(2).length, 2);
+        assert_eq!(d.dist(3).length, 3);
+        assert_eq!(d.path_to(3, Direction::Forward), Some(vec![0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn backward_distances() {
+        let g = chain_with_shortcut();
+        let mut d = DijkstraDriver::new();
+        d.run(
+            &g,
+            3,
+            &SearchOptions {
+                direction: Direction::Backward,
+                ..Default::default()
+            },
+            |_| true,
+        );
+        assert_eq!(d.dist(0).length, 3);
+        // Backward path is reported in forward orientation: 0 → … → 3.
+        assert_eq!(d.path_to(0, Direction::Backward), Some(vec![0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn early_termination_at_target() {
+        let g = chain_with_shortcut();
+        let mut d = DijkstraDriver::new();
+        let out = d.run(
+            &g,
+            0,
+            &SearchOptions {
+                target: Some(1),
+                ..Default::default()
+            },
+            |_| true,
+        );
+        assert_eq!(out, SearchOutcome::TargetReached(d.dist(1)));
+        // Node 3 must not be settled yet (dist 3 > dist 1).
+        assert!(!d.is_settled(3));
+    }
+
+    #[test]
+    fn bound_prunes() {
+        let g = chain_with_shortcut();
+        let mut d = DijkstraDriver::new();
+        let out = d.run(
+            &g,
+            0,
+            &SearchOptions {
+                bound: Dist::new(1, u64::MAX),
+                ..Default::default()
+            },
+            |_| true,
+        );
+        assert_eq!(out, SearchOutcome::BoundExceeded);
+        assert!(d.is_settled(1));
+        assert!(!d.is_settled(2));
+    }
+
+    #[test]
+    fn settle_limit() {
+        let g = chain_with_shortcut();
+        let mut d = DijkstraDriver::new();
+        let out = d.run(
+            &g,
+            0,
+            &SearchOptions {
+                max_settled: 2,
+                ..Default::default()
+            },
+            |_| true,
+        );
+        assert_eq!(out, SearchOutcome::SettleLimit);
+        assert_eq!(d.settled_order().len(), 2);
+    }
+
+    #[test]
+    fn node_filter_blocks_route() {
+        let g = chain_with_shortcut();
+        let mut d = DijkstraDriver::new();
+        // Forbid node 1: the only remaining route to 3 is the direct edge.
+        d.run(&g, 0, &SearchOptions::default(), |v| v != 1);
+        assert_eq!(d.dist(3).length, 5);
+        assert!(d.dist(1).is_infinite());
+    }
+
+    #[test]
+    fn multi_source() {
+        let g = chain_with_shortcut();
+        let mut d = DijkstraDriver::new();
+        d.run_multi(
+            &g,
+            &[(0, Dist::new(10, 0)), (2, Dist::ZERO)],
+            &SearchOptions::default(),
+            |_| true,
+        );
+        assert_eq!(d.dist(3).length, 1); // via source 2
+        assert_eq!(d.dist(1).length, 11); // via source 0 with offset
+    }
+
+    #[test]
+    fn reuse_across_runs_and_graphs() {
+        let g = chain_with_shortcut();
+        let mut d = DijkstraDriver::new();
+        d.run(&g, 0, &SearchOptions::default(), |_| true);
+        assert_eq!(d.dist(3).length, 3);
+        d.run(&g, 3, &SearchOptions::default(), |_| true);
+        // 3 has no out-edges: everything else unreachable, state fully reset.
+        assert!(d.dist(0).is_infinite());
+        assert_eq!(d.dist(3), Dist::ZERO);
+    }
+
+    #[test]
+    fn settled_order_is_by_distance() {
+        let g = chain_with_shortcut();
+        let mut d = DijkstraDriver::new();
+        d.run(&g, 0, &SearchOptions::default(), |_| true);
+        let order = d.settled_order();
+        for w in order.windows(2) {
+            assert!(d.dist(w[0]) <= d.dist(w[1]));
+        }
+    }
+
+    #[test]
+    fn unreachable_node() {
+        let mut b = GraphBuilder::new();
+        b.add_node(Point::new(0, 0));
+        b.add_node(Point::new(1, 0));
+        let g = b.build();
+        let mut d = DijkstraDriver::new();
+        let out = d.run(&g, 0, &SearchOptions::default(), |_| true);
+        assert_eq!(out, SearchOutcome::Exhausted);
+        assert!(d.dist(1).is_infinite());
+        assert_eq!(d.path_to(1, Direction::Forward), None);
+    }
+}

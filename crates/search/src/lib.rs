@@ -1,0 +1,33 @@
+//! Dijkstra-family search substrate.
+//!
+//! Every method in this workspace — the classic baseline, FC/AH index
+//! construction, CH witness searches, SILC shortest-path trees — reduces to
+//! variants of Dijkstra's algorithm over some graph. This crate provides:
+//!
+//! * [`SearchGraph`] — the minimal adjacency abstraction, implemented by
+//!   [`ah_graph::Graph`] and by the dynamic overlay graphs used during
+//!   preprocessing;
+//! * [`DijkstraDriver`] — a reusable single-source engine with timestamped
+//!   buffers (no per-query clearing), supporting early termination, distance
+//!   bounds, settle limits, node filters and both search directions;
+//! * [`BidirectionalDijkstra`] — the exact bidirectional baseline;
+//! * one-shot convenience functions ([`dijkstra_distance`],
+//!   [`dijkstra_path`], [`shortest_path_tree`]).
+//!
+//! All distances are nuance-tagged [`Dist`] pairs (paper Appendix A), so
+//! shortest paths are unique with overwhelming probability and every crate
+//! that builds on this one agrees on *which* shortest path is canonical.
+
+mod bidirectional;
+mod driver;
+mod oneshot;
+mod search_graph;
+mod stamped;
+
+pub use bidirectional::BidirectionalDijkstra;
+pub use driver::{DijkstraDriver, Direction, SearchOptions, SearchOutcome};
+pub use oneshot::{dijkstra_distance, dijkstra_path, shortest_path_tree, ShortestPathTree};
+pub use search_graph::SearchGraph;
+pub use stamped::StampedVec;
+
+pub use ah_graph::{Dist, NodeId, Weight, INFINITY};

@@ -1,0 +1,166 @@
+//! One-shot convenience wrappers around [`DijkstraDriver`].
+
+use ah_graph::{Dist, NodeId, Path, INVALID_NODE};
+
+use crate::driver::{DijkstraDriver, Direction, SearchOptions};
+use crate::search_graph::SearchGraph;
+
+/// Shortest distance from `s` to `t` with plain Dijkstra (early
+/// termination at `t`), or `None` if unreachable. This is the paper's
+/// "Dijkstra" baseline for distance queries.
+pub fn dijkstra_distance<G: SearchGraph>(g: &G, s: NodeId, t: NodeId) -> Option<Dist> {
+    let mut d = DijkstraDriver::new();
+    d.run(
+        g,
+        s,
+        &SearchOptions {
+            target: Some(t),
+            ..Default::default()
+        },
+        |_| true,
+    );
+    let dist = d.dist(t);
+    (!dist.is_infinite()).then_some(dist)
+}
+
+/// Shortest path from `s` to `t` with plain Dijkstra (the paper's baseline
+/// for shortest-path queries).
+pub fn dijkstra_path<G: SearchGraph>(g: &G, s: NodeId, t: NodeId) -> Option<Path> {
+    let mut d = DijkstraDriver::new();
+    d.run(
+        g,
+        s,
+        &SearchOptions {
+            target: Some(t),
+            ..Default::default()
+        },
+        |_| true,
+    );
+    let dist = d.dist(t);
+    if dist.is_infinite() {
+        return None;
+    }
+    let nodes = d.path_to(t, Direction::Forward)?;
+    Some(Path { nodes, dist })
+}
+
+/// A full single-source shortest-path tree.
+#[derive(Debug, Clone)]
+pub struct ShortestPathTree {
+    /// The source node.
+    pub source: NodeId,
+    /// Distance per node ([`ah_graph::INFINITY`] if unreachable).
+    pub dist: Vec<Dist>,
+    /// Tree predecessor per node ([`INVALID_NODE`] for the source and for
+    /// unreachable nodes).
+    pub parent: Vec<NodeId>,
+    /// First hop per node: the source's out-neighbour through which the
+    /// shortest path to the node leaves (the node itself if it is that
+    /// neighbour; [`INVALID_NODE`] for the source/unreachable). This is the
+    /// payload SILC compresses into quadtrees.
+    pub first_hop: Vec<NodeId>,
+}
+
+/// Computes the complete forward shortest-path tree rooted at `source`.
+pub fn shortest_path_tree<G: SearchGraph>(g: &G, source: NodeId) -> ShortestPathTree {
+    let mut d = DijkstraDriver::new();
+    d.run(g, source, &SearchOptions::default(), |_| true);
+    let n = g.num_nodes();
+    let mut dist = Vec::with_capacity(n);
+    let mut parent = Vec::with_capacity(n);
+    for v in 0..n as NodeId {
+        dist.push(d.dist(v));
+        parent.push(d.parent(v).unwrap_or(INVALID_NODE));
+    }
+    // Settle order guarantees parents appear before children, so one pass
+    // suffices to propagate first hops.
+    let mut first_hop = vec![INVALID_NODE; n];
+    for &v in d.settled_order() {
+        if v == source {
+            continue;
+        }
+        let p = parent[v as usize];
+        first_hop[v as usize] = if p == source {
+            v
+        } else {
+            first_hop[p as usize]
+        };
+    }
+    ShortestPathTree {
+        source,
+        dist,
+        parent,
+        first_hop,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ah_graph::{Graph, GraphBuilder, Point};
+
+    fn y_graph() -> Graph {
+        // 0 → 1 → {2, 3}; 0 → 4 (slow alternative to 1).
+        let mut b = GraphBuilder::new();
+        for i in 0..5 {
+            b.add_node(Point::new(i, 0));
+        }
+        b.add_edge(0, 1, 1);
+        b.add_edge(1, 2, 1);
+        b.add_edge(1, 3, 2);
+        b.add_edge(0, 4, 10);
+        b.add_edge(4, 3, 1);
+        b.build()
+    }
+
+    #[test]
+    fn oneshot_distance_and_path() {
+        let g = y_graph();
+        assert_eq!(dijkstra_distance(&g, 0, 3).unwrap().length, 3);
+        let p = dijkstra_path(&g, 0, 3).unwrap();
+        p.verify(&g).unwrap();
+        assert_eq!(p.nodes, vec![0, 1, 3]);
+        assert!(dijkstra_distance(&g, 2, 0).is_none());
+        assert!(dijkstra_path(&g, 2, 0).is_none());
+    }
+
+    #[test]
+    fn tree_distances_and_parents() {
+        let g = y_graph();
+        let t = shortest_path_tree(&g, 0);
+        assert_eq!(t.dist[2].length, 2);
+        assert_eq!(t.dist[3].length, 3);
+        assert_eq!(t.parent[3], 1);
+        assert_eq!(t.parent[0], INVALID_NODE);
+    }
+
+    #[test]
+    fn first_hops_propagate() {
+        let g = y_graph();
+        let t = shortest_path_tree(&g, 0);
+        assert_eq!(t.first_hop[1], 1);
+        assert_eq!(t.first_hop[2], 1);
+        assert_eq!(t.first_hop[3], 1); // via 1, not via 4
+        assert_eq!(t.first_hop[4], 4);
+        assert_eq!(t.first_hop[0], INVALID_NODE);
+    }
+
+    #[test]
+    fn first_hop_unreachable_is_invalid() {
+        let mut b = GraphBuilder::new();
+        b.add_node(Point::new(0, 0));
+        b.add_node(Point::new(1, 0));
+        let g = b.build();
+        let t = shortest_path_tree(&g, 0);
+        assert_eq!(t.first_hop[1], INVALID_NODE);
+        assert!(t.dist[1].is_infinite());
+    }
+
+    #[test]
+    fn self_distance_zero() {
+        let g = y_graph();
+        assert_eq!(dijkstra_distance(&g, 2, 2), Some(Dist::ZERO));
+        let p = dijkstra_path(&g, 2, 2).unwrap();
+        assert_eq!(p.nodes, vec![2]);
+    }
+}

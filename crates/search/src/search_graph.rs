@@ -1,0 +1,81 @@
+//! The adjacency abstraction all searches run on.
+
+use ah_graph::{Graph, NodeId};
+
+/// Minimal interface a graph must expose for Dijkstra-style searches.
+///
+/// Implementations exist for the immutable CSR [`Graph`] and for the dynamic
+/// overlay graphs used while building FC/AH/CH indices (where shortcut
+/// edges appear as contraction proceeds). The callback style keeps edge
+/// enumeration allocation-free.
+pub trait SearchGraph {
+    /// Number of nodes; node ids are `0..num_nodes()`.
+    fn num_nodes(&self) -> usize;
+
+    /// Invokes `f(head, weight, nuance)` for every arc leaving `v`.
+    /// Weights are widened to `u64` so overlay graphs whose shortcut
+    /// lengths exceed `u32` can implement the trait losslessly.
+    fn for_each_out<F: FnMut(NodeId, u64, u64)>(&self, v: NodeId, f: F);
+
+    /// Invokes `f(tail, weight, nuance)` for every arc entering `v`.
+    fn for_each_in<F: FnMut(NodeId, u64, u64)>(&self, v: NodeId, f: F);
+}
+
+impl SearchGraph for Graph {
+    fn num_nodes(&self) -> usize {
+        Graph::num_nodes(self)
+    }
+
+    fn for_each_out<F: FnMut(NodeId, u64, u64)>(&self, v: NodeId, mut f: F) {
+        for a in self.out_edges(v) {
+            f(a.head, a.weight as u64, a.nuance as u64);
+        }
+    }
+
+    fn for_each_in<F: FnMut(NodeId, u64, u64)>(&self, v: NodeId, mut f: F) {
+        for a in self.in_edges(v) {
+            f(a.head, a.weight as u64, a.nuance as u64);
+        }
+    }
+}
+
+impl<G: SearchGraph> SearchGraph for &G {
+    fn num_nodes(&self) -> usize {
+        (**self).num_nodes()
+    }
+
+    fn for_each_out<F: FnMut(NodeId, u64, u64)>(&self, v: NodeId, f: F) {
+        (**self).for_each_out(v, f)
+    }
+
+    fn for_each_in<F: FnMut(NodeId, u64, u64)>(&self, v: NodeId, f: F) {
+        (**self).for_each_in(v, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ah_graph::{GraphBuilder, Point};
+
+    #[test]
+    fn csr_graph_implements_search_graph() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(Point::new(0, 0));
+        let c = b.add_node(Point::new(1, 0));
+        b.add_edge(a, c, 3);
+        let g = b.build();
+
+        let mut out = Vec::new();
+        g.for_each_out(a, |h, w, _| out.push((h, w)));
+        assert_eq!(out, vec![(c, 3)]);
+
+        let mut inn = Vec::new();
+        g.for_each_in(c, |t, w, _| inn.push((t, w)));
+        assert_eq!(inn, vec![(a, 3)]);
+
+        // Reference impl forwards.
+        let r = &g;
+        assert_eq!(SearchGraph::num_nodes(&r), 2);
+    }
+}

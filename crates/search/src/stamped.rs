@@ -1,0 +1,128 @@
+//! Timestamped vectors: O(1) logical reset across queries.
+//!
+//! Preprocessing runs millions of tiny Dijkstras; clearing a `Vec<Dist>` of
+//! length `n` for each would dominate the cost. A [`StampedVec`] stores a
+//! version tag per slot and treats stale slots as holding the default value,
+//! so "clearing" is a single counter increment.
+
+/// A vector whose entries logically reset to a default value when
+/// [`StampedVec::reset`] is called, in O(1).
+#[derive(Debug, Clone)]
+pub struct StampedVec<T: Copy> {
+    data: Vec<T>,
+    stamp: Vec<u32>,
+    current: u32,
+    default: T,
+}
+
+impl<T: Copy> StampedVec<T> {
+    /// Creates a stamped vector of length `n` whose entries read as
+    /// `default` until written.
+    pub fn new(n: usize, default: T) -> Self {
+        StampedVec {
+            data: vec![default; n],
+            stamp: vec![0; n],
+            current: 1,
+            default,
+        }
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the vector has zero slots.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Grows to at least `n` slots (never shrinks).
+    pub fn ensure_len(&mut self, n: usize) {
+        if n > self.data.len() {
+            self.data.resize(n, self.default);
+            self.stamp.resize(n, 0);
+        }
+    }
+
+    /// Logically resets every entry to the default.
+    pub fn reset(&mut self) {
+        self.current = self.current.wrapping_add(1);
+        if self.current == 0 {
+            // Stamp counter wrapped: physically clear once every 2^32
+            // resets so stale stamps can never alias.
+            self.stamp.fill(0);
+            self.current = 1;
+        }
+    }
+
+    /// Reads slot `i` (default if not written since the last reset).
+    #[inline]
+    pub fn get(&self, i: usize) -> T {
+        if self.stamp[i] == self.current {
+            self.data[i]
+        } else {
+            self.default
+        }
+    }
+
+    /// True if slot `i` has been written since the last reset.
+    #[inline]
+    pub fn is_set(&self, i: usize) -> bool {
+        self.stamp[i] == self.current
+    }
+
+    /// Writes slot `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: T) {
+        self.data[i] = value;
+        self.stamp[i] = self.current;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_until_written() {
+        let mut v = StampedVec::new(3, -1i32);
+        assert_eq!(v.get(0), -1);
+        v.set(0, 42);
+        assert_eq!(v.get(0), 42);
+        assert!(v.is_set(0));
+        assert!(!v.is_set(1));
+    }
+
+    #[test]
+    fn reset_is_logical() {
+        let mut v = StampedVec::new(2, 0u64);
+        v.set(1, 7);
+        v.reset();
+        assert_eq!(v.get(1), 0);
+        assert!(!v.is_set(1));
+        v.set(1, 9);
+        assert_eq!(v.get(1), 9);
+    }
+
+    #[test]
+    fn ensure_len_grows() {
+        let mut v = StampedVec::new(1, 5u8);
+        v.ensure_len(10);
+        assert_eq!(v.len(), 10);
+        assert_eq!(v.get(9), 5);
+        v.ensure_len(3); // no shrink
+        assert_eq!(v.len(), 10);
+    }
+
+    #[test]
+    fn many_resets_stay_consistent() {
+        let mut v = StampedVec::new(1, 0u32);
+        for round in 0..10_000u32 {
+            v.set(0, round);
+            assert_eq!(v.get(0), round);
+            v.reset();
+            assert_eq!(v.get(0), 0);
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Region quadtrees over first-hop colorings.
+//!
+//! A leaf stores the single first-hop "color" shared by every graph node in
+//! its quadrant (or *empty*, or — for degenerate inputs with coincident
+//! coordinates of differing colors — a *mixed* marker with an exception
+//! list). Internal cells reference four consecutive children in an arena.
+
+use ah_graph::{NodeId, Point, INVALID_NODE};
+
+/// Arena-encoded quadtree cell.
+///
+/// * `INTERNAL_BIT` clear → internal: value = index of the first of four
+///   consecutive children.
+/// * `INTERNAL_BIT` set → leaf: `LEAF_EMPTY`, `LEAF_MIXED`, or
+///   `LEAF_COLOR | color` (color may be [`INVALID_NODE`]'s low bits — the
+///   "unreachable" color — encoded via an offset).
+const LEAF_BIT: u32 = 0x8000_0000;
+const LEAF_EMPTY: u32 = LEAF_BIT;
+const LEAF_MIXED: u32 = LEAF_BIT | 0x7FFF_FFFF;
+
+/// A compressed first-hop map for one source node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuadTree {
+    cells: Vec<u32>,
+    /// `(target node, color)` pairs for nodes inside mixed leaves.
+    exceptions: Vec<(NodeId, u32)>,
+}
+
+/// Colors are node ids shifted by one so that `0` encodes "unreachable"
+/// ([`INVALID_NODE`] first hops) within the 31-bit leaf payload.
+fn encode_color(hop: NodeId) -> u32 {
+    if hop == INVALID_NODE {
+        0
+    } else {
+        hop + 1
+    }
+}
+
+fn decode_color(c: u32) -> Option<NodeId> {
+    if c == 0 {
+        None
+    } else {
+        Some(c - 1)
+    }
+}
+
+impl QuadTree {
+    /// Builds the quadtree for one source: `first_hop[v]` is the color of
+    /// node `v` (or [`INVALID_NODE`] when unreachable). `origin`/`side`
+    /// define the (power-of-two) square all coordinates fall into.
+    pub fn build(coords: &[Point], first_hop: &[NodeId], origin: Point, side: u64) -> QuadTree {
+        debug_assert!(side.is_power_of_two());
+        let mut tree = QuadTree {
+            cells: vec![LEAF_EMPTY],
+            exceptions: Vec::new(),
+        };
+        let mut members: Vec<NodeId> = (0..coords.len() as NodeId).collect();
+        tree.build_cell(0, coords, first_hop, origin, side, &mut members);
+        tree
+    }
+
+    fn build_cell(
+        &mut self,
+        cell: usize,
+        coords: &[Point],
+        first_hop: &[NodeId],
+        origin: Point,
+        side: u64,
+        members: &mut Vec<NodeId>,
+    ) {
+        if members.is_empty() {
+            self.cells[cell] = LEAF_EMPTY;
+            return;
+        }
+        let first_color = encode_color(first_hop[members[0] as usize]);
+        if members
+            .iter()
+            .all(|&v| encode_color(first_hop[v as usize]) == first_color)
+        {
+            self.cells[cell] = LEAF_BIT | first_color;
+            return;
+        }
+        if side <= 1 {
+            // Coincident coordinates with different colors: exception list.
+            self.cells[cell] = LEAF_MIXED;
+            for &v in members.iter() {
+                self.exceptions
+                    .push((v, encode_color(first_hop[v as usize])));
+            }
+            return;
+        }
+        // Split into quadrants.
+        let half = (side / 2) as i64;
+        let mid_x = origin.x as i64 + half;
+        let mid_y = origin.y as i64 + half;
+        let base = self.cells.len();
+        self.cells.extend_from_slice(&[LEAF_EMPTY; 4]);
+        self.cells[cell] = base as u32;
+        let mut quads: [Vec<NodeId>; 4] = Default::default();
+        for &v in members.iter() {
+            let p = coords[v as usize];
+            let qx = (p.x as i64 >= mid_x) as usize;
+            let qy = (p.y as i64 >= mid_y) as usize;
+            quads[qy * 2 + qx].push(v);
+        }
+        members.clear();
+        for (q, mut quad_members) in quads.into_iter().enumerate() {
+            let qx = (q % 2) as i64;
+            let qy = (q / 2) as i64;
+            let sub_origin = Point::new(
+                (origin.x as i64 + qx * half) as i32,
+                (origin.y as i64 + qy * half) as i32,
+            );
+            self.build_cell(
+                base + q,
+                coords,
+                first_hop,
+                sub_origin,
+                side / 2,
+                &mut quad_members,
+            );
+        }
+    }
+
+    /// Looks up the first hop toward node `t` located at `t_coord`.
+    pub fn lookup(&self, t: NodeId, t_coord: Point, origin: Point, side: u64) -> Option<NodeId> {
+        let mut cell = 0usize;
+        let mut ox = origin.x as i64;
+        let mut oy = origin.y as i64;
+        let mut s = side;
+        loop {
+            let v = self.cells[cell];
+            if v & LEAF_BIT != 0 {
+                if v == LEAF_MIXED {
+                    let c = self
+                        .exceptions
+                        .iter()
+                        .find(|&&(node, _)| node == t)
+                        .map(|&(_, c)| c)
+                        .unwrap_or(0);
+                    return decode_color(c);
+                }
+                return decode_color(v & !LEAF_BIT);
+            }
+            let half = (s / 2) as i64;
+            let qx = (t_coord.x as i64 >= ox + half) as usize;
+            let qy = (t_coord.y as i64 >= oy + half) as usize;
+            cell = v as usize + qy * 2 + qx;
+            ox += qx as i64 * half;
+            oy += qy as i64 * half;
+            s /= 2;
+        }
+    }
+
+    /// Number of arena cells.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Approximate heap footprint.
+    pub fn size_bytes(&self) -> usize {
+        self.cells.len() * std::mem::size_of::<u32>()
+            + self.exceptions.len() * std::mem::size_of::<(NodeId, u32)>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_coloring_is_one_leaf() {
+        let coords = vec![Point::new(0, 0), Point::new(3, 3), Point::new(1, 2)];
+        let hops = vec![7, 7, 7];
+        let t = QuadTree::build(&coords, &hops, Point::new(0, 0), 4);
+        assert_eq!(t.num_cells(), 1);
+        assert_eq!(t.lookup(1, coords[1], Point::new(0, 0), 4), Some(7));
+    }
+
+    #[test]
+    fn split_coloring() {
+        // West nodes route via 1, east nodes via 2.
+        let coords = vec![
+            Point::new(0, 0),
+            Point::new(1, 3),
+            Point::new(6, 1),
+            Point::new(7, 7),
+        ];
+        let hops = vec![1, 1, 2, 2];
+        let origin = Point::new(0, 0);
+        let t = QuadTree::build(&coords, &hops, origin, 8);
+        assert!(t.num_cells() > 1);
+        for (i, c) in coords.iter().enumerate() {
+            assert_eq!(
+                t.lookup(i as NodeId, *c, origin, 8),
+                Some(hops[i]),
+                "node {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn unreachable_color() {
+        let coords = vec![Point::new(0, 0), Point::new(5, 5)];
+        let hops = vec![1, INVALID_NODE];
+        let origin = Point::new(0, 0);
+        let t = QuadTree::build(&coords, &hops, origin, 8);
+        assert_eq!(t.lookup(0, coords[0], origin, 8), Some(1));
+        assert_eq!(t.lookup(1, coords[1], origin, 8), None);
+    }
+
+    #[test]
+    fn coincident_nodes_use_exceptions() {
+        let coords = vec![Point::new(2, 2), Point::new(2, 2)];
+        let hops = vec![5, 9];
+        let origin = Point::new(0, 0);
+        let t = QuadTree::build(&coords, &hops, origin, 4);
+        assert_eq!(t.lookup(0, coords[0], origin, 4), Some(5));
+        assert_eq!(t.lookup(1, coords[1], origin, 4), Some(9));
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = QuadTree::build(&[], &[], Point::new(0, 0), 1);
+        assert_eq!(t.lookup(0, Point::new(0, 0), Point::new(0, 0), 1), None);
+    }
+}

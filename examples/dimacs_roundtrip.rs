@@ -1,0 +1,67 @@
+//! DIMACS interchange: export a synthetic network in the 9th DIMACS
+//! challenge format (`.gr` + `.co`), read it back, and index the result —
+//! the workflow for running this library against the paper's real datasets
+//! when they are available.
+//!
+//! ```text
+//! cargo run --release -p ah-examples --bin dimacs_roundtrip [-- <file.gr> <file.co>]
+//! ```
+
+use std::io::{BufReader, BufWriter};
+
+use ah_core::{AhIndex, AhQuery, BuildConfig};
+use ah_data::dimacs;
+use ah_data::{hierarchical_grid, HierarchicalGridConfig};
+use ah_graph::condense_to_largest_scc;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let tmp = std::env::temp_dir();
+    let (gr_path, co_path) = if args.len() == 2 {
+        (args[0].clone().into(), args[1].clone().into())
+    } else {
+        // No files supplied: write a synthetic network out first.
+        let g = hierarchical_grid(&HierarchicalGridConfig {
+            width: 40,
+            height: 40,
+            seed: 5,
+            ..Default::default()
+        });
+        let gr = tmp.join("ah_example.gr");
+        let co = tmp.join("ah_example.co");
+        let gr_f = BufWriter::new(std::fs::File::create(&gr).unwrap());
+        let co_f = BufWriter::new(std::fs::File::create(&co).unwrap());
+        dimacs::write_graph(&g, gr_f, co_f).unwrap();
+        println!("wrote {} and {}", gr.display(), co.display());
+        (gr, co)
+    };
+
+    // Read, restrict to the largest strongly connected component (the
+    // standard preprocessing step for the challenge data), and index.
+    let gr_f = BufReader::new(std::fs::File::open(&gr_path).unwrap());
+    let co_f = BufReader::new(std::fs::File::open(&co_path).unwrap());
+    let raw = dimacs::read_graph(gr_f, co_f).expect("valid DIMACS pair");
+    let (g, _mapping) = condense_to_largest_scc(&raw);
+    println!(
+        "loaded {}: {} nodes / {} edges (largest SCC)",
+        gr_path.display(),
+        g.num_nodes(),
+        g.num_edges()
+    );
+
+    let index = AhIndex::build(&g, &BuildConfig::default());
+    let mut q = AhQuery::new();
+    let s = 0u32;
+    let t = (g.num_nodes() / 2) as u32;
+    match q.path(&index, s, t) {
+        Some(p) => {
+            p.verify(&g).unwrap();
+            println!(
+                "shortest path {s} → {t}: {} edges, length {}",
+                p.num_edges(),
+                p.dist.length
+            );
+        }
+        None => println!("{t} not reachable from {s}"),
+    }
+}

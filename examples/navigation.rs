@@ -1,0 +1,91 @@
+//! Cross-network navigation: long-range routes, where AH's hierarchy pays
+//! off most (the paper's Q8–Q10 regime). Compares AH, CH and Dijkstra on
+//! the same routes.
+//!
+//! ```text
+//! cargo run --release -p ah-examples --bin navigation
+//! ```
+
+use std::time::Instant;
+
+use ah_ch::{ChIndex, ChQuery};
+use ah_core::{AhIndex, AhQuery, BuildConfig};
+use ah_data::{hierarchical_grid, HierarchicalGridConfig};
+
+fn main() {
+    let network = hierarchical_grid(&HierarchicalGridConfig {
+        width: 72,
+        height: 72,
+        seed: 4242,
+        ..Default::default()
+    });
+    println!(
+        "network: {} nodes, {} edges",
+        network.num_nodes(),
+        network.num_edges()
+    );
+
+    let (ah, ah_secs) = timed(|| AhIndex::build(&network, &BuildConfig::default()));
+    let (ch, ch_secs) = timed(|| ChIndex::build(&network));
+    println!("AH preprocessing: {ah_secs:.2}s; CH preprocessing: {ch_secs:.2}s");
+
+    // Long-range routes: the paper's Q9/Q10 regime (cross-country trips).
+    let sets = ah_workload::generate_query_sets(&network, 200, 11);
+    let long = sets
+        .iter()
+        .rev()
+        .find(|s| !s.pairs.is_empty())
+        .expect("long-range pairs exist");
+    println!(
+        "benchmarking {} long-range routes (Q{})",
+        long.pairs.len(),
+        long.index
+    );
+
+    let mut ahq = AhQuery::new();
+    let mut chq = ChQuery::new();
+
+    let t = Instant::now();
+    let mut ah_total = 0u64;
+    for &(s, d) in &long.pairs {
+        ah_total += ahq.distance(&ah, s, d).unwrap();
+    }
+    let ah_us = t.elapsed().as_secs_f64() * 1e6 / long.pairs.len() as f64;
+
+    let t = Instant::now();
+    let mut ch_total = 0u64;
+    for &(s, d) in &long.pairs {
+        ch_total += chq.distance(&ch, s, d).unwrap();
+    }
+    let ch_us = t.elapsed().as_secs_f64() * 1e6 / long.pairs.len() as f64;
+
+    let t = Instant::now();
+    let mut dij_total = 0u64;
+    for &(s, d) in &long.pairs {
+        dij_total += ah_search::dijkstra_distance(&network, s, d).unwrap().length;
+    }
+    let dij_us = t.elapsed().as_secs_f64() * 1e6 / long.pairs.len() as f64;
+
+    assert_eq!(ah_total, ch_total);
+    assert_eq!(ah_total, dij_total);
+    println!("AH:       {ah_us:9.1} us/route");
+    println!("CH:       {ch_us:9.1} us/route");
+    println!("Dijkstra: {dij_us:9.1} us/route");
+    println!("all methods agree on all route lengths ✓");
+
+    // One full itinerary, unpacked to road segments.
+    let (s, d) = long.pairs[0];
+    let route = ahq.path(&ah, s, d).unwrap();
+    route.verify(&network).unwrap();
+    println!(
+        "example itinerary {s} → {d}: {} segments, travel time {}",
+        route.num_edges(),
+        route.dist.length
+    );
+}
+
+fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t = Instant::now();
+    let out = f();
+    (out, t.elapsed().as_secs_f64())
+}

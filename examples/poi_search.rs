@@ -1,0 +1,67 @@
+//! The paper's introductory scenario: a user asks for nearby restaurants;
+//! the service ranks candidates by *network* distance (distance queries),
+//! then produces driving directions to the chosen one (a shortest-path
+//! query).
+//!
+//! ```text
+//! cargo run --release -p ah-examples --bin poi_search
+//! ```
+
+use ah_core::{AhIndex, AhQuery, BuildConfig};
+use ah_data::{hierarchical_grid, HierarchicalGridConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let network = hierarchical_grid(&HierarchicalGridConfig {
+        width: 48,
+        height: 48,
+        seed: 99,
+        ..Default::default()
+    });
+    let index = AhIndex::build(&network, &BuildConfig::default());
+    let mut q = AhQuery::new();
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // The user's location and twenty candidate restaurants scattered over
+    // the network (each anchored to a road-network node, as a real
+    // geocoder would do).
+    let user = rng.random_range(0..network.num_nodes() as u32);
+    let restaurants: Vec<u32> = (0..20)
+        .map(|_| rng.random_range(0..network.num_nodes() as u32))
+        .collect();
+
+    // Rank by network distance — straight-line distance would mislead on
+    // a road network with rivers/highways; this is the paper's motivating
+    // use of distance queries.
+    let mut ranked: Vec<(u32, u64)> = restaurants
+        .iter()
+        .filter_map(|&r| q.distance(&index, user, r).map(|d| (r, d)))
+        .collect();
+    ranked.sort_by_key(|&(_, d)| d);
+
+    println!("user at node {user}; nearest restaurants by driving time:");
+    for (i, (r, d)) in ranked.iter().take(5).enumerate() {
+        let p = network.coord(*r);
+        println!("  #{0}: node {r} at ({1}, {2}), network distance {d}", i + 1, p.x, p.y);
+    }
+
+    // The user picks the winner; produce turn-by-turn directions.
+    let (best, d) = ranked[0];
+    let route = q.path(&index, user, best).expect("reachable");
+    route.verify(&network).unwrap();
+    assert_eq!(route.dist.length, d);
+    println!(
+        "route to node {best}: {} road segments, total travel time {}",
+        route.num_edges(),
+        route.dist.length
+    );
+
+    // Show the "directions": coordinates of the first few waypoints.
+    print!("waypoints:");
+    for v in route.nodes.iter().take(6) {
+        let p = network.coord(*v);
+        print!(" ({}, {})", p.x, p.y);
+    }
+    println!(" …");
+}

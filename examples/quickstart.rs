@@ -1,0 +1,65 @@
+//! Quickstart: build an Arterial Hierarchy over a synthetic road network
+//! and answer distance + shortest-path queries.
+//!
+//! ```text
+//! cargo run --release -p ah-examples --bin quickstart
+//! ```
+
+use ah_core::{AhIndex, AhQuery, BuildConfig};
+use ah_data::{hierarchical_grid, HierarchicalGridConfig};
+
+fn main() {
+    // 1. A ~4K-node road network: jittered lattice with four road tiers
+    //    (local streets up to highways), some one-way streets, strongly
+    //    connected.
+    let network = hierarchical_grid(&HierarchicalGridConfig {
+        width: 64,
+        height: 64,
+        seed: 2013,
+        ..Default::default()
+    });
+    println!(
+        "network: {} nodes, {} directed edges",
+        network.num_nodes(),
+        network.num_edges()
+    );
+
+    // 2. Build the index. Default configuration = the paper's AH: grid
+    //    levels from the arterial construction, vertex-cover ranking,
+    //    contraction shortcuts with O(1)-expandable middles, elevating
+    //    edges.
+    let t = std::time::Instant::now();
+    let index = AhIndex::build(&network, &BuildConfig::default());
+    let stats = index.stats();
+    println!(
+        "AH built in {:.2?}: h = {}, {} shortcuts, {} elevating arcs, {:.1} MB",
+        t.elapsed(),
+        stats.h,
+        stats.shortcuts,
+        stats.elevating_arcs,
+        stats.size_bytes as f64 / (1024.0 * 1024.0)
+    );
+    println!("nodes per level: {:?}", stats.level_histogram);
+
+    // 3. Queries. `AhQuery` holds the reusable search state; keep one per
+    //    thread.
+    let mut q = AhQuery::new();
+    let (s, t) = (0u32, (network.num_nodes() - 1) as u32);
+
+    let d = q.distance(&index, s, t).expect("network is connected");
+    println!("distance({s}, {t}) = {d}");
+
+    let path = q.path(&index, s, t).expect("network is connected");
+    path.verify(&network).expect("returned path is a real path");
+    println!(
+        "path({s}, {t}): {} edges, length {}, first few nodes {:?}…",
+        path.num_edges(),
+        path.dist.length,
+        &path.nodes[..path.nodes.len().min(8)]
+    );
+
+    // 4. Sanity: AH is exact — spot-check against textbook Dijkstra.
+    let expect = ah_search::dijkstra_distance(&network, s, t).unwrap();
+    assert_eq!(d, expect.length);
+    println!("matches Dijkstra ✓");
+}

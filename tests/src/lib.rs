@@ -1,0 +1,2 @@
+//! Placeholder library target; the real content lives in `tests/tests/*.rs`
+//! (cross-crate integration and property tests).

@@ -1,0 +1,112 @@
+//! Cross-method equivalence: every index in the workspace must return
+//! exactly the same distances as textbook Dijkstra, and every returned
+//! path must be a real path of the reported length.
+
+use ah_ch::{ChIndex, ChQuery};
+use ah_core::{AhIndex, AhQuery, BuildConfig};
+use ah_data::{fixtures, hierarchical_grid, random_geometric, HierarchicalGridConfig};
+use ah_fc::{FcIndex, FcQuery};
+use ah_graph::Graph;
+use ah_search::{dijkstra_distance, dijkstra_path, BidirectionalDijkstra};
+use ah_silc::{SilcIndex, SilcQuery};
+
+/// Runs every method on every (s, t) pair sampled with `stride` and
+/// cross-checks against Dijkstra.
+fn check_all_methods(g: &Graph, stride: usize) {
+    let ah = AhIndex::build(g, &BuildConfig::default());
+    let fc = FcIndex::build(g);
+    let ch = ChIndex::build(g);
+    let silc = SilcIndex::build(g);
+    let mut ahq = AhQuery::new();
+    let mut fcq = FcQuery::new();
+    let mut chq = ChQuery::new();
+    let mut silcq = SilcQuery::new();
+    let mut bd = BidirectionalDijkstra::new();
+
+    let n = g.num_nodes() as u32;
+    for s in (0..n).step_by(stride) {
+        for t in (0..n).step_by(stride) {
+            let want = dijkstra_distance(g, s, t).map(|d| d.length);
+            assert_eq!(ahq.distance(&ah, s, t), want, "AH ({s},{t})");
+            assert_eq!(fcq.distance(&fc, s, t), want, "FC ({s},{t})");
+            assert_eq!(chq.distance(&ch, s, t), want, "CH ({s},{t})");
+            assert_eq!(silcq.distance(g, &silc, s, t), want, "SILC ({s},{t})");
+            assert_eq!(
+                bd.distance(g, s, t).map(|d| d.length),
+                want,
+                "BiDijkstra ({s},{t})"
+            );
+
+            if want.is_some() {
+                let reference = dijkstra_path(g, s, t).unwrap();
+                for (name, p) in [
+                    ("AH", ahq.path(&ah, s, t)),
+                    ("FC", fcq.path(&fc, s, t)),
+                    ("CH", chq.path(&ch, s, t)),
+                    ("SILC", silcq.path(g, &silc, s, t)),
+                    ("BiDijkstra", bd.path(g, s, t)),
+                ] {
+                    let p = p.unwrap_or_else(|| panic!("{name} lost path ({s},{t})"));
+                    p.verify(g).unwrap_or_else(|e| panic!("{name} ({s},{t}): {e}"));
+                    assert_eq!(
+                        p.dist.length, reference.dist.length,
+                        "{name} path length ({s},{t})"
+                    );
+                    assert_eq!(p.source(), s);
+                    assert_eq!(p.target(), t);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn all_methods_on_road_network() {
+    let g = hierarchical_grid(&HierarchicalGridConfig {
+        width: 13,
+        height: 13,
+        seed: 1001,
+        ..Default::default()
+    });
+    check_all_methods(&g, 6);
+}
+
+#[test]
+fn all_methods_on_one_way_heavy_network() {
+    let g = hierarchical_grid(&HierarchicalGridConfig {
+        width: 11,
+        height: 11,
+        one_way: 0.35,
+        local_edge_drop: 0.25,
+        seed: 77,
+        ..Default::default()
+    });
+    check_all_methods(&g, 5);
+}
+
+#[test]
+fn all_methods_on_random_geometric() {
+    let g = random_geometric(70, 500, 120, 13);
+    check_all_methods(&g, 4);
+}
+
+#[test]
+fn all_methods_on_fixtures() {
+    check_all_methods(&fixtures::figure1_like(), 1);
+    check_all_methods(&fixtures::ring(14), 1);
+    check_all_methods(&fixtures::lattice(6, 6, 20), 2);
+}
+
+#[test]
+fn many_seeds_spot_checks() {
+    // Wider seed coverage with a sparse sample per network.
+    for seed in [2, 3, 5, 8, 13, 21, 34, 55] {
+        let g = hierarchical_grid(&HierarchicalGridConfig {
+            width: 10,
+            height: 10,
+            seed,
+            ..Default::default()
+        });
+        check_all_methods(&g, 9);
+    }
+}

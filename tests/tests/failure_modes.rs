@@ -1,0 +1,165 @@
+//! Failure injection and degenerate inputs across the whole stack.
+
+use ah_ch::{ChIndex, ChQuery};
+use ah_core::{AhIndex, AhQuery, BuildConfig};
+use ah_fc::{FcIndex, FcQuery};
+use ah_graph::{GraphBuilder, Point};
+use ah_silc::{SilcIndex, SilcQuery};
+
+#[test]
+fn single_node_graph() {
+    let mut b = GraphBuilder::new();
+    b.add_node(Point::new(5, 5));
+    let g = b.build();
+    let ah = AhIndex::build(&g, &BuildConfig::default());
+    let mut q = AhQuery::new();
+    assert_eq!(q.distance(&ah, 0, 0), Some(0));
+    let p = q.path(&ah, 0, 0).unwrap();
+    assert_eq!(p.nodes, vec![0]);
+}
+
+#[test]
+fn two_isolated_nodes() {
+    let mut b = GraphBuilder::new();
+    b.add_node(Point::new(0, 0));
+    b.add_node(Point::new(100, 100));
+    let g = b.build();
+    let ah = AhIndex::build(&g, &BuildConfig::default());
+    let ch = ChIndex::build(&g);
+    let fc = FcIndex::build(&g);
+    let silc = SilcIndex::build(&g);
+    let mut ahq = AhQuery::new();
+    let mut chq = ChQuery::new();
+    let mut fcq = FcQuery::new();
+    let mut silcq = SilcQuery::new();
+    assert_eq!(ahq.distance(&ah, 0, 1), None);
+    assert_eq!(chq.distance(&ch, 0, 1), None);
+    assert_eq!(fcq.distance(&fc, 0, 1), None);
+    assert_eq!(silcq.distance(&g, &silc, 0, 1), None);
+    assert!(ahq.path(&ah, 0, 1).is_none());
+}
+
+#[test]
+fn directed_sink_and_source() {
+    // 0 → 1 → 2; node 0 unreachable from anywhere, 2 reaches nothing.
+    let mut b = GraphBuilder::new();
+    for i in 0..3 {
+        b.add_node(Point::new(i * 50, 0));
+    }
+    b.add_edge(0, 1, 3);
+    b.add_edge(1, 2, 4);
+    let g = b.build();
+    let ah = AhIndex::build(&g, &BuildConfig::default());
+    let mut q = AhQuery::new();
+    assert_eq!(q.distance(&ah, 0, 2), Some(7));
+    assert_eq!(q.distance(&ah, 2, 0), None);
+    assert_eq!(q.distance(&ah, 1, 0), None);
+    let p = q.path(&ah, 0, 2).unwrap();
+    assert_eq!(p.nodes, vec![0, 1, 2]);
+}
+
+#[test]
+fn coincident_coordinates() {
+    // Several nodes share coordinates: grids cannot separate them, SILC
+    // needs its exception lists, everything must stay exact.
+    let mut b = GraphBuilder::new();
+    for i in 0..6 {
+        b.add_node(Point::new((i / 2) * 10, 0)); // pairs share a point
+    }
+    for i in 0..6u32 {
+        b.add_bidirectional_edge(i, (i + 1) % 6, i + 1);
+    }
+    let g = b.build();
+    let ah = AhIndex::build(&g, &BuildConfig::default());
+    let silc = SilcIndex::build(&g);
+    let mut q = AhQuery::new();
+    let mut sq = SilcQuery::new();
+    for s in 0..6u32 {
+        for t in 0..6u32 {
+            let want = ah_search::dijkstra_distance(&g, s, t).map(|d| d.length);
+            assert_eq!(q.distance(&ah, s, t), want, "AH ({s},{t})");
+            assert_eq!(sq.distance(&g, &silc, s, t), want, "SILC ({s},{t})");
+        }
+    }
+}
+
+#[test]
+fn huge_weights_do_not_overflow() {
+    // Path sums exceed u32: distances must be exact u64.
+    let mut b = GraphBuilder::new();
+    for i in 0..5 {
+        b.add_node(Point::new(i * 1000, 0));
+    }
+    for i in 0..4u32 {
+        b.add_bidirectional_edge(i, i + 1, u32::MAX / 2);
+    }
+    let g = b.build();
+    let ah = AhIndex::build(&g, &BuildConfig::default());
+    let mut q = AhQuery::new();
+    let expect = 4u64 * (u32::MAX / 2) as u64;
+    assert_eq!(q.distance(&ah, 0, 4), Some(expect));
+    assert!(expect > u32::MAX as u64);
+}
+
+#[test]
+fn dense_clique_contracts_fine() {
+    // Worst case for contraction: a clique has no low-degree nodes.
+    let n = 12u32;
+    let mut b = GraphBuilder::new();
+    for i in 0..n {
+        b.add_node(Point::new((i as i32 % 4) * 50, (i as i32 / 4) * 50));
+    }
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                b.add_edge(i, j, 10 + (i * 7 + j * 13) % 90);
+            }
+        }
+    }
+    let g = b.build();
+    let ah = AhIndex::build(&g, &BuildConfig::default());
+    let ch = ChIndex::build(&g);
+    let mut ahq = AhQuery::new();
+    let mut chq = ChQuery::new();
+    for s in 0..n {
+        for t in 0..n {
+            let want = ah_search::dijkstra_distance(&g, s, t).map(|d| d.length);
+            assert_eq!(ahq.distance(&ah, s, t), want);
+            assert_eq!(chq.distance(&ch, s, t), want);
+        }
+    }
+}
+
+#[test]
+fn long_thin_network() {
+    // A 200-node corridor: deep hierarchies in one dimension.
+    let g = ah_data::fixtures::line(200, 9);
+    let ah = AhIndex::build(&g, &BuildConfig::default());
+    let mut q = AhQuery::new();
+    for (s, t) in [(0u32, 199u32), (199, 0), (7, 133), (150, 3)] {
+        assert_eq!(
+            q.distance(&ah, s, t),
+            Some(s.abs_diff(t) as u64),
+            "({s},{t})"
+        );
+    }
+    let p = q.path(&ah, 0, 199).unwrap();
+    p.verify(&g).unwrap();
+    assert_eq!(p.num_edges(), 199);
+}
+
+#[test]
+fn parallel_and_self_edges_in_input() {
+    let mut b = GraphBuilder::new();
+    let a = b.add_node(Point::new(0, 0));
+    let c = b.add_node(Point::new(10, 0));
+    b.add_edge(a, a, 1); // self-loop: dropped
+    b.add_edge(a, c, 9);
+    b.add_edge(a, c, 4); // parallel: min kept
+    b.add_edge(c, a, 2);
+    let g = b.build();
+    let ah = AhIndex::build(&g, &BuildConfig::default());
+    let mut q = AhQuery::new();
+    assert_eq!(q.distance(&ah, a, c), Some(4));
+    assert_eq!(q.distance(&ah, c, a), Some(2));
+}

@@ -1,0 +1,149 @@
+//! Property-based tests (proptest) on the distance oracles and their
+//! substrates.
+
+use ah_core::{AhIndex, AhQuery, BuildConfig};
+use ah_graph::{Graph, GraphBuilder, Point};
+use ah_search::dijkstra_distance;
+use proptest::prelude::*;
+
+/// Strategy: a random connected-ish directed graph with coordinates. Node
+/// count 2..=24, coordinates in a small box, random directed edges plus a
+/// bidirectional ring so everything stays strongly connected.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..=24, proptest::collection::vec((0i32..400, 0i32..400, 1u32..50), 0..80)).prop_map(
+        |(n, extra)| {
+            let mut b = GraphBuilder::new();
+            for i in 0..n {
+                // Spread nodes deterministically; the extra edges carry the
+                // randomness.
+                let x = ((i * 73) % 19) as i32 * 20;
+                let y = ((i * 31) % 17) as i32 * 20;
+                b.add_node(Point::new(x, y));
+            }
+            for i in 0..n as u32 {
+                b.add_bidirectional_edge(i, (i + 1) % n as u32, 7);
+            }
+            for (xi, yi, w) in extra {
+                let u = (xi as u32) % n as u32;
+                let v = (yi as u32) % n as u32;
+                if u != v {
+                    b.add_edge(u, v, w);
+                }
+            }
+            b.build()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// AH distances equal Dijkstra distances on arbitrary strongly
+    /// connected graphs, for all pairs.
+    #[test]
+    fn ah_matches_dijkstra(g in arb_graph()) {
+        let idx = AhIndex::build(&g, &BuildConfig::default());
+        let mut q = AhQuery::new();
+        let n = g.num_nodes() as u32;
+        for s in 0..n {
+            for t in 0..n {
+                let want = dijkstra_distance(&g, s, t).map(|d| d.length);
+                prop_assert_eq!(q.distance(&idx, s, t), want, "pair ({}, {})", s, t);
+            }
+        }
+    }
+
+    /// Every AH path is a valid path of the reported length with correct
+    /// endpoints.
+    #[test]
+    fn ah_paths_are_valid(g in arb_graph()) {
+        let idx = AhIndex::build(&g, &BuildConfig::default());
+        let mut q = AhQuery::new();
+        let n = g.num_nodes() as u32;
+        for s in (0..n).step_by(3) {
+            for t in (0..n).step_by(2) {
+                if let Some(p) = q.path(&idx, s, t) {
+                    prop_assert!(p.verify(&g).is_ok(), "invalid path for ({}, {}): {:?}", s, t, p.nodes);
+                    prop_assert_eq!(p.source(), s);
+                    prop_assert_eq!(p.target(), t);
+                }
+            }
+        }
+    }
+
+    /// The oracle respects the triangle inequality (it is a true metric
+    /// closure of the positively weighted graph).
+    #[test]
+    fn triangle_inequality(g in arb_graph()) {
+        let idx = AhIndex::build(&g, &BuildConfig::default());
+        let mut q = AhQuery::new();
+        let n = g.num_nodes() as u32;
+        for a in (0..n).step_by(4) {
+            for b in (0..n).step_by(3) {
+                for c in (0..n).step_by(5) {
+                    if let (Some(ab), Some(bc), Some(ac)) = (
+                        q.distance(&idx, a, b),
+                        q.distance(&idx, b, c),
+                        q.distance(&idx, a, c),
+                    ) {
+                        prop_assert!(ac <= ab + bc, "({}, {}, {}): {} > {} + {}", a, b, c, ac, ab, bc);
+                    }
+                }
+            }
+        }
+    }
+
+    /// On symmetric graphs (every edge paired with its reverse at equal
+    /// weight) distances are symmetric.
+    #[test]
+    fn symmetric_graph_symmetric_distances(
+        n in 3usize..16,
+        edges in proptest::collection::vec((0usize..15, 0usize..15, 1u32..30), 5..40)
+    ) {
+        let mut b = GraphBuilder::new();
+        for i in 0..n {
+            b.add_node(Point::new((i as i32 % 5) * 30, (i as i32 / 5) * 30));
+        }
+        for i in 0..n as u32 {
+            b.add_bidirectional_edge(i, (i + 1) % n as u32, 5);
+        }
+        for (u, v, w) in edges {
+            let (u, v) = ((u % n) as u32, (v % n) as u32);
+            if u != v {
+                b.add_bidirectional_edge(u, v, w);
+            }
+        }
+        let g = b.build();
+        let idx = AhIndex::build(&g, &BuildConfig::default());
+        let mut q = AhQuery::new();
+        for s in 0..n as u32 {
+            for t in 0..n as u32 {
+                prop_assert_eq!(q.distance(&idx, s, t), q.distance(&idx, t, s));
+            }
+        }
+    }
+
+    /// Grid predicate sanity over arbitrary points: separation level is
+    /// consistent with the 3×3 cover predicate it is defined by.
+    #[test]
+    fn separation_level_consistency(
+        px in -1000i32..1000, py in -1000i32..1000,
+        qx in -1000i32..1000, qy in -1000i32..1000,
+    ) {
+        use ah_graph::BoundingBox;
+        use ah_grid::GridHierarchy;
+        let p = Point::new(px, py);
+        let q0 = Point::new(qx, qy);
+        let bb = BoundingBox::of([p, q0, Point::new(-1000, -1000), Point::new(1000, 1000)]);
+        let grid = GridHierarchy::fit(bb, 12);
+        match grid.separation_level(p, q0) {
+            None => prop_assert!(grid.same_3x3_region(1, p, q0)),
+            Some(j) => {
+                prop_assert!(!grid.same_3x3_region(j, p, q0));
+                if j < grid.levels() {
+                    prop_assert!(grid.same_3x3_region(j + 1, p, q0));
+                }
+            }
+        }
+    }
+}

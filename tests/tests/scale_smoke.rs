@@ -1,0 +1,67 @@
+//! Registry-scale smoke test: the S0 benchmark dataset (≈1K nodes) with
+//! sampled query pairs — large enough to exercise deep hierarchies, small
+//! enough for the normal test run.
+
+use ah_ch::{ChIndex, ChQuery};
+use ah_core::{AhIndex, AhQuery, BuildConfig};
+use ah_search::dijkstra_distance;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn s0_dataset_sampled_equivalence() {
+    let spec = ah_data::registry::by_name("S0").unwrap();
+    let g = spec.build();
+    assert!(g.num_nodes() > 900);
+
+    let ah = AhIndex::build(&g, &BuildConfig::default());
+    let ch = ChIndex::build(&g);
+    let mut ahq = AhQuery::new();
+    let mut chq = ChQuery::new();
+
+    let mut rng = StdRng::seed_from_u64(515);
+    let n = g.num_nodes() as u32;
+    for _ in 0..300 {
+        let s = rng.random_range(0..n);
+        let t = rng.random_range(0..n);
+        let want = dijkstra_distance(&g, s, t).map(|d| d.length);
+        assert_eq!(ahq.distance(&ah, s, t), want, "AH ({s},{t})");
+        assert_eq!(chq.distance(&ch, s, t), want, "CH ({s},{t})");
+        if want.is_some() {
+            let p = ahq.path(&ah, s, t).unwrap();
+            p.verify(&g).unwrap();
+            assert_eq!(Some(p.dist.length), want);
+        }
+    }
+}
+
+#[test]
+fn ah_build_is_deterministic() {
+    let spec = ah_data::registry::by_name("S0").unwrap();
+    let g = spec.build();
+    let a = AhIndex::build(&g, &BuildConfig::default());
+    let b = AhIndex::build(&g, &BuildConfig::default());
+    let (sa, sb) = (a.stats(), b.stats());
+    assert_eq!(sa.level_histogram, sb.level_histogram);
+    assert_eq!(sa.shortcuts, sb.shortcuts);
+    assert_eq!(sa.elevating_arcs, sb.elevating_arcs);
+    // And query results agree pairwise (spot check).
+    let mut qa = AhQuery::new();
+    let mut qb = AhQuery::new();
+    for (s, t) in [(0u32, 500u32), (17, 901), (333, 12)] {
+        assert_eq!(qa.distance(&a, s, t), qb.distance(&b, s, t));
+    }
+}
+
+#[test]
+fn workload_sets_cover_long_ranges_on_s0() {
+    let spec = ah_data::registry::by_name("S0").unwrap();
+    let g = spec.build();
+    let sets = ah_workload::generate_query_sets(&g, 50, 3);
+    // The top (long-distance) sets must be populated; the shortest-range
+    // sets may legitimately be empty on synthetic data whose minimum edge
+    // weight exceeds lmax/1024 (documented in EXPERIMENTS.md).
+    assert!(!sets[9].pairs.is_empty(), "Q10 empty");
+    assert!(!sets[8].pairs.is_empty(), "Q9 empty");
+    assert!(!sets[7].pairs.is_empty(), "Q8 empty");
+}

@@ -73,11 +73,11 @@ impl SilcIndex {
             let mut slots: Vec<Option<QuadTree>> = vec![None; n];
             let next = std::sync::atomic::AtomicUsize::new(0);
             let slots_ptr = slice_ptr(&mut slots);
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 for _ in 0..threads {
                     let next = &next;
                     let slots_ptr = &slots_ptr;
-                    scope.spawn(move |_| loop {
+                    scope.spawn(move || loop {
                         let s = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         if s >= n {
                             break;
@@ -90,8 +90,7 @@ impl SilcIndex {
                         }
                     });
                 }
-            })
-            .expect("silc build threads");
+            });
             trees.extend(slots.into_iter().map(|t| t.expect("slot filled")));
         }
         SilcIndex {

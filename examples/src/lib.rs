@@ -1,0 +1,6 @@
+//! Host crate for the runnable examples in this directory.
+//!
+//! The library target is intentionally empty; the value of this crate
+//! is its `[[example]]` targets (`cargo run --example quickstart`,
+//! `navigation`, `poi_search`, `dimacs_roundtrip`), which exercise the
+//! AH index, the CH baseline, and the DIMACS loader end-to-end.

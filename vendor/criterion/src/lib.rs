@@ -1,0 +1,219 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the API subset used by `crates/bench/benches/*`:
+//! [`Criterion`] with `bench_function` / `benchmark_group` /
+//! `sample_size` / `measurement_time`, [`BenchmarkGroup`] with
+//! `bench_function` / `bench_with_input` / `finish`, [`BenchmarkId`],
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Unlike the real criterion it performs a single quick timing pass
+//! per benchmark (bounded warm-up, then up to `sample_size` timed
+//! iterations capped at ~200 ms wall clock) and prints a one-line
+//! mean. There is no statistical analysis, plotting, or baseline
+//! comparison — the goal is that `cargo bench` compiles, runs every
+//! benchmark body, and finishes in seconds rather than minutes.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function, mirroring
+/// `criterion::black_box`.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier: a function name plus a parameter label.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<F: fmt::Display, P: fmt::Display>(function_name: F, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Per-benchmark timing driver handed to the closure.
+pub struct Bencher {
+    samples: usize,
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly and record the mean iteration time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up iteration so lazily-initialized state does not
+        // dominate the measurement.
+        black_box(routine());
+        let cap = Duration::from_millis(200);
+        let start = Instant::now();
+        let mut done = 0usize;
+        while done < self.samples && start.elapsed() < cap {
+            black_box(routine());
+            done += 1;
+        }
+        self.mean = Some(start.elapsed() / done.max(1) as u32);
+    }
+}
+
+fn run_one(group: Option<&str>, id: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
+    let label = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    let mut b = Bencher {
+        samples,
+        mean: None,
+    };
+    f(&mut b);
+    match b.mean {
+        Some(mean) => println!("bench: {label:<40} {mean:>12.2?}/iter"),
+        None => println!("bench: {label:<40} (no measurement)"),
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(Some(&self.name), &id.to_string(), self.sample_size, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        run_one(Some(&self.name), &id.to_string(), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {
+        let _ = self.criterion;
+    }
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    sample_size: Option<usize>,
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    pub fn measurement_time(self, _dur: Duration) -> Self {
+        self
+    }
+
+    fn samples(&self) -> usize {
+        self.sample_size.unwrap_or(10)
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(None, id, self.samples(), f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.samples(),
+            criterion: self,
+        }
+    }
+}
+
+/// Mirrors `criterion_group!`: both the simple list form and the
+/// `name = ...; config = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Mirrors `criterion_main!`: emits `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert!(runs >= 1);
+    }
+
+    #[test]
+    fn group_runs_with_input() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("g");
+        let input = vec![1, 2, 3];
+        group.bench_with_input(BenchmarkId::new("sum", "v"), &input, |b, v| {
+            b.iter(|| v.iter().sum::<i32>())
+        });
+        group.finish();
+    }
+}

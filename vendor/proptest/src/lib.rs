@@ -1,0 +1,266 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`proptest!`] macro (with an optional `#![proptest_config(...)]`
+//! header), [`Strategy`] with [`Strategy::prop_map`], integer-range
+//! and tuple strategies, [`collection::vec`], and the
+//! [`prop_assert!`] / [`prop_assert_eq!`] macros.
+//!
+//! Each test body runs `cases` times against inputs drawn from a
+//! deterministic per-case seed. Unlike the real proptest there is no
+//! shrinking and no persisted failure seeds — a failing case panics
+//! with the normal assert message, and the fixed seeding makes it
+//! reproducible by rerunning the test.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod test_runner {
+    use super::*;
+
+    /// Run configuration, mirroring `proptest::test_runner::Config`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// Drives the per-case RNG. Each case reseeds deterministically so
+    /// failures reproduce without persisted seed files.
+    pub struct TestRunner {
+        config: Config,
+        case: u64,
+        rng: StdRng,
+    }
+
+    impl TestRunner {
+        pub fn new(config: Config) -> Self {
+            TestRunner {
+                config,
+                case: 0,
+                rng: StdRng::seed_from_u64(0x5EED),
+            }
+        }
+
+        pub fn cases(&self) -> u32 {
+            self.config.cases
+        }
+
+        pub fn begin_case(&mut self) {
+            self.rng = StdRng::seed_from_u64(0x5EED_0000 + self.case);
+            self.case += 1;
+        }
+
+        pub fn rng(&mut self) -> &mut StdRng {
+            &mut self.rng
+        }
+    }
+}
+
+/// A value generator, mirroring `proptest::strategy::Strategy` minus
+/// shrinking.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rand::Rng::random_range(rng, self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rand::Rng::random_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+pub mod collection {
+    use super::*;
+
+    /// Strategy for a `Vec` whose length is drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Mirrors `proptest::collection::vec` for `Range<usize>` sizes.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = self.size.clone().generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest, Strategy};
+}
+
+/// Mirrors `prop_assert!`: plain assertion (no shrink-and-replay).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Mirrors `prop_assert_eq!`: plain equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Mirrors the `proptest!` test-block macro: expands each
+/// `fn name(pat in strategy, ...) { body }` into a `#[test]` that runs
+/// the body for `cases` deterministic random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = $crate::test_runner::Config::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+     $(#[$attr:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        // Callers write `#[test]` on each fn themselves (as with the
+        // real proptest), so the attribute list is re-emitted as-is.
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut runner = $crate::test_runner::TestRunner::new(config);
+            // Strategies are built once, outside the case loop; the
+            // tuple-of-strategies impl turns them into one generator.
+            let strategy = ($({ $strat },)+);
+            for _case in 0..runner.cases() {
+                runner.begin_case();
+                let ($($pat,)+) = $crate::Strategy::generate(&strategy, runner.rng());
+                $body
+            }
+        }
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_in_bounds(a in 0usize..10, b in -5i32..=5) {
+            prop_assert!(a < 10);
+            prop_assert!((-5..=5).contains(&b));
+        }
+
+        #[test]
+        fn vec_and_map_compose(
+            v in crate::collection::vec((0u32..100, 1u32..4), 0..20).prop_map(|pairs| {
+                pairs.into_iter().map(|(x, y)| x * y).collect::<Vec<_>>()
+            })
+        ) {
+            prop_assert!(v.len() < 20);
+            prop_assert!(v.iter().all(|&x| x < 400));
+        }
+    }
+
+    #[test]
+    fn deterministic_between_runners() {
+        use crate::test_runner::{Config, TestRunner};
+        use crate::Strategy;
+        let mut r1 = TestRunner::new(Config::default());
+        let mut r2 = TestRunner::new(Config::default());
+        r1.begin_case();
+        r2.begin_case();
+        let s = 0u64..1000;
+        assert_eq!(s.generate(r1.rng()), s.generate(r2.rng()));
+    }
+}

@@ -1,0 +1,155 @@
+//! Offline stand-in for the `rand` crate, implementing the subset of
+//! the rand 0.9 API this workspace uses: [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], [`Rng::random_range`] over integer
+//! `Range`/`RangeInclusive` bounds, and [`Rng::random_bool`].
+//!
+//! The generator is SplitMix64 — deterministic, fast, and good enough
+//! for workload generation and randomized tests. It is **not** the
+//! same stream as the real `StdRng` (ChaCha12), so seeds produce
+//! different sequences than upstream rand; everything in this
+//! workspace only relies on determinism, not on a specific stream.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A seedable RNG, mirroring `rand::SeedableRng`'s `seed_from_u64`.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Integer types that [`Rng::random_range`] can sample.
+pub trait SampleUniform: Copy {
+    fn to_i128(self) -> i128;
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            #[inline]
+            fn from_i128(v: i128) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+/// Ranges that can be sampled from, mirroring `rand::distr::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Inclusive `(low, high)` bounds, or `None` if the range is empty.
+    fn bounds(&self) -> Option<(i128, i128)>;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn bounds(&self) -> Option<(i128, i128)> {
+        let (lo, hi) = (self.start.to_i128(), self.end.to_i128() - 1);
+        (lo <= hi).then_some((lo, hi))
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn bounds(&self) -> Option<(i128, i128)> {
+        let (lo, hi) = (self.start().to_i128(), self.end().to_i128());
+        (lo <= hi).then_some((lo, hi))
+    }
+}
+
+/// The subset of `rand::Rng` used by this workspace.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from an integer range. Panics on empty ranges,
+    /// like the real `rand`.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        let (lo, hi) = range
+            .bounds()
+            .expect("cannot sample empty range");
+        let span = (hi - lo + 1) as u128;
+        // Rejection sampling: accept only draws below the largest
+        // multiple of `span`, so the reduction is bias-free.
+        let zone = ((u64::MAX as u128 + 1) / span) * span;
+        loop {
+            let v = self.next_u64() as u128;
+            if v < zone {
+                return T::from_i128(lo + (v % span) as i128);
+            }
+        }
+    }
+
+    /// Bernoulli sample: `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        // 53 high bits give a uniform f64 in [0, 1).
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        u < p
+    }
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic SplitMix64 generator standing in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: i32 = rng.random_range(-5..=5);
+            assert!((-5..=5).contains(&v));
+            let u: usize = rng.random_range(0..17);
+            assert!(u < 17);
+        }
+    }
+
+    #[test]
+    fn bool_probabilities_degenerate() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(!rng.random_bool(0.0));
+        assert!(rng.random_bool(1.0));
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! Exposes `Serialize` / `Deserialize` as empty marker traits with
+//! blanket impls, and re-exports the no-op derive macros from the
+//! sibling `serde_derive` stub, so `use serde::{Serialize,
+//! Deserialize}` and `#[derive(Serialize, Deserialize)]` both compile
+//! unchanged. No actual (de)serialization is provided; replace with
+//! the real serde when a wire format is needed.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize {}
+impl<T: ?Sized> Deserialize for T {}

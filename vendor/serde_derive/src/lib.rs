@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Provides `#[derive(Serialize)]` / `#[derive(Deserialize)]` that
+//! expand to nothing, so types can keep their serde derives in source
+//! while building without the real serde. The traits themselves live
+//! in the sibling `vendor/serde` stub as empty marker traits with
+//! blanket impls, so the empty expansion here is sufficient.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,225 @@
+//! **Serving benchmark**: concurrent query throughput vs worker count.
+//!
+//! Where the figure binaries measure one query at a time, this harness
+//! drives the `ah_server` worker pool with an interleaved, cache-friendly
+//! request stream over the paper's Q1–Q10 sets and reports aggregate QPS
+//! and latency quantiles:
+//!
+//! * a *thread sweep* of the AH backend (1, 2, 4, … up to `--threads`,
+//!   each from a cold cache, same stream), and
+//! * a *backend comparison* (AH vs CH vs bidirectional Dijkstra) at the
+//!   full thread count.
+//!
+//! Results go to stdout and, machine-readably, to `BENCH_server.json`
+//! (override the path with the `SERVE_BENCH_OUT` environment variable) so
+//! CI can archive the serving-perf trajectory. JSON is hand-rolled
+//! because the workspace's serde is an offline stub.
+//!
+//! ```sh
+//! cargo run --release -p ah_bench --bin serve_throughput -- \
+//!     --through S2 --pairs 100 --threads 4
+//! ```
+
+use ah_bench::{load_dataset, time_once, HarnessArgs};
+use ah_ch::ChIndex;
+use ah_core::AhIndex;
+use ah_server::{
+    AhBackend, ChBackend, DijkstraBackend, DistanceBackend, Request, RunReport, Server,
+    ServerConfig,
+};
+use ah_workload::TrafficSchedule;
+
+/// Locality knob for the generated traffic (fraction of repeated pairs).
+const REPEAT_FRACTION: f64 = 0.25;
+
+/// One measured configuration, rendered into the JSON report.
+struct Row {
+    backend: &'static str,
+    threads: usize,
+    report: RunReport,
+}
+
+impl Row {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"backend\":\"{}\",\"threads\":{},\"snapshot\":{}}}",
+            self.backend,
+            self.threads,
+            self.report.snapshot.to_json()
+        )
+    }
+}
+
+/// 1, 2, 4, … capped at `max`, with `max` itself always included.
+fn thread_sweep(max: usize) -> Vec<usize> {
+    let mut v = Vec::new();
+    let mut t = 1;
+    while t < max {
+        v.push(t);
+        t *= 2;
+    }
+    v.push(max.max(1));
+    v.dedup();
+    v
+}
+
+/// Measured runs per configuration; the fastest is reported (the standard
+/// way to strip scheduler noise from a throughput measurement).
+const REPS: usize = 3;
+
+fn run_one(
+    backend: &dyn DistanceBackend,
+    threads: usize,
+    requests: &[Request],
+) -> Row {
+    let report = (0..REPS)
+        .map(|_| {
+            // A fresh server per rep: every measurement starts cache-cold.
+            let server = Server::new(ServerConfig {
+                workers: threads,
+                ..Default::default()
+            });
+            server.run(backend, requests)
+        })
+        .max_by(|a, b| a.snapshot.qps.total_cmp(&b.snapshot.qps))
+        .expect("REPS >= 1");
+    Row {
+        backend: backend.name(),
+        threads,
+        report,
+    }
+}
+
+fn print_row(r: &Row) {
+    let s = &r.report.snapshot;
+    println!(
+        "{}\t{}\t{:.0}\t{:.1}\t{:.1}\t{:.1}\t{:.2}",
+        r.backend, r.threads, s.qps, s.p50_us, s.p95_us, s.p99_us, s.cache_hit_rate
+    );
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let spec = *args.datasets().last().expect("registry is non-empty");
+    let hardware = std::thread::available_parallelism().map_or(1, |p| p.get());
+
+    eprintln!("[serve] loading {} and generating workload …", spec.name);
+    let ds = load_dataset(&spec, args.pairs, args.seed);
+    let n = ds.graph.num_nodes();
+    let total_requests = (args.pairs * 20).max(200);
+    let stream = TrafficSchedule::interactive(total_requests, REPEAT_FRACTION, args.seed)
+        .generate(&ds.query_sets);
+    assert!(!stream.is_empty(), "workload generation produced no requests");
+    let requests: Vec<Request> = stream
+        .iter()
+        .enumerate()
+        .map(|(i, &(s, t))| Request::distance(i as u64, s, t))
+        .collect();
+
+    eprintln!("[serve] {}: building AH + CH indices …", spec.name);
+    let (ah, ah_secs) = time_once(|| AhIndex::build(&ds.graph, &Default::default()));
+    let (ch, ch_secs) = time_once(|| ChIndex::build(&ds.graph));
+    eprintln!("[serve] built (AH {ah_secs:.1}s, CH {ch_secs:.1}s); serving {} requests …", requests.len());
+
+    let ah_backend = AhBackend::new(&ah);
+    let ch_backend = ChBackend::new(&ch);
+    let dij_backend = DijkstraBackend::new(&ds.graph);
+
+    println!(
+        "\n{} (n = {n}): serving throughput, {} requests, repeat fraction {REPEAT_FRACTION}",
+        spec.name,
+        requests.len()
+    );
+    println!("backend\tthreads\tqps\tp50_us\tp95_us\tp99_us\thit_rate");
+
+    // Unrecorded warmup so the first sweep point doesn't pay the
+    // process's cold caches and allocator.
+    let _ = run_one(&ah_backend, args.threads, &requests);
+
+    // Thread sweep on the AH backend, cold cache each time.
+    let mut sweep_rows = Vec::new();
+    for &t in &thread_sweep(args.threads) {
+        let row = run_one(&ah_backend, t, &requests);
+        print_row(&row);
+        sweep_rows.push(row);
+    }
+    let qps_1 = sweep_rows.first().map_or(0.0, |r| r.report.snapshot.qps);
+    let qps_max = sweep_rows.last().map_or(0.0, |r| r.report.snapshot.qps);
+    let speedup = if qps_1 > 0.0 { qps_max / qps_1 } else { 0.0 };
+
+    // Backend comparison at full width.
+    let mut backend_rows = Vec::new();
+    for backend in [
+        &ah_backend as &dyn DistanceBackend,
+        &ch_backend,
+        &dij_backend,
+    ] {
+        let row = run_one(backend, args.threads, &requests);
+        print_row(&row);
+        backend_rows.push(row);
+    }
+
+    // Sanity: every backend must serve identical distances, pair by pair
+    // (responses are sorted by request id).
+    let ah_responses = &backend_rows[0].report.responses;
+    for row in &backend_rows[1..] {
+        for (a, b) in ah_responses.iter().zip(&row.report.responses) {
+            assert_eq!(
+                (a.id, a.distance),
+                (b.id, b.distance),
+                "{} disagrees with AH on request {}",
+                row.backend,
+                a.id
+            );
+        }
+    }
+    println!(
+        "\nspeedup {}→{} workers: {speedup:.2}x (hardware parallelism: {hardware})",
+        sweep_rows.first().map_or(1, |r| r.threads),
+        sweep_rows.last().map_or(1, |r| r.threads),
+    );
+    if hardware == 1 {
+        eprintln!("[serve] WARNING: single-core machine — thread scaling cannot exceed 1x here");
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"serve_throughput\",\n",
+            "  \"dataset\": \"{}\",\n",
+            "  \"nodes\": {},\n",
+            "  \"requests\": {},\n",
+            "  \"repeat_fraction\": {},\n",
+            "  \"seed\": {},\n",
+            "  \"hardware_parallelism\": {},\n",
+            "  \"ah_build_secs\": {:.3},\n",
+            "  \"ch_build_secs\": {:.3},\n",
+            "  \"thread_sweep\": [\n    {}\n  ],\n",
+            "  \"backend_comparison\": [\n    {}\n  ],\n",
+            "  \"speedup_1_to_max_workers\": {:.3}\n",
+            "}}\n"
+        ),
+        spec.name,
+        n,
+        requests.len(),
+        REPEAT_FRACTION,
+        args.seed,
+        hardware,
+        ah_secs,
+        ch_secs,
+        sweep_rows
+            .iter()
+            .map(Row::to_json)
+            .collect::<Vec<_>>()
+            .join(",\n    "),
+        backend_rows
+            .iter()
+            .map(Row::to_json)
+            .collect::<Vec<_>>()
+            .join(",\n    "),
+        speedup,
+    );
+    let out = std::env::var("SERVE_BENCH_OUT").unwrap_or_else(|_| "BENCH_server.json".into());
+    std::fs::write(&out, &json).expect("write benchmark JSON");
+    println!("wrote {out}");
+}

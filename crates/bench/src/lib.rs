@@ -23,6 +23,10 @@ pub struct HarnessArgs {
     pub pairs: usize,
     /// Workload seed.
     pub seed: u64,
+    /// Worker threads for parallel experiments (`serve_throughput` and
+    /// future parallel builds). Defaults to the machine's available
+    /// parallelism.
+    pub threads: usize,
 }
 
 impl Default for HarnessArgs {
@@ -31,12 +35,14 @@ impl Default for HarnessArgs {
             through: 5, // S0..S5 by default (see registry docs)
             pairs: 500,
             seed: 0xF16,
+            threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
         }
     }
 }
 
 impl HarnessArgs {
-    /// Parses `--through SN` / `--pairs N` / `--seed N` from `std::env`.
+    /// Parses `--through SN` / `--pairs N` / `--seed N` / `--threads N`
+    /// from `std::env`.
     pub fn parse() -> Self {
         let mut args = HarnessArgs::default();
         let mut it = std::env::args().skip(1);
@@ -61,7 +67,16 @@ impl HarnessArgs {
                         .and_then(|v| v.parse().ok())
                         .expect("--seed needs a number");
                 }
-                other => panic!("unknown argument {other} (try --through S9 | --pairs N | --seed N)"),
+                "--threads" => {
+                    args.threads = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n: &usize| n > 0)
+                        .expect("--threads needs a positive number");
+                }
+                other => panic!(
+                    "unknown argument {other} (try --through S9 | --pairs N | --seed N | --threads N)"
+                ),
             }
         }
         args
@@ -158,6 +173,7 @@ mod tests {
         let a = HarnessArgs::default();
         assert_eq!(a.datasets().len(), 6);
         assert_eq!(a.datasets()[5].name, "S5");
+        assert!(a.threads >= 1, "threads defaults to available parallelism");
     }
 
     #[test]

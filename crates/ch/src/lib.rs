@@ -72,6 +72,13 @@ pub struct ChQuery {
     inner: BidirUpwardQuery,
 }
 
+// Concurrency contract, checked at compile time: one `ChIndex` is shared
+// across `ah_server` workers, each owning its `ChQuery`.
+const fn _assert_send_sync<T: Send + Sync>() {}
+const fn _assert_send<T: Send>() {}
+const _: () = _assert_send_sync::<ChIndex>();
+const _: () = _assert_send::<ChQuery>();
+
 impl ChQuery {
     /// Creates a query engine.
     pub fn new() -> ChQuery {

@@ -32,3 +32,11 @@ pub use contractor::{ContractionConfig, Contractor, SimulationStats};
 pub use hierarchy::{HArc, Hierarchy};
 pub use ordering::{contract_adaptive, contract_with_order};
 pub use query::BidirUpwardQuery;
+
+// Concurrency contract, checked at compile time: a contracted `Hierarchy`
+// is immutable and shared by every `ah_server` worker, and the per-thread
+// `BidirUpwardQuery` state must be movable into worker threads.
+const fn _assert_send_sync<T: Send + Sync>() {}
+const fn _assert_send<T: Send>() {}
+const _: () = _assert_send_sync::<Hierarchy>();
+const _: () = _assert_send::<BidirUpwardQuery>();

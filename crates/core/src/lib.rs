@@ -57,3 +57,12 @@ pub use elevating::ElevatingSets;
 pub use index::{AhIndex, IndexStats};
 pub use query::AhQuery;
 pub use ranking::{greedy_cover_sequence, rank_nodes, Ranking};
+
+// Concurrency contract, checked at compile time: `AhIndex` is immutable
+// once built, so one index handle is shared by reference across all
+// `ah_server` workers; the mutable search state lives in `AhQuery`, which
+// only needs to be movable into a worker thread.
+const fn _assert_send_sync<T: Send + Sync>() {}
+const fn _assert_send<T: Send>() {}
+const _: () = _assert_send_sync::<AhIndex>();
+const _: () = _assert_send::<AhQuery>();

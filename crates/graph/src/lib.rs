@@ -55,3 +55,11 @@ pub type Weight = u32;
 
 /// Sentinel for "no node".
 pub const INVALID_NODE: NodeId = u32::MAX;
+
+// Concurrency contract, checked at compile time: a built `Graph` is
+// immutable and may be shared freely across query-serving threads
+// (`ah_server` relies on this). If a future change introduces interior
+// mutability, this stops the build rather than a reviewer.
+const fn _assert_send_sync<T: Send + Sync>() {}
+const _: () = _assert_send_sync::<Graph>();
+const _: () = _assert_send_sync::<Path>();

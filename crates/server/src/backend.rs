@@ -1,0 +1,217 @@
+//! Swappable query backends.
+//!
+//! The serving engine is method-agnostic: anything that can answer distance
+//! and path queries from a shared immutable index can sit behind the worker
+//! pool. A [`DistanceBackend`] is the shared, `Sync` half (the index); a
+//! [`BackendSession`] is the per-worker mutable half (heaps, stamped arrays)
+//! created once per thread and reused across every query that worker serves
+//! — mirroring how the figure binaries reuse one `AhQuery` across a query
+//! set, but multiplied across threads.
+
+use ah_ch::{ChIndex, ChQuery};
+use ah_core::{AhIndex, AhQuery, QueryConfig};
+use ah_graph::{Graph, NodeId, Path};
+use ah_search::BidirectionalDijkstra;
+
+/// A query method that can serve concurrent traffic from a shared index.
+///
+/// Implementations hold only immutable state (`&self` everywhere), so one
+/// backend instance can be shared by any number of worker threads; the
+/// `Sync` supertrait makes that contract explicit. All per-query scratch
+/// lives in the [`BackendSession`] each worker creates for itself.
+pub trait DistanceBackend: Sync {
+    /// Method name used in reports (`"AH"`, `"CH"`, `"Dijkstra"`).
+    fn name(&self) -> &'static str;
+
+    /// Number of nodes of the underlying network (for request validation).
+    fn num_nodes(&self) -> usize;
+
+    /// Creates the per-worker reusable query state.
+    fn make_session(&self) -> Box<dyn BackendSession + '_>;
+}
+
+/// Per-worker mutable query state tied to one backend instance.
+pub trait BackendSession {
+    /// Network distance from `s` to `t`, or `None` if unreachable.
+    fn distance(&mut self, s: NodeId, t: NodeId) -> Option<u64>;
+
+    /// Shortest path from `s` to `t` in the original network.
+    fn path(&mut self, s: NodeId, t: NodeId) -> Option<Path>;
+}
+
+/// The Arterial Hierarchy backend (the paper's contribution, and the
+/// serving default).
+pub struct AhBackend<'a> {
+    idx: &'a AhIndex,
+    cfg: QueryConfig,
+}
+
+impl<'a> AhBackend<'a> {
+    /// Serves queries from a prebuilt AH index with default constraints.
+    pub fn new(idx: &'a AhIndex) -> Self {
+        Self::with_config(idx, QueryConfig::default())
+    }
+
+    /// Serves with explicit constraint toggles (ablation traffic).
+    pub fn with_config(idx: &'a AhIndex, cfg: QueryConfig) -> Self {
+        AhBackend { idx, cfg }
+    }
+}
+
+impl DistanceBackend for AhBackend<'_> {
+    fn name(&self) -> &'static str {
+        "AH"
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.idx.num_nodes()
+    }
+
+    fn make_session(&self) -> Box<dyn BackendSession + '_> {
+        Box::new(AhSession {
+            idx: self.idx,
+            q: AhQuery::with_config(self.cfg),
+        })
+    }
+}
+
+struct AhSession<'a> {
+    idx: &'a AhIndex,
+    q: AhQuery,
+}
+
+impl BackendSession for AhSession<'_> {
+    fn distance(&mut self, s: NodeId, t: NodeId) -> Option<u64> {
+        self.q.distance(self.idx, s, t)
+    }
+
+    fn path(&mut self, s: NodeId, t: NodeId) -> Option<Path> {
+        self.q.path(self.idx, s, t)
+    }
+}
+
+/// The Contraction Hierarchies backend (strongest baseline).
+pub struct ChBackend<'a> {
+    idx: &'a ChIndex,
+}
+
+impl<'a> ChBackend<'a> {
+    /// Serves queries from a prebuilt CH index.
+    pub fn new(idx: &'a ChIndex) -> Self {
+        ChBackend { idx }
+    }
+}
+
+impl DistanceBackend for ChBackend<'_> {
+    fn name(&self) -> &'static str {
+        "CH"
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.idx.hierarchy().num_nodes()
+    }
+
+    fn make_session(&self) -> Box<dyn BackendSession + '_> {
+        Box::new(ChSession {
+            idx: self.idx,
+            q: ChQuery::new(),
+        })
+    }
+}
+
+struct ChSession<'a> {
+    idx: &'a ChIndex,
+    q: ChQuery,
+}
+
+impl BackendSession for ChSession<'_> {
+    fn distance(&mut self, s: NodeId, t: NodeId) -> Option<u64> {
+        self.q.distance(self.idx, s, t)
+    }
+
+    fn path(&mut self, s: NodeId, t: NodeId) -> Option<Path> {
+        self.q.path(self.idx, s, t)
+    }
+}
+
+/// Index-free bidirectional Dijkstra on the plain graph (the floor every
+/// index must beat, still exact).
+pub struct DijkstraBackend<'a> {
+    graph: &'a Graph,
+}
+
+impl<'a> DijkstraBackend<'a> {
+    /// Serves queries straight from the road network, no index.
+    pub fn new(graph: &'a Graph) -> Self {
+        DijkstraBackend { graph }
+    }
+}
+
+impl DistanceBackend for DijkstraBackend<'_> {
+    fn name(&self) -> &'static str {
+        "Dijkstra"
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    fn make_session(&self) -> Box<dyn BackendSession + '_> {
+        Box::new(DijkstraSession {
+            graph: self.graph,
+            q: BidirectionalDijkstra::new(),
+        })
+    }
+}
+
+struct DijkstraSession<'a> {
+    graph: &'a Graph,
+    q: BidirectionalDijkstra,
+}
+
+impl BackendSession for DijkstraSession<'_> {
+    fn distance(&mut self, s: NodeId, t: NodeId) -> Option<u64> {
+        self.q.distance(self.graph, s, t).map(|d| d.length)
+    }
+
+    fn path(&mut self, s: NodeId, t: NodeId) -> Option<Path> {
+        self.q.path(self.graph, s, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ah_core::BuildConfig;
+    use ah_search::dijkstra_distance;
+
+    #[test]
+    fn backends_agree_with_oneshot_dijkstra() {
+        let g = ah_data::fixtures::lattice(6, 6, 14);
+        let ah = AhIndex::build(&g, &BuildConfig::default());
+        let ch = ChIndex::build(&g);
+        let backends: Vec<Box<dyn DistanceBackend>> = vec![
+            Box::new(AhBackend::new(&ah)),
+            Box::new(ChBackend::new(&ch)),
+            Box::new(DijkstraBackend::new(&g)),
+        ];
+        for b in &backends {
+            assert_eq!(b.num_nodes(), g.num_nodes());
+            let mut session = b.make_session();
+            for (s, t) in [(0u32, 35u32), (5, 30), (17, 17), (35, 0)] {
+                let want = dijkstra_distance(&g, s, t).map(|d| d.length);
+                assert_eq!(session.distance(s, t), want, "{} ({s},{t})", b.name());
+                if let Some(p) = session.path(s, t) {
+                    p.verify(&g).unwrap();
+                    assert_eq!(p.dist.length, want.unwrap());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backend_is_object_safe_and_shareable() {
+        fn assert_sync<T: Sync + ?Sized>() {}
+        assert_sync::<dyn DistanceBackend>();
+    }
+}

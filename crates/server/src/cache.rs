@@ -1,0 +1,320 @@
+//! Sharded LRU cache for distance results.
+//!
+//! Real serving traffic repeats itself (commuters, popular POIs), so the
+//! server consults this cache before touching the index. The key is the
+//! `(source, target)` pair; the value is the query answer, including
+//! *negative* answers (unreachable pairs), encoded as a sentinel so a miss
+//! is never confused with "known unreachable".
+//!
+//! The map is split into [`NUM_SHARDS`] independently locked shards
+//! (selected by a Fibonacci hash of the pair) so concurrent workers rarely
+//! contend on the same mutex. Each shard is an exact LRU: a `HashMap` into
+//! an arena of entries threaded on an intrusive doubly-linked list, giving
+//! O(1) lookup, insert, touch and eviction.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use ah_graph::NodeId;
+
+/// Number of independently locked shards (power of two).
+pub const NUM_SHARDS: usize = 16;
+
+/// Bits selecting the shard; derived so changing [`NUM_SHARDS`] keeps the
+/// selector in range.
+const SHARD_BITS: u32 = NUM_SHARDS.trailing_zeros();
+const _: () = assert!(NUM_SHARDS.is_power_of_two());
+
+/// Sentinel slot index for "none" in the intrusive list.
+const NIL: u32 = u32::MAX;
+
+/// Encoding of `Option<u64>` distances: `u64::MAX` never occurs as a real
+/// distance (weights are `u32`, paths are bounded), so it encodes `None`.
+const UNREACHABLE: u64 = u64::MAX;
+
+struct Entry {
+    key: (NodeId, NodeId),
+    value: u64,
+    prev: u32,
+    next: u32,
+}
+
+/// One exact-LRU shard.
+struct Shard {
+    map: HashMap<(NodeId, NodeId), u32>,
+    arena: Vec<Entry>,
+    head: u32, // most recently used
+    tail: u32, // least recently used
+    capacity: usize,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Self {
+        Shard {
+            map: HashMap::with_capacity(capacity),
+            arena: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Unlinks slot `i` from the recency list.
+    fn unlink(&mut self, i: u32) {
+        let (prev, next) = {
+            let e = &self.arena[i as usize];
+            (e.prev, e.next)
+        };
+        if prev != NIL {
+            self.arena[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.arena[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    /// Links slot `i` at the head (most recently used).
+    fn link_front(&mut self, i: u32) {
+        let old = self.head;
+        {
+            let e = &mut self.arena[i as usize];
+            e.prev = NIL;
+            e.next = old;
+        }
+        if old != NIL {
+            self.arena[old as usize].prev = i;
+        } else {
+            self.tail = i;
+        }
+        self.head = i;
+    }
+
+    fn get(&mut self, key: (NodeId, NodeId)) -> Option<u64> {
+        let &i = self.map.get(&key)?;
+        self.unlink(i);
+        self.link_front(i);
+        Some(self.arena[i as usize].value)
+    }
+
+    fn insert(&mut self, key: (NodeId, NodeId), value: u64) {
+        if let Some(&i) = self.map.get(&key) {
+            self.arena[i as usize].value = value;
+            self.unlink(i);
+            self.link_front(i);
+            return;
+        }
+        let i = if self.arena.len() < self.capacity {
+            self.arena.push(Entry {
+                key,
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            (self.arena.len() - 1) as u32
+        } else {
+            // Evict the least recently used entry and reuse its slot.
+            let i = self.tail;
+            debug_assert_ne!(i, NIL, "capacity >= 1");
+            self.unlink(i);
+            let old_key = self.arena[i as usize].key;
+            self.map.remove(&old_key);
+            let e = &mut self.arena[i as usize];
+            e.key = key;
+            e.value = value;
+            i
+        };
+        self.map.insert(key, i);
+        self.link_front(i);
+    }
+}
+
+/// A sharded, exact-LRU `(source, target) → distance` cache.
+pub struct DistanceCache {
+    shards: Vec<Mutex<Shard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl DistanceCache {
+    /// Creates a cache holding roughly `capacity` entries in total
+    /// (distributed over [`NUM_SHARDS`] shards, each at least 1 entry).
+    pub fn new(capacity: usize) -> Self {
+        let per_shard = capacity.div_ceil(NUM_SHARDS).max(1);
+        DistanceCache {
+            shards: (0..NUM_SHARDS).map(|_| Mutex::new(Shard::new(per_shard))).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn shard_for(&self, key: (NodeId, NodeId)) -> &Mutex<Shard> {
+        // Fibonacci hashing over the packed pair: cheap and well mixed.
+        let packed = ((key.0 as u64) << 32) | key.1 as u64;
+        let h = packed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(h >> (64 - SHARD_BITS)) as usize]
+    }
+
+    /// Cached answer for `(s, t)`: `Some(Some(d))` reachable with distance
+    /// `d`, `Some(None)` known unreachable, `None` not cached.
+    pub fn get(&self, s: NodeId, t: NodeId) -> Option<Option<u64>> {
+        let got = self.shard_for((s, t)).lock().unwrap().get((s, t));
+        match got {
+            Some(UNREACHABLE) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(None)
+            }
+            Some(d) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Some(d))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Records the answer for `(s, t)`, including unreachability.
+    pub fn put(&self, s: NodeId, t: NodeId, distance: Option<u64>) {
+        let value = distance.unwrap_or(UNREACHABLE);
+        self.shard_for((s, t)).lock().unwrap().insert((s, t), value);
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// `hits / (hits + misses)`, or 0 when idle.
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.hits() as f64;
+        let m = self.misses() as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+
+    /// Entries currently cached, summed over shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().map.len()).sum()
+    }
+
+    /// Whether no entry is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit_roundtrip() {
+        let c = DistanceCache::new(64);
+        assert_eq!(c.get(1, 2), None);
+        c.put(1, 2, Some(99));
+        assert_eq!(c.get(1, 2), Some(Some(99)));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unreachable_is_cached_distinctly() {
+        let c = DistanceCache::new(64);
+        c.put(3, 4, None);
+        assert_eq!(c.get(3, 4), Some(None), "known unreachable, not a miss");
+    }
+
+    #[test]
+    fn directional_keys_are_distinct() {
+        let c = DistanceCache::new(64);
+        c.put(1, 2, Some(10));
+        c.put(2, 1, Some(20));
+        assert_eq!(c.get(1, 2), Some(Some(10)));
+        assert_eq!(c.get(2, 1), Some(Some(20)));
+    }
+
+    #[test]
+    fn lru_evicts_oldest_within_a_shard() {
+        // Capacity 16 → 1 entry per shard. Two keys in the same shard:
+        // the second insert evicts the first.
+        let c = DistanceCache::new(NUM_SHARDS);
+        // Find two keys landing in the same shard by probing.
+        let mut same: Option<((u32, u32), (u32, u32))> = None;
+        'outer: for a in 0..64u32 {
+            for b in 0..64u32 {
+                if (a, 0) != (b, 1) {
+                    let pa = std::ptr::from_ref(c.shard_for((a, 0)));
+                    let pb = std::ptr::from_ref(c.shard_for((b, 1)));
+                    if pa == pb {
+                        same = Some(((a, 0), (b, 1)));
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        let (k1, k2) = same.expect("two keys must collide among 4096 probes");
+        c.put(k1.0, k1.1, Some(1));
+        c.put(k2.0, k2.1, Some(2));
+        assert_eq!(c.get(k2.0, k2.1), Some(Some(2)));
+        assert_eq!(c.get(k1.0, k1.1), None, "evicted by LRU");
+    }
+
+    #[test]
+    fn touch_on_get_protects_hot_entries() {
+        let mut shard = Shard::new(2);
+        shard.insert((1, 1), 11);
+        shard.insert((2, 2), 22);
+        assert_eq!(shard.get((1, 1)), Some(11)); // touch: (2,2) is now LRU
+        shard.insert((3, 3), 33); // evicts (2,2)
+        assert_eq!(shard.get((1, 1)), Some(11));
+        assert_eq!(shard.get((2, 2)), None);
+        assert_eq!(shard.get((3, 3)), Some(33));
+    }
+
+    #[test]
+    fn overwrite_updates_value_in_place() {
+        let mut shard = Shard::new(2);
+        shard.insert((1, 1), 11);
+        shard.insert((1, 1), 12);
+        assert_eq!(shard.get((1, 1)), Some(12));
+        assert_eq!(shard.map.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let c = DistanceCache::new(256);
+        std::thread::scope(|scope| {
+            for w in 0..4u32 {
+                let c = &c;
+                scope.spawn(move || {
+                    for i in 0..200u32 {
+                        let (s, t) = (i % 32, (i + w) % 32);
+                        if let Some(v) = c.get(s, t) {
+                            // Any cached value must be the canonical one.
+                            assert_eq!(v, Some((s as u64) * 1000 + t as u64));
+                        }
+                        c.put(s, t, Some((s as u64) * 1000 + t as u64));
+                    }
+                });
+            }
+        });
+        assert!(c.len() <= 256 + NUM_SHARDS);
+        assert!(c.hits() + c.misses() >= 800);
+    }
+}

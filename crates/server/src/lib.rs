@@ -1,0 +1,50 @@
+//! **Concurrent query serving** over the workspace's shortest-path indexes.
+//!
+//! The paper's claim is that Arterial Hierarchies make exact road-network
+//! queries fast enough for *practice* — and practice means sustained
+//! concurrent traffic, not one query at a time from a figure binary. This
+//! crate is the serving layer the ROADMAP's production north star asks
+//! for: many threads multiplexing queries over one immutable index.
+//!
+//! Three pieces compose:
+//!
+//! * [`DistanceBackend`] / [`BackendSession`] — the method abstraction.
+//!   A backend is the shared `Sync` index half; a session is the mutable
+//!   per-worker scratch (heaps, stamped arrays) created once per thread.
+//!   [`AhBackend`], [`ChBackend`] and [`DijkstraBackend`] wrap the AH
+//!   index, the CH hierarchy and plain bidirectional Dijkstra, so the
+//!   serving engine — and every test and benchmark built on it — treats
+//!   the methods interchangeably.
+//! * [`Server`] — the engine: a `std::thread::scope` worker pool draining
+//!   a [`BoundedQueue`] in batches, with a sharded LRU [`DistanceCache`]
+//!   consulted before any search runs. The feeder blocks when the bounded
+//!   queue fills, making every run closed-loop.
+//! * [`ServerMetrics`] — lock-free telemetry: log₂-bucket latency
+//!   histograms (p50/p95/p99), cache hit rates, aggregate QPS.
+//!
+//! ```
+//! use ah_core::{AhIndex, BuildConfig};
+//! use ah_server::{AhBackend, Request, Server, ServerConfig};
+//!
+//! let g = ah_data::fixtures::lattice(6, 6, 12);
+//! let idx = AhIndex::build(&g, &BuildConfig::default());
+//! let server = Server::new(ServerConfig::with_workers(4));
+//! let requests: Vec<Request> = (0..64)
+//!     .map(|i| Request::distance(i, (i % 36) as u32, ((i * 5 + 2) % 36) as u32))
+//!     .collect();
+//! let report = server.run(&AhBackend::new(&idx), &requests);
+//! assert_eq!(report.responses.len(), 64);
+//! assert!(report.snapshot.qps > 0.0);
+//! ```
+
+mod backend;
+mod cache;
+mod metrics;
+mod queue;
+mod server;
+
+pub use backend::{AhBackend, BackendSession, ChBackend, DijkstraBackend, DistanceBackend};
+pub use cache::{DistanceCache, NUM_SHARDS};
+pub use metrics::{LatencyHistogram, MetricsSnapshot, ServerMetrics};
+pub use queue::BoundedQueue;
+pub use server::{QueryKind, Request, Response, RunReport, Server, ServerConfig};

@@ -1,0 +1,293 @@
+//! Serving telemetry: latency histograms, cache counters, throughput.
+//!
+//! Workers record each query's wall-clock latency into a fixed set of
+//! log-spaced buckets (`bucket = ⌊log₂ ns⌋`, 64 buckets cover 1 ns … 580
+//! years) using only relaxed atomic increments — no locks on the hot path,
+//! no per-query allocation, and safe to share by reference across the
+//! worker pool. Quantiles (p50/p95/p99) are then read off the cumulative
+//! bucket counts; the log-2 bucketing bounds the relative error of any
+//! reported quantile by 2×, which is plenty to compare backends and thread
+//! counts.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log₂ latency buckets.
+const BUCKETS: usize = 64;
+
+/// A fixed-bucket, lock-free latency histogram over nanoseconds.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    counts: [AtomicU64; BUCKETS],
+    total_ns: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            total_ns: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn bucket(ns: u64) -> usize {
+        // ⌊log₂ ns⌋, with 0 and 1 ns in bucket 0.
+        (64 - ns.max(1).leading_zeros() as usize).saturating_sub(1)
+    }
+
+    /// Records one observation (relaxed atomics; callable from any thread).
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        self.counts[Self::bucket(ns)].fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.total_ns.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// Approximate `q`-quantile (`0.0 ..= 1.0`) in nanoseconds: the
+    /// geometric midpoint of the first bucket whose cumulative count
+    /// reaches `q · total`. Returns 0 when empty.
+    pub fn quantile_ns(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (b, c) in self.counts.iter().enumerate() {
+            cum += c.load(Ordering::Relaxed);
+            if cum >= rank {
+                // Bucket b spans [2^b, 2^(b+1)); report its geometric mean.
+                let lo = (1u64 << b) as f64;
+                return lo * std::f64::consts::SQRT_2;
+            }
+        }
+        (1u64 << (BUCKETS - 1)) as f64
+    }
+
+    /// Merges another histogram's counts into this one.
+    pub fn merge(&self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter().zip(other.counts.iter()) {
+            a.fetch_add(b.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.total_ns
+            .fetch_add(other.total_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
+/// Shared serving counters, updated by all workers.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Latency of every query (cache hits included — they are part of the
+    /// service-time distribution a client observes).
+    pub latency: LatencyHistogram,
+    /// Distance queries answered from the cache. Path requests never
+    /// probe the cache and are excluded from both counters, so the
+    /// hit-rate here agrees with the cache's own accounting.
+    pub cache_hits: AtomicU64,
+    /// Distance queries that went to the backend.
+    pub cache_misses: AtomicU64,
+}
+
+impl ServerMetrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds another metrics object's counts into this one (used to roll a
+    /// per-run measurement into the server's lifetime totals).
+    pub fn merge_from(&self, other: &ServerMetrics) {
+        self.latency.merge(&other.latency);
+        self.cache_hits
+            .fetch_add(other.cache_hits.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.cache_misses
+            .fetch_add(other.cache_misses.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Immutable snapshot for reporting.
+    pub fn snapshot(&self, wall_secs: f64) -> MetricsSnapshot {
+        let count = self.latency.count();
+        let hits = self.cache_hits.load(Ordering::Relaxed);
+        let misses = self.cache_misses.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            queries: count,
+            wall_secs,
+            qps: if wall_secs > 0.0 {
+                count as f64 / wall_secs
+            } else {
+                0.0
+            },
+            mean_us: self.latency.mean_ns() / 1e3,
+            p50_us: self.latency.quantile_ns(0.50) / 1e3,
+            p95_us: self.latency.quantile_ns(0.95) / 1e3,
+            p99_us: self.latency.quantile_ns(0.99) / 1e3,
+            cache_hits: hits,
+            cache_misses: misses,
+            cache_hit_rate: if hits + misses > 0 {
+                hits as f64 / (hits + misses) as f64
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// Point-in-time view of [`ServerMetrics`] plus derived rates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Queries served.
+    pub queries: u64,
+    /// Wall-clock duration of the measured run, in seconds.
+    pub wall_secs: f64,
+    /// Aggregate throughput over the run (queries / wall second).
+    pub qps: f64,
+    /// Mean per-query latency, microseconds.
+    pub mean_us: f64,
+    /// Median per-query latency, microseconds (log₂-bucket resolution).
+    pub p50_us: f64,
+    /// 95th-percentile latency, microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: f64,
+    /// Distance queries answered from cache.
+    pub cache_hits: u64,
+    /// Distance queries sent to the backend.
+    pub cache_misses: u64,
+    /// `cache_hits / (cache_hits + cache_misses)`, over distance queries
+    /// (the only kind that probes the cache).
+    pub cache_hit_rate: f64,
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as one JSON object (hand-rolled: the workspace
+    /// serde is an offline stub, see `vendor/serde`).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"queries\":{},\"wall_secs\":{:.6},\"qps\":{:.1},",
+                "\"mean_us\":{:.3},\"p50_us\":{:.3},\"p95_us\":{:.3},",
+                "\"p99_us\":{:.3},\"cache_hits\":{},\"cache_misses\":{},",
+                "\"cache_hit_rate\":{:.4}}}"
+            ),
+            self.queries,
+            self.wall_secs,
+            self.qps,
+            self.mean_us,
+            self.p50_us,
+            self.p95_us,
+            self.p99_us,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_hit_rate,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(LatencyHistogram::bucket(0), 0);
+        assert_eq!(LatencyHistogram::bucket(1), 0);
+        assert_eq!(LatencyHistogram::bucket(2), 1);
+        assert_eq!(LatencyHistogram::bucket(3), 1);
+        assert_eq!(LatencyHistogram::bucket(4), 2);
+        assert_eq!(LatencyHistogram::bucket(1024), 10);
+        assert_eq!(LatencyHistogram::bucket(u64::MAX), 63);
+    }
+
+    #[test]
+    fn quantiles_bound_observations() {
+        let h = LatencyHistogram::new();
+        for ns in [100u64, 200, 300, 400, 10_000] {
+            h.record_ns(ns);
+        }
+        assert_eq!(h.count(), 5);
+        let p50 = h.quantile_ns(0.5);
+        // Median observation is 300 ns → bucket (256, 512]; within 2×.
+        assert!(p50 >= 150.0 && p50 <= 600.0, "p50 = {p50}");
+        let p99 = h.quantile_ns(0.99);
+        assert!(p99 >= 5_000.0 && p99 <= 20_000.0, "p99 = {p99}");
+        assert!((h.mean_ns() - 2200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile_ns(0.5), 0.0);
+        assert_eq!(h.mean_ns(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        a.record_ns(100);
+        b.record_ns(1000);
+        b.record_ns(2000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert!((a.mean_ns() - 3100.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = LatencyHistogram::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let h = &h;
+                scope.spawn(move || {
+                    for i in 1..=1000u64 {
+                        h.record_ns(i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+    }
+
+    #[test]
+    fn snapshot_derives_rates_and_json() {
+        let m = ServerMetrics::new();
+        m.latency.record_ns(1_000);
+        m.latency.record_ns(2_000);
+        m.cache_hits.fetch_add(1, Ordering::Relaxed);
+        m.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let s = m.snapshot(2.0);
+        assert_eq!(s.queries, 2);
+        assert!((s.qps - 1.0).abs() < 1e-12);
+        assert!((s.cache_hit_rate - 0.5).abs() < 1e-12);
+        let json = s.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"queries\":2"));
+        assert!(json.contains("\"cache_hit_rate\":0.5000"));
+    }
+}

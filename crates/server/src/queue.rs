@@ -1,0 +1,205 @@
+//! A bounded multi-producer/multi-consumer request queue.
+//!
+//! Built on `std::sync::{Mutex, Condvar}` only (the workspace carries no
+//! concurrency dependency; cf. the `std::thread::scope` worker pool in
+//! `ah_silc`). Producers block once `capacity` items are in flight — the
+//! back-pressure that makes the traffic driver *closed-loop* — and
+//! consumers block while the queue is empty until it is closed.
+//!
+//! Consumers drain in batches ([`BoundedQueue::pop_batch`]): one lock
+//! acquisition hands a worker up to `max` requests, which keeps lock
+//! traffic negligible even when individual queries take only a few
+//! microseconds.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Bounded MPMC FIFO channel. `T` crosses threads, hence `T: Send`.
+pub struct BoundedQueue<T: Send> {
+    capacity: usize,
+    state: Mutex<State<T>>,
+    /// Signalled when items are added or the queue closes (wakes consumers).
+    not_empty: Condvar,
+    /// Signalled when items are removed (wakes blocked producers).
+    not_full: Condvar,
+}
+
+impl<T: Send> BoundedQueue<T> {
+    /// Creates a queue admitting at most `capacity` in-flight items.
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            capacity: capacity.max(1),
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Maximum number of in-flight items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Enqueues one item, blocking while the queue is full. Returns `false`
+    /// (dropping the item) if the queue has been closed.
+    pub fn push(&self, item: T) -> bool {
+        let mut st = self.state.lock().unwrap();
+        while st.items.len() >= self.capacity && !st.closed {
+            st = self.not_full.wait(st).unwrap();
+        }
+        if st.closed {
+            return false;
+        }
+        st.items.push_back(item);
+        drop(st);
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// Dequeues up to `max` items into `out`, blocking while the queue is
+    /// empty and open. Returns the number of items delivered; `0` means the
+    /// queue is closed *and* drained — the consumer's shutdown signal.
+    pub fn pop_batch(&self, max: usize, out: &mut Vec<T>) -> usize {
+        let mut st = self.state.lock().unwrap();
+        while st.items.is_empty() && !st.closed {
+            st = self.not_empty.wait(st).unwrap();
+        }
+        let take = st.items.len().min(max.max(1));
+        out.extend(st.items.drain(..take));
+        drop(st);
+        if take > 0 {
+            // Producers may be blocked on a full queue; batch removal can
+            // free many slots at once.
+            self.not_full.notify_all();
+        }
+        take
+    }
+
+    /// Closes the queue: producers fail fast, consumers drain what remains
+    /// and then observe the end of the stream.
+    pub fn close(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.closed = true;
+        drop(st);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Items currently buffered (diagnostics only; racy by nature).
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().items.len()
+    }
+
+    /// Whether the buffer is currently empty (diagnostics only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn fifo_within_capacity() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            assert!(q.push(i));
+        }
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(3, &mut out), 3);
+        assert_eq!(out, vec![0, 1, 2]);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn close_unblocks_and_drains() {
+        let q = BoundedQueue::new(4);
+        q.push(1u32);
+        q.close();
+        assert!(!q.push(2), "push after close must fail");
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(16, &mut out), 1);
+        assert_eq!(q.pop_batch(16, &mut out), 0, "closed + drained");
+    }
+
+    #[test]
+    fn many_producers_many_consumers_deliver_exactly_once() {
+        let q = BoundedQueue::new(16);
+        let produced: u64 = (0..400u64).sum();
+        let consumed = AtomicU64::new(0);
+        let count = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            let producers: Vec<_> = (0..4u64)
+                .map(|p| {
+                    let q = &q;
+                    scope.spawn(move || {
+                        for i in 0..100u64 {
+                            assert!(q.push(p * 100 + i));
+                        }
+                    })
+                })
+                .collect();
+            for _ in 0..3 {
+                let q = &q;
+                let consumed = &consumed;
+                let count = &count;
+                scope.spawn(move || {
+                    let mut buf = Vec::new();
+                    loop {
+                        buf.clear();
+                        if q.pop_batch(7, &mut buf) == 0 {
+                            break;
+                        }
+                        for v in &buf {
+                            consumed.fetch_add(*v, Ordering::Relaxed);
+                            count.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+            for h in producers {
+                h.join().unwrap();
+            }
+            q.close(); // consumers drain the remainder and exit
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 400);
+        assert_eq!(consumed.load(Ordering::Relaxed), produced);
+    }
+
+    #[test]
+    fn capacity_bounds_in_flight_items() {
+        let q = BoundedQueue::new(2);
+        assert!(q.push(1));
+        assert!(q.push(2));
+        std::thread::scope(|scope| {
+            let q = &q;
+            scope.spawn(move || {
+                // Blocks until the consumer below frees a slot.
+                assert!(q.push(3));
+                q.close();
+            });
+            let mut out = Vec::new();
+            let mut total = 0;
+            loop {
+                out.clear();
+                let n = q.pop_batch(1, &mut out);
+                if n == 0 {
+                    break;
+                }
+                assert!(q.len() <= 2);
+                total += n;
+            }
+            assert_eq!(total, 3);
+        });
+    }
+}

@@ -1,0 +1,562 @@
+//! The worker pool and serving loop.
+//!
+//! A [`Server`] owns the shared serving state — the sharded distance cache
+//! and the metrics — and runs *closed-loop* request streams against a
+//! [`DistanceBackend`]: the calling thread feeds a bounded queue (blocking
+//! when the pool falls behind, so the queue depth is the admission window),
+//! while `workers` scoped threads drain it in batches. Each worker creates
+//! one [`crate::BackendSession`] up front and reuses its heaps and stamped
+//! arrays for every query it serves, exactly like the single-threaded
+//! figure harnesses reuse one `AhQuery` — the index is only ever read.
+//!
+//! The cache and metrics persist across [`Server::run`] calls, so repeated
+//! runs model a warmed-up service; [`Server::new`] starts cold.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use ah_graph::NodeId;
+
+use crate::backend::DistanceBackend;
+use crate::cache::DistanceCache;
+use crate::metrics::{MetricsSnapshot, ServerMetrics};
+use crate::queue::BoundedQueue;
+
+/// What a request asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// Network distance only (cacheable).
+    Distance,
+    /// Full shortest path (always computed; the response keeps the hop
+    /// count and distance, not the node list, to stay allocation-light).
+    Path,
+}
+
+/// One query in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Caller-chosen identifier; responses are sorted by it.
+    pub id: u64,
+    /// Source node.
+    pub s: NodeId,
+    /// Target node.
+    pub t: NodeId,
+    /// Distance or path.
+    pub kind: QueryKind,
+}
+
+impl Request {
+    /// Distance request `s → t` with identifier `id`.
+    pub fn distance(id: u64, s: NodeId, t: NodeId) -> Self {
+        Request {
+            id,
+            s,
+            t,
+            kind: QueryKind::Distance,
+        }
+    }
+
+    /// Path request `s → t` with identifier `id`.
+    pub fn path(id: u64, s: NodeId, t: NodeId) -> Self {
+        Request {
+            id,
+            s,
+            t,
+            kind: QueryKind::Path,
+        }
+    }
+}
+
+/// The answer to one [`Request`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Response {
+    /// Identifier of the request this answers.
+    pub id: u64,
+    /// Network distance, `None` if the target is unreachable.
+    pub distance: Option<u64>,
+    /// Edge count of the returned path (path requests only).
+    pub hops: Option<usize>,
+    /// Whether the answer came from the distance cache.
+    pub cache_hit: bool,
+}
+
+/// Serving parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads (`0` is clamped to 1).
+    pub workers: usize,
+    /// Bounded queue depth — the closed-loop admission window.
+    pub queue_capacity: usize,
+    /// Total distance-cache entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Requests a worker claims per queue lock (amortizes contention).
+    pub batch_size: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: std::thread::available_parallelism().map_or(1, |p| p.get()),
+            queue_capacity: 1024,
+            cache_capacity: 64 * 1024,
+            batch_size: 32,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Config with an explicit worker count and defaults elsewhere.
+    pub fn with_workers(workers: usize) -> Self {
+        ServerConfig {
+            workers,
+            ..Default::default()
+        }
+    }
+}
+
+/// Outcome of one [`Server::run`] call.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// One response per request, sorted by request id.
+    pub responses: Vec<Response>,
+    /// Wall-clock seconds from first enqueue to last response.
+    pub wall_secs: f64,
+    /// Telemetry accumulated *during this run only*.
+    pub snapshot: MetricsSnapshot,
+}
+
+/// A multi-threaded query server over one immutable index.
+pub struct Server {
+    cfg: ServerConfig,
+    cache: Option<DistanceCache>,
+    metrics: ServerMetrics,
+}
+
+impl Server {
+    /// Creates a cold server (empty cache, zeroed metrics).
+    pub fn new(cfg: ServerConfig) -> Self {
+        let cache = (cfg.cache_capacity > 0).then(|| DistanceCache::new(cfg.cache_capacity));
+        Server {
+            cfg,
+            cache,
+            metrics: ServerMetrics::new(),
+        }
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.cfg
+    }
+
+    /// Telemetry accumulated over the server's lifetime (all runs).
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
+    }
+
+    /// Lifetime cache hit rate (0 when caching is disabled).
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.cache.as_ref().map_or(0.0, DistanceCache::hit_rate)
+    }
+
+    /// Serves every request in `requests` on the worker pool and returns
+    /// the responses sorted by request id.
+    ///
+    /// Requests naming nodes outside the backend's network are answered
+    /// with `distance: None` without reaching the backend. The call is
+    /// synchronous: it returns once the stream is fully served. Panics in
+    /// worker threads (a backend bug) propagate — a drop guard closes the
+    /// queue during unwinding so neither the feeder nor the surviving
+    /// workers can block on a dead peer.
+    pub fn run(&self, backend: &dyn DistanceBackend, requests: &[Request]) -> RunReport {
+        let workers = self.cfg.workers.max(1);
+        let num_nodes = backend.num_nodes();
+        let queue: BoundedQueue<Request> = BoundedQueue::new(self.cfg.queue_capacity);
+        let run_metrics = ServerMetrics::new();
+        let results: Mutex<Vec<Response>> = Mutex::new(Vec::with_capacity(requests.len()));
+        // Workers build their sessions (O(n) allocations) before this
+        // barrier; the clock starts after it, so wall_secs measures
+        // serving, not pool startup — otherwise higher worker counts pay
+        // proportionally more untimed-work inside the timed window and
+        // short runs under-report their scaling.
+        let ready = std::sync::Barrier::new(workers + 1);
+
+        let mut start = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let queue = &queue;
+                let results = &results;
+                let run_metrics = &run_metrics;
+                let ready = &ready;
+                let cache = self.cache.as_ref();
+                scope.spawn(move || {
+                    let _close = CloseOnDrop(queue);
+                    // If make_session panics, this guard still reaches the
+                    // barrier during unwinding so the feeder is not
+                    // stranded waiting for a dead worker.
+                    let mut at_barrier = BarrierOnUnwind {
+                        barrier: ready,
+                        armed: true,
+                    };
+                    let mut session = backend.make_session();
+                    ready.wait();
+                    at_barrier.armed = false;
+                    let mut batch: Vec<Request> = Vec::with_capacity(self.cfg.batch_size);
+                    let mut local: Vec<Response> = Vec::new();
+                    loop {
+                        batch.clear();
+                        if queue.pop_batch(self.cfg.batch_size, &mut batch) == 0 {
+                            break;
+                        }
+                        for req in &batch {
+                            let t0 = Instant::now();
+                            let resp = serve_one(req, num_nodes, session.as_mut(), cache);
+                            let ns = t0.elapsed().as_nanos() as u64;
+                            run_metrics.latency.record_ns(ns);
+                            // Only distance queries probe the cache; path
+                            // requests stay out of the hit/miss ratio so
+                            // the snapshot agrees with the cache's own
+                            // counters.
+                            if req.kind == QueryKind::Distance {
+                                let ctr = if resp.cache_hit {
+                                    &run_metrics.cache_hits
+                                } else {
+                                    &run_metrics.cache_misses
+                                };
+                                ctr.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            }
+                            local.push(resp);
+                        }
+                    }
+                    results.lock().unwrap().append(&mut local);
+                });
+            }
+            ready.wait();
+            start = Instant::now();
+            // Closed-loop feeder: the run thread itself back-pressures on
+            // the bounded queue. If every worker died, push returns false
+            // (their guards closed the queue) and feeding stops.
+            for req in requests {
+                if !queue.push(*req) {
+                    break;
+                }
+            }
+            queue.close();
+        });
+        let wall_secs = start.elapsed().as_secs_f64();
+
+        // Fold this run's telemetry into the server's lifetime metrics in
+        // one step, keeping the per-query loop down to one histogram.
+        self.metrics.merge_from(&run_metrics);
+
+        let mut responses = results.into_inner().unwrap();
+        responses.sort_unstable_by_key(|r| r.id);
+        let snapshot = run_metrics.snapshot(wall_secs);
+        RunReport {
+            responses,
+            wall_secs,
+            snapshot,
+        }
+    }
+}
+
+/// Closes the queue if the owning worker is unwinding from a panic (and
+/// only then), so a dying worker can never leave the feeder blocked on a
+/// full queue or its peers parked on an empty one. On a normal exit this
+/// is a no-op: the feeder closes the queue after the last request.
+struct CloseOnDrop<'a>(&'a BoundedQueue<Request>);
+
+impl Drop for CloseOnDrop<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.close();
+        }
+    }
+}
+
+/// Reaches the ready barrier during a panic unwind if the worker died
+/// before its normal `wait()` call (i.e. inside `make_session`), so the
+/// barrier's member count still adds up and the feeder proceeds.
+struct BarrierOnUnwind<'a> {
+    barrier: &'a std::sync::Barrier,
+    armed: bool,
+}
+
+impl Drop for BarrierOnUnwind<'_> {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            self.barrier.wait();
+        }
+    }
+}
+
+/// Serves one request on a worker: bounds check, cache probe (distance
+/// queries only), then the backend session.
+fn serve_one(
+    req: &Request,
+    num_nodes: usize,
+    session: &mut dyn crate::backend::BackendSession,
+    cache: Option<&DistanceCache>,
+) -> Response {
+    if req.s as usize >= num_nodes || req.t as usize >= num_nodes {
+        // Malformed request: answered, never forwarded to the backend
+        // (whose index arrays it would overrun).
+        return Response {
+            id: req.id,
+            distance: None,
+            hops: None,
+            cache_hit: false,
+        };
+    }
+    match req.kind {
+        QueryKind::Distance => {
+            if let Some(c) = cache {
+                if let Some(cached) = c.get(req.s, req.t) {
+                    return Response {
+                        id: req.id,
+                        distance: cached,
+                        hops: None,
+                        cache_hit: true,
+                    };
+                }
+            }
+            let d = session.distance(req.s, req.t);
+            if let Some(c) = cache {
+                c.put(req.s, req.t, d);
+            }
+            Response {
+                id: req.id,
+                distance: d,
+                hops: None,
+                cache_hit: false,
+            }
+        }
+        QueryKind::Path => {
+            let p = session.path(req.s, req.t);
+            let (distance, hops) = match p {
+                Some(p) => (Some(p.dist.length), Some(p.num_edges())),
+                None => (None, None),
+            };
+            // Paths carry the distance too; feed the cache so later
+            // distance queries for the pair hit.
+            if let Some(c) = cache {
+                c.put(req.s, req.t, distance);
+            }
+            Response {
+                id: req.id,
+                distance,
+                hops,
+                cache_hit: false,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{AhBackend, DijkstraBackend};
+    use ah_core::{AhIndex, BuildConfig};
+    use ah_search::dijkstra_distance;
+
+    fn test_requests(n: u32, total: usize) -> Vec<Request> {
+        (0..total as u64)
+            .map(|id| {
+                let s = (id as u32 * 7 + 3) % n;
+                let t = (id as u32 * 13 + 5) % n;
+                if id % 5 == 0 {
+                    Request::path(id, s, t)
+                } else {
+                    Request::distance(id, s, t)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn concurrent_responses_match_single_threaded_truth() {
+        let g = ah_data::fixtures::lattice(8, 8, 12);
+        let idx = AhIndex::build(&g, &BuildConfig::default());
+        let backend = AhBackend::new(&idx);
+        let reqs = test_requests(g.num_nodes() as u32, 300);
+
+        let server = Server::new(ServerConfig {
+            workers: 4,
+            queue_capacity: 16,
+            cache_capacity: 1024,
+            batch_size: 8,
+        });
+        let report = server.run(&backend, &reqs);
+        assert_eq!(report.responses.len(), reqs.len());
+        for (req, resp) in reqs.iter().zip(&report.responses) {
+            assert_eq!(resp.id, req.id, "sorted by id, one response each");
+            let want = dijkstra_distance(&g, req.s, req.t).map(|d| d.length);
+            assert_eq!(resp.distance, want, "req {}", req.id);
+            if req.kind == QueryKind::Path && want.is_some() {
+                assert!(resp.hops.is_some());
+            }
+        }
+        assert_eq!(report.snapshot.queries, reqs.len() as u64);
+        assert!(report.snapshot.qps > 0.0);
+    }
+
+    #[test]
+    fn cache_persists_across_runs_and_preserves_answers() {
+        let g = ah_data::fixtures::lattice(6, 6, 10);
+        let idx = AhIndex::build(&g, &BuildConfig::default());
+        let backend = AhBackend::new(&idx);
+        let reqs: Vec<Request> = (0..100u64)
+            .map(|id| Request::distance(id, (id % 36) as u32, ((id * 3 + 1) % 36) as u32))
+            .collect();
+
+        let server = Server::new(ServerConfig {
+            workers: 2,
+            cache_capacity: 4096,
+            ..Default::default()
+        });
+        let cold = server.run(&backend, &reqs);
+        let warm = server.run(&backend, &reqs);
+        assert_eq!(warm.snapshot.cache_hits, reqs.len() as u64, "fully warmed");
+        for (a, b) in cold.responses.iter().zip(&warm.responses) {
+            assert_eq!(a.distance, b.distance, "hit equals miss for id {}", a.id);
+        }
+        assert!(server.cache_hit_rate() > 0.0);
+        assert_eq!(server.metrics().latency.count(), 2 * reqs.len() as u64);
+    }
+
+    #[test]
+    fn cache_disabled_still_serves() {
+        let g = ah_data::fixtures::ring(12);
+        let backend = DijkstraBackend::new(&g);
+        let server = Server::new(ServerConfig {
+            workers: 2,
+            cache_capacity: 0,
+            ..Default::default()
+        });
+        let reqs = test_requests(12, 50);
+        let report = server.run(&backend, &reqs);
+        assert_eq!(report.snapshot.cache_hits, 0);
+        assert_eq!(report.responses.len(), 50);
+    }
+
+    #[test]
+    fn unreachable_pairs_serve_and_cache_none() {
+        let mut b = ah_graph::GraphBuilder::new();
+        b.add_node(ah_graph::Point::new(0, 0));
+        b.add_node(ah_graph::Point::new(9, 9));
+        b.add_edge(0, 1, 4); // one-way
+        let g = b.build();
+        let backend = DijkstraBackend::new(&g);
+        let server = Server::new(ServerConfig::with_workers(2));
+        let reqs = vec![
+            Request::distance(0, 1, 0),
+            Request::distance(1, 0, 1),
+            Request::distance(2, 1, 0), // may hit the negative cache entry
+        ];
+        let report = server.run(&backend, &reqs);
+        assert_eq!(report.responses[0].distance, None);
+        assert_eq!(report.responses[1].distance, Some(4));
+        assert_eq!(report.responses[2].distance, None);
+    }
+
+    #[test]
+    fn out_of_range_requests_answer_none_without_reaching_backend() {
+        let g = ah_data::fixtures::ring(8);
+        let backend = DijkstraBackend::new(&g);
+        let server = Server::new(ServerConfig::with_workers(2));
+        let reqs = vec![
+            Request::distance(0, 0, 7),
+            Request::distance(1, 99, 0),  // invalid source
+            Request::distance(2, 0, 999), // invalid target
+            Request::path(3, 8, 8),       // invalid both (== num_nodes)
+        ];
+        let report = server.run(&backend, &reqs);
+        assert_eq!(report.responses.len(), 4);
+        assert!(report.responses[0].distance.is_some());
+        for resp in &report.responses[1..] {
+            assert_eq!(resp.distance, None, "id {}", resp.id);
+            assert_eq!(resp.hops, None);
+        }
+    }
+
+    /// A backend whose sessions always panic (models an indexing bug).
+    struct PanicBackend;
+    struct PanicSession;
+
+    impl crate::backend::DistanceBackend for PanicBackend {
+        fn name(&self) -> &'static str {
+            "Panic"
+        }
+        fn num_nodes(&self) -> usize {
+            1 << 20
+        }
+        fn make_session(&self) -> Box<dyn crate::backend::BackendSession + '_> {
+            Box::new(PanicSession)
+        }
+    }
+
+    impl crate::backend::BackendSession for PanicSession {
+        fn distance(&mut self, _s: u32, _t: u32) -> Option<u64> {
+            panic!("backend bug");
+        }
+        fn path(&mut self, _s: u32, _t: u32) -> Option<ah_graph::Path> {
+            panic!("backend bug");
+        }
+    }
+
+    /// A backend that cannot even build a session.
+    struct PanicOnSessionBackend;
+
+    impl crate::backend::DistanceBackend for PanicOnSessionBackend {
+        fn name(&self) -> &'static str {
+            "PanicOnSession"
+        }
+        fn num_nodes(&self) -> usize {
+            8
+        }
+        fn make_session(&self) -> Box<dyn crate::backend::BackendSession + '_> {
+            panic!("session build bug");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "a scoped thread panicked")]
+    fn session_build_panic_releases_the_ready_barrier() {
+        let server = Server::new(ServerConfig {
+            workers: 2,
+            queue_capacity: 2,
+            cache_capacity: 0,
+            batch_size: 1,
+        });
+        let reqs: Vec<Request> = (0..16).map(|i| Request::distance(i, 0, 1)).collect();
+        let _ = server.run(&PanicOnSessionBackend, &reqs);
+    }
+
+    #[test]
+    #[should_panic(expected = "a scoped thread panicked")]
+    fn worker_panic_propagates_instead_of_deadlocking() {
+        // More requests than the queue holds, one worker: without the
+        // CloseOnDrop guard the feeder would block forever on the full
+        // queue after the sole worker died.
+        let server = Server::new(ServerConfig {
+            workers: 1,
+            queue_capacity: 4,
+            cache_capacity: 0,
+            batch_size: 2,
+        });
+        let reqs: Vec<Request> = (0..64).map(|i| Request::distance(i, 0, 1)).collect();
+        let _ = server.run(&PanicBackend, &reqs);
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let g = ah_data::fixtures::ring(8);
+        let backend = DijkstraBackend::new(&g);
+        let server = Server::new(ServerConfig {
+            workers: 0,
+            ..Default::default()
+        });
+        let report = server.run(&backend, &[Request::distance(7, 0, 4)]);
+        assert_eq!(report.responses.len(), 1);
+        assert_eq!(report.responses[0].id, 7);
+    }
+}

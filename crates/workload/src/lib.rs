@@ -8,6 +8,10 @@
 //! ([`generate_query_sets`]), estimates `lmax` ([`estimate_lmax`]), and
 //! provides the timing/record plumbing the figure binaries share.
 
+mod traffic;
+
+pub use traffic::TrafficSchedule;
+
 use ah_graph::{Graph, NodeId};
 use ah_search::{DijkstraDriver, SearchOptions};
 use rand::rngs::StdRng;

@@ -23,6 +23,16 @@
 //! edge corresponds to a path containing an arterial edge — Lemma 9/12).
 //! The per-region counts collected along the way regenerate Figure 3, and
 //! the resulting [`LevelAssignment`] feeds the FC and AH indices.
+//!
+//! ```
+//! use ah_arterial::{assign_levels, SelectionConfig};
+//!
+//! let g = ah_data::fixtures::lattice(8, 8, 16);
+//! let la = assign_levels(&g, &SelectionConfig::default());
+//! assert_eq!(la.level.len(), 64);
+//! // The through-roads of the lattice promote some nodes above level 0.
+//! assert!(la.level.iter().any(|&l| l > 0));
+//! ```
 
 mod dimension;
 mod local;

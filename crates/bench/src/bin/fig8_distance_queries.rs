@@ -7,9 +7,12 @@
 //! beats CH by ≥ 50%), Dijkstra worst everywhere and exploding with
 //! distance; SILC between CH and Dijkstra, only measurable on small inputs.
 
-use ah_bench::{load_dataset, print_records, record, silc_feasible, time_once, time_query_set, HarnessArgs};
-use ah_core::{AhIndex, AhQuery};
-use ah_ch::{ChIndex, ChQuery};
+use ah_bench::{
+    load_dataset, obtain_indices, print_records, record, silc_feasible, time_query_set,
+    HarnessArgs,
+};
+use ah_core::AhQuery;
+use ah_ch::ChQuery;
 use ah_silc::{SilcIndex, SilcQuery};
 
 fn main() {
@@ -19,11 +22,11 @@ fn main() {
         let ds = load_dataset(spec, args.pairs, args.seed);
         let g = &ds.graph;
         let n = g.num_nodes();
-        eprintln!("[fig8] {} (n = {n}): building indices …", spec.name);
-        let (ah, ah_secs) = time_once(|| AhIndex::build(g, &Default::default()));
-        let (ch, _) = time_once(|| ChIndex::build(g));
+        eprintln!("[fig8] {} (n = {n}): obtaining indices …", spec.name);
+        let idx = obtain_indices(&args, spec, g, "fig8");
+        let (ah, ch, ah_secs) = (idx.ah, idx.ch, idx.ah_secs);
         let silc = silc_feasible(n).then(|| SilcIndex::build_parallel(g, 2));
-        eprintln!("[fig8] {}: AH built in {ah_secs:.1}s; running queries …", spec.name);
+        eprintln!("[fig8] {}: AH ready in {ah_secs:.1}s; running queries …", spec.name);
 
         let mut ahq = AhQuery::new();
         let mut chq = ChQuery::new();

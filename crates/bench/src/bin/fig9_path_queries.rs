@@ -6,9 +6,12 @@
 //! in Figure 8); SILC and Dijkstra match their Figure 8 numbers since they
 //! compute paths anyway; AH stays fastest overall.
 
-use ah_bench::{load_dataset, print_records, record, silc_feasible, time_once, time_query_set, HarnessArgs};
-use ah_core::{AhIndex, AhQuery};
-use ah_ch::{ChIndex, ChQuery};
+use ah_bench::{
+    load_dataset, obtain_indices, print_records, record, silc_feasible, time_query_set,
+    HarnessArgs,
+};
+use ah_core::AhQuery;
+use ah_ch::ChQuery;
 use ah_silc::{SilcIndex, SilcQuery};
 
 fn main() {
@@ -18,9 +21,9 @@ fn main() {
         let ds = load_dataset(spec, args.pairs, args.seed);
         let g = &ds.graph;
         let n = g.num_nodes();
-        eprintln!("[fig9] {} (n = {n}): building indices …", spec.name);
-        let (ah, _) = time_once(|| AhIndex::build(g, &Default::default()));
-        let (ch, _) = time_once(|| ChIndex::build(g));
+        eprintln!("[fig9] {} (n = {n}): obtaining indices …", spec.name);
+        let idx = obtain_indices(&args, spec, g, "fig9");
+        let (ah, ch) = (idx.ah, idx.ch);
         let silc = silc_feasible(n).then(|| SilcIndex::build_parallel(g, 2));
 
         let mut ahq = AhQuery::new();

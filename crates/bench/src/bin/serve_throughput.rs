@@ -15,14 +15,19 @@
 //! CI can archive the serving-perf trajectory. JSON is hand-rolled
 //! because the workspace's serde is an offline stub.
 //!
+//! `--save-index PATH` persists the built indexes as an `ah_store`
+//! snapshot (see `docs/FORMAT.md`); a later run with `--load-index PATH`
+//! reloads them and skips the build entirely — the JSON then reports
+//! `index_loaded: true` with a near-zero `ah_build_secs`.
+//!
 //! ```sh
 //! cargo run --release -p ah_bench --bin serve_throughput -- \
-//!     --through S2 --pairs 100 --threads 4
+//!     --through S2 --pairs 100 --threads 4 --save-index idx.snap
+//! cargo run --release -p ah_bench --bin serve_throughput -- \
+//!     --through S2 --pairs 100 --threads 4 --load-index idx.snap
 //! ```
 
-use ah_bench::{load_dataset, time_once, HarnessArgs};
-use ah_ch::ChIndex;
-use ah_core::AhIndex;
+use ah_bench::{load_dataset, obtain_indices, HarnessArgs};
 use ah_server::{
     AhBackend, ChBackend, DijkstraBackend, DistanceBackend, Request, RunReport, Server,
     ServerConfig,
@@ -116,10 +121,14 @@ fn main() {
         .map(|(i, &(s, t))| Request::distance(i as u64, s, t))
         .collect();
 
-    eprintln!("[serve] {}: building AH + CH indices …", spec.name);
-    let (ah, ah_secs) = time_once(|| AhIndex::build(&ds.graph, &Default::default()));
-    let (ch, ch_secs) = time_once(|| ChIndex::build(&ds.graph));
-    eprintln!("[serve] built (AH {ah_secs:.1}s, CH {ch_secs:.1}s); serving {} requests …", requests.len());
+    eprintln!("[serve] {}: obtaining AH + CH indices …", spec.name);
+    let idx = obtain_indices(&args, &spec, &ds.graph, "serve");
+    let (ah, ch, ah_secs, ch_secs) = (idx.ah, idx.ch, idx.ah_secs, idx.ch_secs);
+    eprintln!(
+        "[serve] ready (AH {ah_secs:.1}s, CH {ch_secs:.1}s, loaded: {}); serving {} requests …",
+        idx.loaded,
+        requests.len()
+    );
 
     let ah_backend = AhBackend::new(&ah);
     let ch_backend = ChBackend::new(&ch);
@@ -192,6 +201,7 @@ fn main() {
             "  \"repeat_fraction\": {},\n",
             "  \"seed\": {},\n",
             "  \"hardware_parallelism\": {},\n",
+            "  \"index_loaded\": {},\n",
             "  \"ah_build_secs\": {:.3},\n",
             "  \"ch_build_secs\": {:.3},\n",
             "  \"thread_sweep\": [\n    {}\n  ],\n",
@@ -205,6 +215,7 @@ fn main() {
         REPEAT_FRACTION,
         args.seed,
         hardware,
+        idx.loaded,
         ah_secs,
         ch_secs,
         sweep_rows

@@ -8,7 +8,10 @@
 
 use std::time::Instant;
 
+use ah_ch::ChIndex;
+use ah_core::AhIndex;
 use ah_graph::Graph;
+use ah_store::{Snapshot, SnapshotContents};
 use ah_workload::{QuerySet, SeriesRecord};
 
 pub use ah_data::registry::{by_name, REGISTRY};
@@ -27,6 +30,13 @@ pub struct HarnessArgs {
     /// future parallel builds). Defaults to the machine's available
     /// parallelism.
     pub threads: usize,
+    /// Base path to save built indexes to, as an `ah_store` snapshot per
+    /// dataset (see [`snapshot_path`]). `None` skips saving.
+    pub save_index: Option<String>,
+    /// Base path to load indexes from instead of building them. The
+    /// per-dataset path derivation matches `save_index`, so the same
+    /// base string round-trips.
+    pub load_index: Option<String>,
 }
 
 impl Default for HarnessArgs {
@@ -36,13 +46,15 @@ impl Default for HarnessArgs {
             pairs: 500,
             seed: 0xF16,
             threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+            save_index: None,
+            load_index: None,
         }
     }
 }
 
 impl HarnessArgs {
-    /// Parses `--through SN` / `--pairs N` / `--seed N` / `--threads N`
-    /// from `std::env`.
+    /// Parses `--through SN` / `--pairs N` / `--seed N` / `--threads N` /
+    /// `--save-index PATH` / `--load-index PATH` from `std::env`.
     pub fn parse() -> Self {
         let mut args = HarnessArgs::default();
         let mut it = std::env::args().skip(1);
@@ -74,8 +86,15 @@ impl HarnessArgs {
                         .filter(|&n: &usize| n > 0)
                         .expect("--threads needs a positive number");
                 }
+                "--save-index" => {
+                    args.save_index = Some(it.next().expect("--save-index needs a path"));
+                }
+                "--load-index" => {
+                    args.load_index = Some(it.next().expect("--load-index needs a path"));
+                }
                 other => panic!(
-                    "unknown argument {other} (try --through S9 | --pairs N | --seed N | --threads N)"
+                    "unknown argument {other} (try --through S9 | --pairs N | --seed N | \
+                     --threads N | --save-index PATH | --load-index PATH)"
                 ),
             }
         }
@@ -85,6 +104,126 @@ impl HarnessArgs {
     /// The selected dataset slice.
     pub fn datasets(&self) -> &'static [DatasetSpec] {
         &REGISTRY[..=self.through.min(REGISTRY.len() - 1)]
+    }
+}
+
+/// Derives the per-dataset snapshot path from a `--save-index` /
+/// `--load-index` base: the dataset name is appended to the file stem, so
+/// `idx.snap` + `S2` → `idx-S2.snap`. Binaries that iterate several
+/// datasets (fig8, fig9) therefore never overwrite one dataset's snapshot
+/// with another's, and a save/load pair with identical arguments resolves
+/// identical paths.
+pub fn snapshot_path(base: &str, dataset: &str) -> std::path::PathBuf {
+    let p = std::path::Path::new(base);
+    let stem = p
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("index");
+    let file = match p.extension().and_then(|s| s.to_str()) {
+        Some(ext) => format!("{stem}-{dataset}.{ext}"),
+        None => format!("{stem}-{dataset}"),
+    };
+    p.with_file_name(file)
+}
+
+/// The AH + CH index pair an experiment runs against, with provenance:
+/// built fresh, or reloaded from an `ah_store` snapshot.
+pub struct ObtainedIndices {
+    /// The AH index.
+    pub ah: AhIndex,
+    /// The CH index.
+    pub ch: ChIndex,
+    /// Seconds spent obtaining the AH index — build time, or (near-zero)
+    /// snapshot load time when `--load-index` was given.
+    pub ah_secs: f64,
+    /// Seconds spent obtaining the CH index (the whole snapshot is read
+    /// once; the load time is attributed to AH, so this is 0 on load).
+    pub ch_secs: f64,
+    /// True if the indexes came from a snapshot instead of a build.
+    pub loaded: bool,
+}
+
+/// Builds — or, under `--load-index`, reloads — the AH and CH indexes for
+/// one dataset, honouring `--save-index` afterwards.
+///
+/// Loaded snapshots are validated against the freshly generated graph:
+/// when the snapshot carries its `graph` section (which `--save-index`
+/// always writes), the full CSR arrays are compared, so a stale snapshot
+/// from a registry revision with changed weights — same topology, same
+/// node count — fails loudly instead of silently benchmarking the wrong
+/// network; a graph-less snapshot falls back to a node-count check.
+/// `tag` prefixes the progress lines (`[serve]`, `[fig8]`, …).
+pub fn obtain_indices(
+    args: &HarnessArgs,
+    spec: &DatasetSpec,
+    g: &Graph,
+    tag: &str,
+) -> ObtainedIndices {
+    if let Some(base) = &args.load_index {
+        let path = snapshot_path(base, spec.name);
+        let (snapshot, load_secs) = time_once(|| {
+            Snapshot::load(&path).unwrap_or_else(|e| {
+                panic!("--load-index: cannot load {}: {e}", path.display())
+            })
+        });
+        let ah = snapshot.ah.unwrap_or_else(|| {
+            panic!("--load-index: {} has no AH index section", path.display())
+        });
+        let ch = snapshot.ch.unwrap_or_else(|| {
+            panic!("--load-index: {} has no CH index section", path.display())
+        });
+        match &snapshot.graph {
+            Some(sg) => assert!(
+                sg.csr_parts() == g.csr_parts(),
+                "--load-index: snapshot {} was built from a different {} \
+                 (graph data changed since it was saved — rebuild with --save-index)",
+                path.display(),
+                spec.name
+            ),
+            None => assert_eq!(
+                ah.num_nodes(),
+                g.num_nodes(),
+                "--load-index: snapshot {} indexes a different network than {}",
+                path.display(),
+                spec.name
+            ),
+        }
+        eprintln!(
+            "[{tag}] {}: loaded AH + CH from {} in {load_secs:.3}s (build skipped)",
+            spec.name,
+            path.display()
+        );
+        return ObtainedIndices {
+            ah,
+            ch,
+            ah_secs: load_secs,
+            ch_secs: 0.0,
+            loaded: true,
+        };
+    }
+
+    let (ah, ah_secs) = time_once(|| AhIndex::build(g, &Default::default()));
+    let (ch, ch_secs) = time_once(|| ChIndex::build(g));
+    if let Some(base) = &args.save_index {
+        let path = snapshot_path(base, spec.name);
+        let bytes = Snapshot::write(
+            &path,
+            SnapshotContents::new().graph(g).ah(&ah).ch(&ch),
+        )
+        .unwrap_or_else(|e| panic!("--save-index: cannot write {}: {e}", path.display()));
+        eprintln!(
+            "[{tag}] {}: saved graph + AH + CH snapshot to {} ({:.1} MiB)",
+            spec.name,
+            path.display(),
+            bytes as f64 / (1024.0 * 1024.0)
+        );
+    }
+    ObtainedIndices {
+        ah,
+        ch,
+        ah_secs,
+        ch_secs,
+        loaded: false,
     }
 }
 
@@ -190,6 +329,48 @@ mod tests {
         assert!(secs >= 0.0);
         let us = time_query_set(&[(0, 1), (1, 2)], |a, b| (a + b) as u64);
         assert!(us >= 0.0);
+    }
+
+    #[test]
+    fn snapshot_path_derivation() {
+        assert_eq!(
+            snapshot_path("idx.snap", "S2"),
+            std::path::PathBuf::from("idx-S2.snap")
+        );
+        assert_eq!(
+            snapshot_path("out/dir.d/idx.snap", "S0"),
+            std::path::PathBuf::from("out/dir.d/idx-S0.snap")
+        );
+        assert_eq!(
+            snapshot_path("noext", "S1"),
+            std::path::PathBuf::from("noext-S1")
+        );
+    }
+
+    #[test]
+    fn obtain_indices_roundtrips_through_snapshot() {
+        let spec = REGISTRY[0];
+        let g = spec.build();
+        let base = std::env::temp_dir()
+            .join(format!("ah_bench_obtain_{}.snap", std::process::id()));
+        let base = base.to_string_lossy().into_owned();
+
+        let save_args = HarnessArgs {
+            save_index: Some(base.clone()),
+            ..Default::default()
+        };
+        let built = obtain_indices(&save_args, &spec, &g, "test");
+        assert!(!built.loaded);
+
+        let load_args = HarnessArgs {
+            load_index: Some(base.clone()),
+            ..Default::default()
+        };
+        let loaded = obtain_indices(&load_args, &spec, &g, "test");
+        assert!(loaded.loaded);
+        assert_eq!(loaded.ah.stats(), built.ah.stats());
+        assert_eq!(loaded.ch.num_shortcuts(), built.ch.num_shortcuts());
+        std::fs::remove_file(snapshot_path(&base, spec.name)).ok();
     }
 
     #[test]

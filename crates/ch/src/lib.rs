@@ -64,6 +64,24 @@ impl ChIndex {
     pub fn size_bytes(&self) -> usize {
         self.hierarchy.size_bytes() + self.order.len() * std::mem::size_of::<NodeId>()
     }
+
+    /// Reassembles an index from a hierarchy and its contraction order
+    /// (snapshot loading). Requires `order` to be consistent with the
+    /// hierarchy's ranks: `order[i]` must be the node with rank `i`.
+    pub fn from_raw_parts(
+        hierarchy: Hierarchy,
+        order: Vec<NodeId>,
+    ) -> Result<ChIndex, &'static str> {
+        if order.len() != hierarchy.num_nodes() {
+            return Err("contraction order length disagrees with the hierarchy");
+        }
+        for (i, &v) in order.iter().enumerate() {
+            if v as usize >= order.len() || hierarchy.rank(v) as usize != i {
+                return Err("contraction order disagrees with hierarchy ranks");
+            }
+        }
+        Ok(ChIndex { hierarchy, order })
+    }
 }
 
 /// Reusable CH query state (one per thread).

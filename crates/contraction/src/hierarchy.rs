@@ -25,6 +25,21 @@ impl HArc {
     }
 }
 
+/// Borrowed view of every array a [`Hierarchy`] owns, in snapshot order.
+/// Serialization hook for `ah_store`; [`Hierarchy::from_raw_parts`] is the
+/// validated inverse.
+#[derive(Debug, Clone, Copy)]
+pub struct HierarchyParts<'a> {
+    /// Contraction rank per node.
+    pub rank: &'a [u32],
+    /// The four CSR views as `(offsets, arcs)` pairs, in the order
+    /// up-out, up-in, down-out, down-in.
+    pub views: [(&'a [u32], &'a [HArc]); 4],
+    /// Shortcut count (denormalized; recomputed on load would also work
+    /// but persisting it keeps load O(1) in the arc count).
+    pub num_shortcuts: usize,
+}
+
 /// A contracted graph in CSR form, split into the four adjacency views a
 /// bidirectional upward query needs.
 #[derive(Debug, Clone)]
@@ -147,6 +162,74 @@ impl Hierarchy {
     #[inline]
     pub fn down_in(&self, u: NodeId) -> &[HArc] {
         slice(&self.down_in_offsets, &self.down_in_arcs, u)
+    }
+
+    /// Borrowed view of all internal arrays (serialization hook).
+    pub fn raw_parts(&self) -> HierarchyParts<'_> {
+        HierarchyParts {
+            rank: &self.rank,
+            views: [
+                (&self.up_out_offsets, &self.up_out_arcs),
+                (&self.up_in_offsets, &self.up_in_arcs),
+                (&self.down_out_offsets, &self.down_out_arcs),
+                (&self.down_in_offsets, &self.down_in_arcs),
+            ],
+            num_shortcuts: self.num_shortcuts,
+        }
+    }
+
+    /// Reassembles a hierarchy from raw arrays (the inverse of
+    /// [`Hierarchy::raw_parts`], used when loading snapshots).
+    ///
+    /// Validates the CSR shape of all four views, arc endpoint bounds, and
+    /// that `rank` is a permutation of `0..n` — the property every upward
+    /// query and unpack walk relies on — so a corrupt or hand-forged
+    /// snapshot is rejected instead of producing panics at query time.
+    #[allow(clippy::type_complexity)]
+    pub fn from_raw_parts(
+        rank: Vec<u32>,
+        views: [(Vec<u32>, Vec<HArc>); 4],
+        num_shortcuts: usize,
+    ) -> Result<Self, &'static str> {
+        let n = rank.len();
+        let mut seen = vec![false; n];
+        for &r in &rank {
+            if r as usize >= n || seen[r as usize] {
+                return Err("rank is not a permutation of 0..n");
+            }
+            seen[r as usize] = true;
+        }
+        for (offsets, arcs) in &views {
+            if offsets.len() != n + 1 {
+                return Err("hierarchy offset array length is not num_nodes + 1");
+            }
+            if offsets.first() != Some(&0)
+                || offsets.windows(2).any(|w| w[0] > w[1])
+                || offsets.last().copied().unwrap_or(0) as usize != arcs.len()
+            {
+                return Err("hierarchy offset array is malformed");
+            }
+            if arcs
+                .iter()
+                .any(|a| a.to as usize >= n || (!a.is_original() && a.middle as usize >= n))
+            {
+                return Err("hierarchy arc endpoint out of range");
+            }
+        }
+        let [(up_out_offsets, up_out_arcs), (up_in_offsets, up_in_arcs), (down_out_offsets, down_out_arcs), (down_in_offsets, down_in_arcs)] =
+            views;
+        Ok(Hierarchy {
+            rank,
+            up_out_offsets,
+            up_out_arcs,
+            up_in_offsets,
+            up_in_arcs,
+            down_out_offsets,
+            down_out_arcs,
+            down_in_offsets,
+            down_in_arcs,
+            num_shortcuts,
+        })
     }
 
     /// Approximate heap footprint (Figure 10a accounting).
@@ -289,5 +372,43 @@ mod tests {
     fn size_accounting() {
         let h = tiny();
         assert!(h.size_bytes() > 0);
+    }
+
+    #[test]
+    fn raw_parts_roundtrip() {
+        let h = tiny();
+        let p = h.raw_parts();
+        let views = p.views.map(|(o, a)| (o.to_vec(), a.to_vec()));
+        let h2 =
+            Hierarchy::from_raw_parts(p.rank.to_vec(), views, p.num_shortcuts).unwrap();
+        assert_eq!(h2.num_nodes(), h.num_nodes());
+        assert_eq!(h2.num_shortcuts(), h.num_shortcuts());
+        for v in 0..h.num_nodes() as NodeId {
+            assert_eq!(h2.rank(v), h.rank(v));
+            assert_eq!(h2.up_out(v), h.up_out(v));
+            assert_eq!(h2.up_in(v), h.up_in(v));
+            assert_eq!(h2.down_out(v), h.down_out(v));
+            assert_eq!(h2.down_in(v), h.down_in(v));
+        }
+    }
+
+    #[test]
+    fn from_raw_parts_rejects_bad_rank_and_shapes() {
+        let h = tiny();
+        let p = h.raw_parts();
+        let views = || p.views.map(|(o, a)| (o.to_vec(), a.to_vec()));
+        // Duplicate rank.
+        let bad_rank = vec![1, 1, 2];
+        assert!(Hierarchy::from_raw_parts(bad_rank, views(), 1).is_err());
+        // Arc endpoint out of range.
+        let mut v = views();
+        if let Some(a) = v[0].1.first_mut() {
+            a.to = 77;
+        }
+        assert!(Hierarchy::from_raw_parts(p.rank.to_vec(), v, 1).is_err());
+        // Offsets not covering arcs.
+        let mut v = views();
+        *v[1].0.last_mut().unwrap() += 1;
+        assert!(Hierarchy::from_raw_parts(p.rank.to_vec(), v, 1).is_err());
     }
 }

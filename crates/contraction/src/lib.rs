@@ -29,7 +29,7 @@ mod ordering;
 mod query;
 
 pub use contractor::{ContractionConfig, Contractor, SimulationStats};
-pub use hierarchy::{HArc, Hierarchy};
+pub use hierarchy::{HArc, Hierarchy, HierarchyParts};
 pub use ordering::{contract_adaptive, contract_with_order};
 pub use query::BidirUpwardQuery;
 

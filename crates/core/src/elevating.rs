@@ -48,6 +48,26 @@ pub struct ElevatingSide {
     chains: Vec<(NodeId, HArc)>,
 }
 
+impl ElevArc {
+    /// Rebuilds an arc from its stored fields (snapshot loading). The
+    /// chain range is validated by [`ElevatingSide::from_raw_parts`], not
+    /// here.
+    pub fn from_raw_parts(to: NodeId, dist: Dist, chain_start: u32, chain_len: u32) -> Self {
+        ElevArc {
+            to,
+            dist,
+            chain_start,
+            chain_len,
+        }
+    }
+
+    /// The `(start, len)` range this arc occupies in the shared chain
+    /// buffer (serialization hook).
+    pub fn chain_range(&self) -> (u32, u32) {
+        (self.chain_start, self.chain_len)
+    }
+}
+
 impl ElevatingSide {
     /// The elevating arcs of `v` for the *largest* available level ≤
     /// `max_level` that is strictly above `node_level`. Returns the chosen
@@ -89,6 +109,63 @@ impl ElevatingSide {
             + self.entries.len() * size_of::<(u8, u32, u32)>()
             + self.arcs.len() * size_of::<ElevArc>()
             + self.chains.len() * size_of::<(NodeId, HArc)>()
+    }
+
+    /// Borrowed view of the four flat arrays, in the order
+    /// `(node_offsets, entries, arcs, chains)` (serialization hook for
+    /// `ah_store`; [`ElevatingSide::from_raw_parts`] is the validated
+    /// inverse).
+    #[allow(clippy::type_complexity)]
+    pub fn raw_parts(
+        &self,
+    ) -> (
+        &[u32],
+        &[(u8, u32, u32)],
+        &[ElevArc],
+        &[(NodeId, HArc)],
+    ) {
+        (&self.node_offsets, &self.entries, &self.arcs, &self.chains)
+    }
+
+    /// Reassembles a side from its flat arrays (snapshot loading),
+    /// validating that every index range stays inside the array it points
+    /// into: node offsets into `entries`, entry ranges into `arcs`, arc
+    /// chain ranges into `chains`.
+    pub fn from_raw_parts(
+        node_offsets: Vec<u32>,
+        entries: Vec<(u8, u32, u32)>,
+        arcs: Vec<ElevArc>,
+        chains: Vec<(NodeId, HArc)>,
+    ) -> Result<Self, &'static str> {
+        // An entirely empty side (elevating disabled) is valid.
+        if node_offsets.is_empty() {
+            if !(entries.is_empty() && arcs.is_empty() && chains.is_empty()) {
+                return Err("elevating side has entries but no node offsets");
+            }
+            return Ok(ElevatingSide::default());
+        }
+        if node_offsets.first() != Some(&0)
+            || node_offsets.windows(2).any(|w| w[0] > w[1])
+            || node_offsets.last().copied().unwrap_or(0) as usize != entries.len()
+        {
+            return Err("elevating node offsets are malformed");
+        }
+        for &(_, start, len) in &entries {
+            if (start as usize).saturating_add(len as usize) > arcs.len() {
+                return Err("elevating entry range outside the arc array");
+            }
+        }
+        for a in &arcs {
+            if (a.chain_start as usize).saturating_add(a.chain_len as usize) > chains.len() {
+                return Err("elevating chain range outside the chain buffer");
+            }
+        }
+        Ok(ElevatingSide {
+            node_offsets,
+            entries,
+            arcs,
+            chains,
+        })
     }
 }
 

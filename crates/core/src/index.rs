@@ -110,6 +110,97 @@ impl AhIndex {
             + self.level.len()
             + self.coords.len() * std::mem::size_of::<Point>()
     }
+
+    /// Borrowed view of every component of the index (serialization hook
+    /// for `ah_store`; [`AhIndex::from_raw_parts`] is the validated
+    /// inverse).
+    pub fn raw_parts(&self) -> AhIndexParts<'_> {
+        AhIndexParts {
+            grid: &self.grid,
+            hierarchy: &self.hierarchy,
+            level: &self.level,
+            coords: &self.coords,
+            elevating: &self.elevating,
+        }
+    }
+
+    /// Reassembles an index from its components (snapshot loading). The
+    /// per-component constructors have already validated internal shapes;
+    /// this checks the cross-component invariants: one level, coordinate
+    /// and hierarchy entry per node, no level above the grid's `h`, and
+    /// every node id referenced by the elevating sets in range — so a
+    /// checksum-valid but forged snapshot can never produce an index that
+    /// panics or misindexes at query time.
+    pub fn from_raw_parts(
+        grid: GridHierarchy,
+        hierarchy: Hierarchy,
+        level: Vec<u8>,
+        coords: Vec<Point>,
+        elevating: ElevatingSets,
+    ) -> Result<AhIndex, &'static str> {
+        let n = hierarchy.num_nodes();
+        if level.len() != n || coords.len() != n {
+            return Err("level/coordinate arrays disagree with the hierarchy size");
+        }
+        let h = grid.levels();
+        if level.iter().any(|&l| l as u32 > h) {
+            return Err("node level above the grid hierarchy height");
+        }
+        for side in [&elevating.forward, &elevating.backward] {
+            validate_side_node_ids(side, n)?;
+        }
+        Ok(AhIndex {
+            grid,
+            hierarchy,
+            level,
+            coords,
+            elevating,
+        })
+    }
+}
+
+/// Checks that every node id an elevating side mentions — jump targets,
+/// chain tails, chain arc endpoints and middle nodes — indexes a real
+/// node. [`crate::ElevatingSide::from_raw_parts`] validates the side's
+/// *internal* ranges; the node count is a cross-component fact only the
+/// index constructor knows.
+fn validate_side_node_ids(
+    side: &crate::ElevatingSide,
+    n: usize,
+) -> Result<(), &'static str> {
+    use ah_graph::INVALID_NODE;
+    let (node_offsets, _, arcs, chains) = side.raw_parts();
+    if !node_offsets.is_empty() && node_offsets.len() != n + 1 {
+        return Err("elevating node-offset array disagrees with the node count");
+    }
+    if arcs.iter().any(|a| a.to as usize >= n) {
+        return Err("elevating arc target out of range");
+    }
+    for &(tail, arc) in chains {
+        if tail as usize >= n
+            || arc.to as usize >= n
+            || (arc.middle != INVALID_NODE && arc.middle as usize >= n)
+        {
+            return Err("elevating chain node out of range");
+        }
+    }
+    Ok(())
+}
+
+/// Borrowed view of an [`AhIndex`]'s components, as returned by
+/// [`AhIndex::raw_parts`].
+#[derive(Clone, Copy)]
+pub struct AhIndexParts<'a> {
+    /// Grid geometry the proximity constraint evaluates against.
+    pub grid: &'a GridHierarchy,
+    /// The contracted hierarchy.
+    pub hierarchy: &'a Hierarchy,
+    /// Final hierarchy level per node.
+    pub level: &'a [u8],
+    /// Node coordinates.
+    pub coords: &'a [Point],
+    /// Forward/backward elevating sets.
+    pub elevating: &'a ElevatingSets,
 }
 
 /// Builds the forward/backward elevating sets for every border node and
@@ -203,6 +294,40 @@ mod tests {
         };
         let idx = AhIndex::build(&g, &cfg);
         assert_eq!(idx.stats().elevating_arcs, 0);
+    }
+
+    #[test]
+    fn from_raw_parts_rejects_forged_elevating_node_ids() {
+        use crate::{ElevArc, ElevatingSets, ElevatingSide};
+        use ah_graph::Dist;
+
+        let g = ah_data::fixtures::lattice(6, 6, 16);
+        let idx = AhIndex::build(&g, &BuildConfig::default());
+        let p = idx.raw_parts();
+
+        // An elevating arc whose jump target indexes far past the node
+        // arrays: internally consistent (chain range [0,0) is valid), so
+        // only the cross-component check can reject it.
+        let forged = ElevatingSide::from_raw_parts(
+            std::iter::once(0)
+                .chain((0..idx.num_nodes()).map(|i| (i >= 1) as u32))
+                .collect(),
+            vec![(1, 0, 1)],
+            vec![ElevArc::from_raw_parts(0xFFFF_0000, Dist::ZERO, 0, 0)],
+            vec![],
+        )
+        .unwrap();
+        let err = AhIndex::from_raw_parts(
+            p.grid.clone(),
+            p.hierarchy.clone(),
+            p.level.to_vec(),
+            p.coords.to_vec(),
+            ElevatingSets {
+                forward: forged,
+                backward: ElevatingSide::default(),
+            },
+        );
+        assert!(err.is_err(), "forged elevating target must be rejected");
     }
 
     #[test]

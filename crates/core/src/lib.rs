@@ -53,8 +53,8 @@ mod query;
 mod ranking;
 
 pub use config::{BuildConfig, QueryConfig};
-pub use elevating::ElevatingSets;
-pub use index::{AhIndex, IndexStats};
+pub use elevating::{ElevArc, ElevatingSets, ElevatingSide};
+pub use index::{AhIndex, AhIndexParts, IndexStats};
 pub use query::AhQuery;
 pub use ranking::{greedy_cover_sequence, rank_nodes, Ranking};
 

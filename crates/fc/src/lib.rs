@@ -17,6 +17,7 @@
 //! the downgrading optimization, elevating edges and O(k) path unpacking
 //! tuning — exactly the gaps Section 4 closes. FC remains exact; it is
 //! kept as a comparison point and as the conceptual stepping stone.
+//! `docs/ARCHITECTURE.md` shows where FC sits in the crate graph.
 //!
 //! ```
 //! use ah_fc::{FcIndex, FcQuery};

@@ -146,6 +146,58 @@ impl Graph {
             + self.coords.len() * std::mem::size_of::<Point>()
     }
 
+    /// Borrowed view of the five CSR arrays, in the order
+    /// `(out_offsets, out_arcs, in_offsets, in_arcs, coords)`.
+    ///
+    /// This is the serialization hook used by `ah_store`: the arrays are
+    /// exactly what a snapshot persists, and
+    /// [`Graph::from_csr_parts`] is its validated inverse.
+    pub fn csr_parts(&self) -> (&[u32], &[Arc], &[u32], &[Arc], &[Point]) {
+        (
+            &self.out_offsets,
+            &self.out_arcs,
+            &self.in_offsets,
+            &self.in_arcs,
+            &self.coords,
+        )
+    }
+
+    /// Reassembles a graph from raw CSR arrays (the inverse of
+    /// [`Graph::csr_parts`], used when loading snapshots).
+    ///
+    /// Unlike the crate-internal `from_parts`, which trusts the builder,
+    /// this validates every structural invariant — offset monotonicity, arc
+    /// counts, endpoint bounds — and returns an error instead of
+    /// constructing a graph whose accessors could panic or misindex.
+    pub fn from_csr_parts(
+        out_offsets: Vec<u32>,
+        out_arcs: Vec<Arc>,
+        in_offsets: Vec<u32>,
+        in_arcs: Vec<Arc>,
+        coords: Vec<Point>,
+    ) -> Result<Graph, &'static str> {
+        let n = coords.len();
+        validate_csr(&out_offsets, out_arcs.len(), n, "out")?;
+        validate_csr(&in_offsets, in_arcs.len(), n, "in")?;
+        if out_arcs.len() != in_arcs.len() {
+            return Err("forward and backward arc counts differ");
+        }
+        if out_arcs
+            .iter()
+            .chain(in_arcs.iter())
+            .any(|a| a.head as usize >= n)
+        {
+            return Err("arc endpoint out of range");
+        }
+        Ok(Graph {
+            out_offsets,
+            out_arcs,
+            in_offsets,
+            in_arcs,
+            coords,
+        })
+    }
+
     /// True if every node can reach every other node ignoring edge
     /// direction. (Strong connectivity is checked by
     /// [`crate::strongly_connected_components`].)
@@ -169,6 +221,29 @@ impl Graph {
         }
         count == n
     }
+}
+
+/// Shared CSR shape check: `offsets` must have `n + 1` monotone entries
+/// starting at 0 and ending at `arcs_len`.
+fn validate_csr(
+    offsets: &[u32],
+    arcs_len: usize,
+    n: usize,
+    _side: &'static str,
+) -> Result<(), &'static str> {
+    if offsets.len() != n + 1 {
+        return Err("offset array length is not num_nodes + 1");
+    }
+    if offsets.first() != Some(&0) {
+        return Err("offset array does not start at 0");
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err("offset array is not monotone");
+    }
+    if offsets.last().copied().unwrap_or(0) as usize != arcs_len {
+        return Err("offset array does not cover the arc array");
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -254,5 +329,65 @@ mod tests {
     fn size_accounting_positive() {
         let g = diamond();
         assert!(g.size_bytes() > 0);
+    }
+
+    #[test]
+    fn csr_parts_roundtrip() {
+        let g = diamond();
+        let (oo, oa, io, ia, co) = g.csr_parts();
+        let g2 = crate::Graph::from_csr_parts(
+            oo.to_vec(),
+            oa.to_vec(),
+            io.to_vec(),
+            ia.to_vec(),
+            co.to_vec(),
+        )
+        .unwrap();
+        assert_eq!(g2.num_nodes(), g.num_nodes());
+        for v in g.node_ids() {
+            assert_eq!(g2.out_edges(v), g.out_edges(v));
+            assert_eq!(g2.in_edges(v), g.in_edges(v));
+            assert_eq!(g2.coord(v), g.coord(v));
+        }
+    }
+
+    #[test]
+    fn from_csr_parts_rejects_malformed_shapes() {
+        let g = diamond();
+        let (oo, oa, io, ia, co) = g.csr_parts();
+        // Offsets not covering the arc array.
+        let mut bad = oo.to_vec();
+        *bad.last_mut().unwrap() -= 1;
+        assert!(crate::Graph::from_csr_parts(
+            bad,
+            oa.to_vec(),
+            io.to_vec(),
+            ia.to_vec(),
+            co.to_vec()
+        )
+        .is_err());
+        // Arc head out of range.
+        let mut bad_arcs = oa.to_vec();
+        bad_arcs[0].head = 99;
+        assert!(crate::Graph::from_csr_parts(
+            oo.to_vec(),
+            bad_arcs,
+            io.to_vec(),
+            ia.to_vec(),
+            co.to_vec()
+        )
+        .is_err());
+        // Non-monotone offsets.
+        let mut bad = io.to_vec();
+        bad[1] = 3;
+        bad[2] = 1;
+        assert!(crate::Graph::from_csr_parts(
+            oo.to_vec(),
+            oa.to_vec(),
+            bad,
+            ia.to_vec(),
+            co.to_vec()
+        )
+        .is_err());
     }
 }

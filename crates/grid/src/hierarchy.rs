@@ -208,6 +208,26 @@ impl GridHierarchy {
         self.regions_containing_cell(i, self.cell_of(i, p))
     }
 
+    /// The three scalars that fully determine the hierarchy:
+    /// `(origin, h, s1)`. Serialization hook for `ah_store`;
+    /// [`GridHierarchy::from_raw_parts`] is the validated inverse.
+    pub fn raw_parts(&self) -> (Point, u32, u64) {
+        (self.origin, self.h, self.s1)
+    }
+
+    /// Rebuilds a hierarchy from its raw scalars (snapshot loading),
+    /// rejecting level counts outside `1..=`[`MAX_LEVELS`] and a zero cell
+    /// side.
+    pub fn from_raw_parts(origin: Point, h: u32, s1: u64) -> Result<Self, &'static str> {
+        if h == 0 || h > MAX_LEVELS {
+            return Err("grid level count outside 1..=MAX_LEVELS");
+        }
+        if s1 == 0 {
+            return Err("finest cell side must be positive");
+        }
+        Ok(GridHierarchy { origin, h, s1 })
+    }
+
     fn check_level(&self, i: u32) {
         assert!(
             (1..=self.h).contains(&i),
@@ -393,6 +413,17 @@ mod tests {
     fn level_zero_is_invalid() {
         let g = GridHierarchy::fit(square(7), MAX_LEVELS);
         g.cell_side(0);
+    }
+
+    #[test]
+    fn raw_parts_roundtrip_and_validation() {
+        let g = GridHierarchy::fit(square(255), MAX_LEVELS);
+        let (origin, h, s1) = g.raw_parts();
+        let g2 = GridHierarchy::from_raw_parts(origin, h, s1).unwrap();
+        assert_eq!(g, g2);
+        assert!(GridHierarchy::from_raw_parts(origin, 0, s1).is_err());
+        assert!(GridHierarchy::from_raw_parts(origin, MAX_LEVELS + 1, s1).is_err());
+        assert!(GridHierarchy::from_raw_parts(origin, h, 0).is_err());
     }
 
     #[test]

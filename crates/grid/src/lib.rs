@@ -14,9 +14,21 @@
 //!   constraint* (Sections 3.2 and 4.3).
 //!
 //! Grid levels are numbered `1..=h` exactly as in the paper.
+//!
+//! ```
+//! use ah_graph::Point;
+//! use ah_grid::{GridHierarchy, MAX_LEVELS};
+//!
+//! let pts = [Point::new(0, 0), Point::new(200, 40), Point::new(255, 255)];
+//! let g = GridHierarchy::fit_to_points(&pts, MAX_LEVELS);
+//! // Nearby points are never separated (Lemma 3's precondition fails);
+//! // far-apart points separate at some grid level.
+//! assert_eq!(g.separation_level(pts[0], Point::new(1, 1)), None);
+//! assert!(g.separation_level(pts[0], pts[2]).is_some());
+//! ```
 
 mod hierarchy;
 mod region;
 
-pub use hierarchy::{Cell, GridHierarchy};
+pub use hierarchy::{Cell, GridHierarchy, MAX_LEVELS};
 pub use region::{Axis, Region, StripSide};

@@ -17,6 +17,23 @@
 //! All distances are nuance-tagged [`Dist`] pairs (paper Appendix A), so
 //! shortest paths are unique with overwhelming probability and every crate
 //! that builds on this one agrees on *which* shortest path is canonical.
+//!
+//! ```
+//! use ah_graph::{GraphBuilder, Point};
+//! use ah_search::{dijkstra_distance, BidirectionalDijkstra};
+//!
+//! let mut b = GraphBuilder::new();
+//! for i in 0..4 {
+//!     b.add_node(Point::new(i, 0));
+//! }
+//! for i in 0..3 {
+//!     b.add_bidirectional_edge(i as u32, i as u32 + 1, 5);
+//! }
+//! let g = b.build();
+//! let mut bidir = BidirectionalDijkstra::new();
+//! assert_eq!(bidir.distance(&g, 0, 3), dijkstra_distance(&g, 0, 3));
+//! assert_eq!(bidir.distance(&g, 0, 3).unwrap().length, 15);
+//! ```
 
 mod bidirectional;
 mod driver;

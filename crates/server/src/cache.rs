@@ -207,6 +207,20 @@ impl DistanceCache {
         }
     }
 
+    /// Drops every cached entry (hit/miss counters are kept — they
+    /// describe traffic, not contents). Used when the index underneath
+    /// the cache is swapped: answers computed against the old index must
+    /// not leak into the new serving generation.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut s = shard.lock().unwrap();
+            s.map.clear();
+            s.arena.clear();
+            s.head = NIL;
+            s.tail = NIL;
+        }
+    }
+
     /// Entries currently cached, summed over shards.
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.lock().unwrap().map.len()).sum()

@@ -6,7 +6,7 @@
 //! crate is the serving layer the ROADMAP's production north star asks
 //! for: many threads multiplexing queries over one immutable index.
 //!
-//! Three pieces compose:
+//! Four pieces compose:
 //!
 //! * [`DistanceBackend`] / [`BackendSession`] — the method abstraction.
 //!   A backend is the shared `Sync` index half; a session is the mutable
@@ -21,6 +21,10 @@
 //!   queue fills, making every run closed-loop.
 //! * [`ServerMetrics`] — lock-free telemetry: log₂-bucket latency
 //!   histograms (p50/p95/p99), cache hit rates, aggregate QPS.
+//! * [`SnapshotServer`] — the lifecycle layer over `ah_store` snapshots:
+//!   [`Server::from_snapshot`] restarts a server from a persisted index
+//!   without paying the build, and an atomic index swap (with cache
+//!   invalidation) reindexes under live traffic with zero downtime.
 //!
 //! ```
 //! use ah_core::{AhIndex, BuildConfig};
@@ -42,9 +46,11 @@ mod cache;
 mod metrics;
 mod queue;
 mod server;
+mod snapshot;
 
 pub use backend::{AhBackend, BackendSession, ChBackend, DijkstraBackend, DistanceBackend};
 pub use cache::{DistanceCache, NUM_SHARDS};
 pub use metrics::{LatencyHistogram, MetricsSnapshot, ServerMetrics};
 pub use queue::BoundedQueue;
 pub use server::{QueryKind, Request, Response, RunReport, Server, ServerConfig};
+pub use snapshot::SnapshotServer;

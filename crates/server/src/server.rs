@@ -158,6 +158,16 @@ impl Server {
         self.cache.as_ref().map_or(0.0, DistanceCache::hit_rate)
     }
 
+    /// Drops every cached distance. Must be called whenever the backend's
+    /// underlying index changes (snapshot swap, reindex): cached answers
+    /// describe the *old* network, and serving them against the new one
+    /// would silently return stale distances.
+    pub fn reset_cache(&self) {
+        if let Some(c) = &self.cache {
+            c.clear();
+        }
+    }
+
     /// Serves every request in `requests` on the worker pool and returns
     /// the responses sorted by request id.
     ///

@@ -1,0 +1,221 @@
+//! Restarting from and hot-swapping index snapshots.
+//!
+//! Two serving-lifecycle gaps close here, both backed by `ah_store`:
+//!
+//! * **Fast restart** — [`Server::from_snapshot`] brings a server up from
+//!   a persisted [`AhIndex`] in milliseconds, skipping the multi-second
+//!   build (the snapshot is written once, e.g. by
+//!   `serve_throughput --save-index`).
+//! * **Zero-downtime reindexing** — a [`SnapshotServer`] owns its index
+//!   behind an atomically swappable handle. Road data changed? Build or
+//!   load the new index *off the serving path*, then
+//!   [`SnapshotServer::swap_index`]: in-flight request streams finish
+//!   against the old generation (the swap waits for them to drain), then
+//!   the new index is published and the distance cache cleared under the
+//!   same lock — so no answer computed against the old network can ever
+//!   survive the swap, not even from a worker that was mid-stream when
+//!   the swap began. The old index is returned to the caller (for
+//!   diffing or deferred teardown) and freed when the last `Arc` drops.
+//!
+//! Workers never lock per query: a run takes the generation read-lock
+//! once and serves its whole stream under it. Concurrent runs share the
+//! read side; only a swap takes the write side, and only for the
+//! pointer exchange plus cache clear.
+
+use std::path::Path;
+use std::sync::{Arc, RwLock};
+
+use ah_core::AhIndex;
+use ah_store::{Snapshot, SnapshotError};
+
+use crate::backend::AhBackend;
+use crate::server::{Request, RunReport, Server, ServerConfig};
+
+impl Server {
+    /// Builds a swappable serving engine from the snapshot at `path`.
+    ///
+    /// The snapshot must contain an `ah.index` section (write one with
+    /// [`ah_store::SnapshotContents::ah`]); anything else in the file is
+    /// ignored. Fails with a typed [`SnapshotError`] — never panics — on
+    /// missing files, corruption, version skew or a missing section.
+    pub fn from_snapshot(
+        path: impl AsRef<Path>,
+        cfg: ServerConfig,
+    ) -> Result<SnapshotServer, SnapshotError> {
+        let index = Snapshot::load_ah(path)?;
+        Ok(SnapshotServer::new(Arc::new(index), cfg))
+    }
+}
+
+/// A [`Server`] bound to an atomically swappable AH index.
+///
+/// Unlike the bare engine — which borrows a backend per [`Server::run`]
+/// call — this owns the index generation, so the index a request stream
+/// is served against can be replaced between runs without stopping the
+/// process.
+pub struct SnapshotServer {
+    server: Server,
+    index: RwLock<Arc<AhIndex>>,
+}
+
+impl SnapshotServer {
+    /// Serves from `index` with the given configuration.
+    pub fn new(index: Arc<AhIndex>, cfg: ServerConfig) -> Self {
+        SnapshotServer {
+            server: Server::new(cfg),
+            index: RwLock::new(index),
+        }
+    }
+
+    /// The engine underneath (metrics, cache statistics, config).
+    pub fn server(&self) -> &Server {
+        &self.server
+    }
+
+    /// The currently serving index generation.
+    pub fn index(&self) -> Arc<AhIndex> {
+        self.index.read().unwrap().clone()
+    }
+
+    /// Atomically replaces the serving index and clears the distance
+    /// cache. Returns the previous generation.
+    ///
+    /// Runs hold the generation read-lock for their whole duration, so
+    /// this call first waits for in-flight [`SnapshotServer::run`]s to
+    /// drain (they finish against the old index), then — still holding
+    /// the write lock, so no run can race the two steps — publishes the
+    /// new index and clears the cache. That ordering is what makes the
+    /// staleness guarantee airtight: an old-generation worker can never
+    /// insert an answer after the clear, because no old-generation
+    /// worker exists once the write lock is held.
+    pub fn swap_index(&self, new: Arc<AhIndex>) -> Arc<AhIndex> {
+        let mut slot = self.index.write().unwrap();
+        let old = std::mem::replace(&mut *slot, new);
+        self.server.reset_cache();
+        old
+    }
+
+    /// Loads the snapshot at `path` and [`SnapshotServer::swap_index`]es
+    /// to it. On any load error the serving index is left untouched — a
+    /// bad snapshot can never take down a healthy server.
+    pub fn swap_from_snapshot(
+        &self,
+        path: impl AsRef<Path>,
+    ) -> Result<Arc<AhIndex>, SnapshotError> {
+        let index = Snapshot::load_ah(path)?;
+        Ok(self.swap_index(Arc::new(index)))
+    }
+
+    /// Serves `requests` against the current index generation (see
+    /// [`Server::run`] for the execution model).
+    ///
+    /// Holds the generation read-lock for the duration of the run: any
+    /// concurrent [`SnapshotServer::swap_index`] waits for this stream
+    /// to finish, which is what keeps old-generation answers out of the
+    /// post-swap cache. Concurrent `run` calls do not block each other.
+    pub fn run(&self, requests: &[Request]) -> RunReport {
+        let index = self.index.read().unwrap();
+        let backend = AhBackend::new(&index);
+        self.server.run(&backend, requests)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ah_core::BuildConfig;
+    use ah_search::dijkstra_distance;
+    use ah_store::SnapshotContents;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("ah_server_{name}_{}.snap", std::process::id()))
+    }
+
+    #[test]
+    fn from_snapshot_serves_identically_to_fresh_build() {
+        let g = ah_data::fixtures::lattice(6, 6, 12);
+        let idx = AhIndex::build(&g, &BuildConfig::default());
+        let path = tmp("restart");
+        Snapshot::write(&path, SnapshotContents::new().ah(&idx)).unwrap();
+
+        let server = Server::from_snapshot(&path, ServerConfig::with_workers(2)).unwrap();
+        let reqs: Vec<Request> = (0..40)
+            .map(|i| Request::distance(i, (i as u32 * 3) % 36, (i as u32 * 7 + 1) % 36))
+            .collect();
+        let report = server.run(&reqs);
+        for (req, resp) in reqs.iter().zip(&report.responses) {
+            let want = dijkstra_distance(&g, req.s, req.t).map(|d| d.length);
+            assert_eq!(resp.distance, want, "req {}", req.id);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn swap_changes_answers_and_clears_cache() {
+        // Two networks, same shape, different weights: the same (s, t)
+        // pair answers differently across generations, so a stale cache
+        // entry would be visible immediately.
+        let g1 = ah_data::fixtures::lattice(5, 5, 10);
+        let g2 = ah_data::fixtures::lattice(5, 5, 30);
+        let idx1 = Arc::new(AhIndex::build(&g1, &BuildConfig::default()));
+        let idx2 = Arc::new(AhIndex::build(&g2, &BuildConfig::default()));
+
+        let server = SnapshotServer::new(idx1.clone(), ServerConfig::with_workers(2));
+        let reqs: Vec<Request> = (0..25)
+            .map(|i| Request::distance(i, i as u32 % 25, (i as u32 * 11 + 2) % 25))
+            .collect();
+
+        let before = server.run(&reqs);
+        for (req, resp) in reqs.iter().zip(&before.responses) {
+            let want = dijkstra_distance(&g1, req.s, req.t).map(|d| d.length);
+            assert_eq!(resp.distance, want, "generation 1, req {}", req.id);
+        }
+
+        let old = server.swap_index(idx2);
+        assert!(Arc::ptr_eq(&old, &idx1), "swap returns the old generation");
+
+        let after = server.run(&reqs);
+        for (req, resp) in reqs.iter().zip(&after.responses) {
+            let want = dijkstra_distance(&g2, req.s, req.t).map(|d| d.length);
+            assert_eq!(resp.distance, want, "generation 2, req {}", req.id);
+        }
+    }
+
+    #[test]
+    fn swap_from_bad_snapshot_leaves_serving_intact() {
+        let g = ah_data::fixtures::lattice(4, 4, 10);
+        let idx = Arc::new(AhIndex::build(&g, &BuildConfig::default()));
+        let server = SnapshotServer::new(idx.clone(), ServerConfig::with_workers(1));
+
+        // Missing file.
+        assert!(server.swap_from_snapshot("/no/such/file.snap").is_err());
+        // Present but not a snapshot.
+        let path = tmp("garbage");
+        std::fs::write(&path, b"definitely not a snapshot").unwrap();
+        assert!(matches!(
+            server.swap_from_snapshot(&path),
+            Err(SnapshotError::BadMagic)
+        ));
+        std::fs::remove_file(&path).ok();
+
+        // Still serving from the original index.
+        assert!(Arc::ptr_eq(&server.index(), &idx));
+        let report = server.run(&[Request::distance(0, 0, 15)]);
+        assert_eq!(
+            report.responses[0].distance,
+            dijkstra_distance(&g, 0, 15).map(|d| d.length)
+        );
+    }
+
+    #[test]
+    fn from_snapshot_without_ah_section_is_typed() {
+        let g = ah_data::fixtures::ring(8);
+        let path = tmp("graph_only");
+        Snapshot::write(&path, SnapshotContents::new().graph(&g)).unwrap();
+        assert!(matches!(
+            Server::from_snapshot(&path, ServerConfig::default()),
+            Err(SnapshotError::MissingSection { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+}

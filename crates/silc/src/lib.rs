@@ -12,7 +12,8 @@
 //! The construction computes `n` shortest-path trees (`O(n² log n)` work,
 //! `O(n √n)` expected space), which is why the paper (and this harness)
 //! only runs SILC on the smaller datasets: its Figure 10 curves are the
-//! motivation for AH's existence.
+//! motivation for AH's existence. `docs/ARCHITECTURE.md` shows where
+//! SILC sits in the crate graph.
 //!
 //! ```
 //! use ah_silc::{SilcIndex, SilcQuery};

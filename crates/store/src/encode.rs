@@ -1,0 +1,320 @@
+//! Section payload encoders/decoders for the persisted types.
+//!
+//! Each top-level object maps to one section (see
+//! [`crate::format::SectionTag`]); composite objects are encoded as a
+//! fixed sequence of sub-blocks so the contraction [`Hierarchy`] encoding
+//! is shared verbatim between the `ah.index` and `ch.index` sections. The
+//! byte-exact field order is normative and documented in
+//! `docs/FORMAT.md`; any change here must bump
+//! [`crate::format::VERSION`].
+//!
+//! Decoders run only on checksum-verified payloads and still trust
+//! nothing: every structural invariant is re-checked through the source
+//! crates' validated `from_raw_parts` constructors, so a forged file
+//! yields a typed [`SnapshotError`], never a panic or an index that
+//! answers queries from out-of-bounds memory.
+
+use ah_ch::ChIndex;
+use ah_contraction::{HArc, Hierarchy};
+use ah_core::{AhIndex, ElevArc, ElevatingSets, ElevatingSide};
+use ah_graph::{Arc, Dist, Graph, NodeId, Point};
+use ah_grid::GridHierarchy;
+
+use crate::codec::{FieldReader, FieldWriter};
+use crate::error::SnapshotError;
+use crate::format::SectionTag;
+
+// ---------------------------------------------------------------- graph
+
+/// Encodes a [`Graph`] as the `graph` section payload.
+pub fn encode_graph(g: &Graph) -> Vec<u8> {
+    let (out_offsets, out_arcs, in_offsets, in_arcs, coords) = g.csr_parts();
+    let mut w = FieldWriter::new();
+    w.put_u64(g.num_nodes() as u64);
+    w.put_u32_slice(out_offsets);
+    put_arc_slice(&mut w, out_arcs);
+    w.put_u32_slice(in_offsets);
+    put_arc_slice(&mut w, in_arcs);
+    put_point_slice(&mut w, coords);
+    w.into_bytes()
+}
+
+/// Decodes the `graph` section payload.
+pub fn decode_graph(bytes: &[u8]) -> Result<Graph, SnapshotError> {
+    let mut r = FieldReader::new(SectionTag::GRAPH, bytes);
+    let n = r.get_u64()? as usize;
+    let out_offsets = r.get_u32_vec()?;
+    let out_arcs = get_arc_vec(&mut r)?;
+    let in_offsets = r.get_u32_vec()?;
+    let in_arcs = get_arc_vec(&mut r)?;
+    let coords = get_point_vec(&mut r)?;
+    r.expect_end()?;
+    if coords.len() != n {
+        return Err(r.malformed("node count disagrees with the coordinate array"));
+    }
+    Graph::from_csr_parts(out_offsets, out_arcs, in_offsets, in_arcs, coords)
+        .map_err(|reason| SnapshotError::Malformed {
+            section: SectionTag::GRAPH,
+            reason,
+        })
+}
+
+fn put_arc_slice(w: &mut FieldWriter, arcs: &[Arc]) {
+    w.put_u64(arcs.len() as u64);
+    for a in arcs {
+        w.put_u32(a.head);
+        w.put_u32(a.weight);
+        w.put_u32(a.nuance);
+    }
+    w.pad8();
+}
+
+fn get_arc_vec(r: &mut FieldReader<'_>) -> Result<Vec<Arc>, SnapshotError> {
+    let n = r.get_len(12)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(Arc {
+            head: r.get_u32()?,
+            weight: r.get_u32()?,
+            nuance: r.get_u32()?,
+        });
+    }
+    r.align8()?;
+    Ok(out)
+}
+
+fn put_point_slice(w: &mut FieldWriter, points: &[Point]) {
+    w.put_u64(points.len() as u64);
+    for p in points {
+        w.put_i32(p.x);
+        w.put_i32(p.y);
+    }
+    w.pad8();
+}
+
+fn get_point_vec(r: &mut FieldReader<'_>) -> Result<Vec<Point>, SnapshotError> {
+    let n = r.get_len(8)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let x = r.get_i32()?;
+        let y = r.get_i32()?;
+        out.push(Point::new(x, y));
+    }
+    r.align8()?;
+    Ok(out)
+}
+
+// ------------------------------------------------------------ hierarchy
+
+fn put_harc_slice(w: &mut FieldWriter, arcs: &[HArc]) {
+    w.put_u64(arcs.len() as u64);
+    for a in arcs {
+        w.put_u32(a.to);
+        w.put_u32(a.middle);
+        w.put_u64(a.dist.length);
+        w.put_u64(a.dist.nuance);
+    }
+}
+
+fn get_harc_vec(r: &mut FieldReader<'_>) -> Result<Vec<HArc>, SnapshotError> {
+    let n = r.get_len(24)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let to = r.get_u32()?;
+        let middle = r.get_u32()?;
+        let length = r.get_u64()?;
+        let nuance = r.get_u64()?;
+        out.push(HArc {
+            to,
+            middle,
+            dist: Dist::new(length, nuance),
+        });
+    }
+    Ok(out)
+}
+
+/// Encodes a contraction [`Hierarchy`] sub-block (shared by the AH and CH
+/// sections).
+fn put_hierarchy(w: &mut FieldWriter, h: &Hierarchy) {
+    let parts = h.raw_parts();
+    w.put_u64(parts.rank.len() as u64);
+    w.put_u64(parts.num_shortcuts as u64);
+    w.put_u32_slice(parts.rank);
+    for (offsets, arcs) in parts.views {
+        w.put_u32_slice(offsets);
+        put_harc_slice(w, arcs);
+    }
+}
+
+fn get_hierarchy(r: &mut FieldReader<'_>) -> Result<Hierarchy, SnapshotError> {
+    let n = r.get_u64()? as usize;
+    let num_shortcuts = r.get_u64()? as usize;
+    let rank = r.get_u32_vec()?;
+    if rank.len() != n {
+        return Err(r.malformed("hierarchy node count disagrees with the rank array"));
+    }
+    let mut views: [(Vec<u32>, Vec<HArc>); 4] = Default::default();
+    for view in views.iter_mut() {
+        let offsets = r.get_u32_vec()?;
+        let arcs = get_harc_vec(r)?;
+        *view = (offsets, arcs);
+    }
+    let section = r.section();
+    Hierarchy::from_raw_parts(rank, views, num_shortcuts)
+        .map_err(|reason| SnapshotError::Malformed { section, reason })
+}
+
+// ------------------------------------------------------------- ah.index
+
+/// Encodes an [`AhIndex`] as the `ah.index` section payload.
+pub fn encode_ah(idx: &AhIndex) -> Vec<u8> {
+    let parts = idx.raw_parts();
+    let mut w = FieldWriter::new();
+    let (origin, h, s1) = parts.grid.raw_parts();
+    w.put_i32(origin.x);
+    w.put_i32(origin.y);
+    w.put_u32(h);
+    w.put_u32(0); // reserved / alignment
+    w.put_u64(s1);
+    put_hierarchy(&mut w, parts.hierarchy);
+    w.put_u8_slice(parts.level);
+    put_point_slice(&mut w, parts.coords);
+    put_side(&mut w, &parts.elevating.forward);
+    put_side(&mut w, &parts.elevating.backward);
+    w.into_bytes()
+}
+
+/// Decodes the `ah.index` section payload.
+pub fn decode_ah(bytes: &[u8]) -> Result<AhIndex, SnapshotError> {
+    let mut r = FieldReader::new(SectionTag::AH, bytes);
+    let ox = r.get_i32()?;
+    let oy = r.get_i32()?;
+    let h = r.get_u32()?;
+    let _reserved = r.get_u32()?;
+    let s1 = r.get_u64()?;
+    let grid = GridHierarchy::from_raw_parts(Point::new(ox, oy), h, s1)
+        .map_err(|reason| r.malformed(reason))?;
+    let hierarchy = get_hierarchy(&mut r)?;
+    let level = r.get_u8_vec()?;
+    let coords = get_point_vec(&mut r)?;
+    let forward = get_side(&mut r)?;
+    let backward = get_side(&mut r)?;
+    r.expect_end()?;
+    AhIndex::from_raw_parts(
+        grid,
+        hierarchy,
+        level,
+        coords,
+        ElevatingSets { forward, backward },
+    )
+    .map_err(|reason| SnapshotError::Malformed {
+        section: SectionTag::AH,
+        reason,
+    })
+}
+
+fn put_side(w: &mut FieldWriter, side: &ElevatingSide) {
+    let (node_offsets, entries, arcs, chains) = side.raw_parts();
+    w.put_u32_slice(node_offsets);
+    w.put_u64(entries.len() as u64);
+    for &(level, start, len) in entries {
+        w.put_u32(level as u32);
+        w.put_u32(start);
+        w.put_u32(len);
+    }
+    w.pad8();
+    w.put_u64(arcs.len() as u64);
+    for a in arcs {
+        let (chain_start, chain_len) = a.chain_range();
+        w.put_u32(a.to);
+        w.put_u32(chain_start);
+        w.put_u32(chain_len);
+        w.put_u32(0); // reserved / alignment
+        w.put_u64(a.dist.length);
+        w.put_u64(a.dist.nuance);
+    }
+    w.put_u64(chains.len() as u64);
+    for &(tail, arc) in chains {
+        w.put_u32(tail);
+        w.put_u32(arc.to);
+        w.put_u32(arc.middle);
+        w.put_u32(0); // reserved / alignment
+        w.put_u64(arc.dist.length);
+        w.put_u64(arc.dist.nuance);
+    }
+}
+
+fn get_side(r: &mut FieldReader<'_>) -> Result<ElevatingSide, SnapshotError> {
+    let node_offsets = r.get_u32_vec()?;
+    let n_entries = r.get_len(12)?;
+    let mut entries = Vec::with_capacity(n_entries);
+    for _ in 0..n_entries {
+        let level = r.get_u32()?;
+        let start = r.get_u32()?;
+        let len = r.get_u32()?;
+        if level > u8::MAX as u32 {
+            return Err(r.malformed("elevating entry level exceeds u8"));
+        }
+        entries.push((level as u8, start, len));
+    }
+    r.align8()?;
+    let n_arcs = r.get_len(32)?;
+    let mut arcs = Vec::with_capacity(n_arcs);
+    for _ in 0..n_arcs {
+        let to = r.get_u32()?;
+        let chain_start = r.get_u32()?;
+        let chain_len = r.get_u32()?;
+        let _reserved = r.get_u32()?;
+        let length = r.get_u64()?;
+        let nuance = r.get_u64()?;
+        arcs.push(ElevArc::from_raw_parts(
+            to,
+            Dist::new(length, nuance),
+            chain_start,
+            chain_len,
+        ));
+    }
+    let n_chains = r.get_len(32)?;
+    let mut chains: Vec<(NodeId, HArc)> = Vec::with_capacity(n_chains);
+    for _ in 0..n_chains {
+        let tail = r.get_u32()?;
+        let to = r.get_u32()?;
+        let middle = r.get_u32()?;
+        let _reserved = r.get_u32()?;
+        let length = r.get_u64()?;
+        let nuance = r.get_u64()?;
+        chains.push((
+            tail,
+            HArc {
+                to,
+                middle,
+                dist: Dist::new(length, nuance),
+            },
+        ));
+    }
+    let section = r.section();
+    ElevatingSide::from_raw_parts(node_offsets, entries, arcs, chains)
+        .map_err(|reason| SnapshotError::Malformed { section, reason })
+}
+
+// ------------------------------------------------------------- ch.index
+
+/// Encodes a [`ChIndex`] as the `ch.index` section payload.
+pub fn encode_ch(idx: &ChIndex) -> Vec<u8> {
+    let mut w = FieldWriter::new();
+    put_hierarchy(&mut w, idx.hierarchy());
+    w.put_u32_slice(idx.order());
+    w.into_bytes()
+}
+
+/// Decodes the `ch.index` section payload.
+pub fn decode_ch(bytes: &[u8]) -> Result<ChIndex, SnapshotError> {
+    let mut r = FieldReader::new(SectionTag::CH, bytes);
+    let hierarchy = get_hierarchy(&mut r)?;
+    let order = r.get_u32_vec()?;
+    r.expect_end()?;
+    ChIndex::from_raw_parts(hierarchy, order).map_err(|reason| SnapshotError::Malformed {
+        section: SectionTag::CH,
+        reason,
+    })
+}

@@ -1,0 +1,309 @@
+//! **Index snapshot persistence** — save built indexes to disk, reload
+//! them in milliseconds instead of rebuilding for seconds.
+//!
+//! The paper's practical pitch (Section 6) is small indexes and fast
+//! queries, but a real deployment restarts its servers far more often
+//! than it reindexes its road data — the experimental methodology of Wu
+//! et al. (VLDB 2012) treats (re)construction cost as a first-class axis
+//! for exactly this reason. This crate closes that gap with a versioned
+//! binary container holding any subset of:
+//!
+//! * the road network ([`ah_graph::Graph`]),
+//! * the Arterial Hierarchy index ([`ah_core::AhIndex`]),
+//! * the Contraction Hierarchies index ([`ah_ch::ChIndex`]).
+//!
+//! The on-disk layout — magic, version, section table, CRC-64 per
+//! section, flat little-endian arrays — is specified normatively in
+//! `docs/FORMAT.md`; the `format` and `encode` modules implement it.
+//! Loads never panic: every failure mode (truncation, bit rot, version
+//! skew, forged structure) maps to a typed [`SnapshotError`], and all
+//! structural invariants are re-validated through the source crates'
+//! checked constructors before an object is handed back.
+//!
+//! Writes are atomic (tmp file + rename), so a crash mid-write can never
+//! leave a half-valid snapshot at the target path — the property
+//! `ah_server`'s zero-downtime snapshot swap builds on.
+//!
+//! ```
+//! use ah_core::{AhIndex, BuildConfig};
+//! use ah_store::{Snapshot, SnapshotContents};
+//!
+//! let g = ah_data::fixtures::lattice(6, 6, 16);
+//! let idx = AhIndex::build(&g, &BuildConfig::default());
+//! let path = std::env::temp_dir().join("ah_store_doc.snap");
+//!
+//! Snapshot::write(&path, SnapshotContents::new().graph(&g).ah(&idx)).unwrap();
+//! let loaded = Snapshot::load(&path).unwrap();
+//! assert_eq!(loaded.ah.as_ref().unwrap().num_nodes(), idx.num_nodes());
+//! # std::fs::remove_file(&path).ok();
+//! ```
+
+mod codec;
+mod crc;
+mod encode;
+mod error;
+mod format;
+
+use std::path::Path;
+
+use ah_ch::ChIndex;
+use ah_core::AhIndex;
+use ah_graph::Graph;
+
+pub use crc::crc64;
+pub use error::SnapshotError;
+pub use format::{Container, ContainerWriter, SectionEntry, SectionTag, MAGIC, VERSION};
+
+/// Borrowed selection of what one [`Snapshot::write`] call persists.
+///
+/// All components are optional; sections are written in the fixed order
+/// graph, AH, CH regardless of the order the setters were called in.
+#[derive(Default, Clone, Copy)]
+pub struct SnapshotContents<'a> {
+    graph: Option<&'a Graph>,
+    ah: Option<&'a AhIndex>,
+    ch: Option<&'a ChIndex>,
+}
+
+impl<'a> SnapshotContents<'a> {
+    /// Starts an empty selection.
+    pub fn new() -> Self {
+        SnapshotContents::default()
+    }
+
+    /// Includes the road network.
+    pub fn graph(mut self, g: &'a Graph) -> Self {
+        self.graph = Some(g);
+        self
+    }
+
+    /// Includes the AH index.
+    pub fn ah(mut self, idx: &'a AhIndex) -> Self {
+        self.ah = Some(idx);
+        self
+    }
+
+    /// Includes the CH index.
+    pub fn ch(mut self, idx: &'a ChIndex) -> Self {
+        self.ch = Some(idx);
+        self
+    }
+}
+
+/// A loaded snapshot: whichever of the three persistable objects the file
+/// contained, fully decoded and validated.
+#[derive(Default)]
+pub struct Snapshot {
+    /// The road network, if the file has a `graph` section.
+    pub graph: Option<Graph>,
+    /// The AH index, if the file has an `ah.index` section.
+    pub ah: Option<AhIndex>,
+    /// The CH index, if the file has a `ch.index` section.
+    pub ch: Option<ChIndex>,
+}
+
+impl Snapshot {
+    /// Serializes `contents` to `path` atomically and durably: written
+    /// to a sibling temporary file, `fsync`ed, renamed over the target,
+    /// and the parent directory synced (where the platform allows) so
+    /// neither a process crash nor a power loss can leave a truncated
+    /// file at the published path — the rename is only ever of
+    /// fully-flushed bytes. Returns the snapshot size in bytes.
+    pub fn write(path: impl AsRef<Path>, contents: SnapshotContents<'_>) -> Result<u64, SnapshotError> {
+        use std::io::Write;
+        let path = path.as_ref();
+        let bytes = Self::to_bytes(contents);
+        // Append ".tmp" to the *full* file name (never replace the
+        // extension): targets differing only in extension must not
+        // collide on one tmp file.
+        let tmp = {
+            let mut os = path.as_os_str().to_os_string();
+            os.push(".tmp");
+            std::path::PathBuf::from(os)
+        };
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)?;
+        // Make the rename itself durable. Directory fsync is a Unix
+        // notion; elsewhere (and on filesystems that refuse it) the
+        // rename's durability is best-effort, so errors are ignored.
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            if let Ok(dir) = std::fs::File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
+        Ok(bytes.len() as u64)
+    }
+
+    /// Serializes `contents` to an in-memory file image.
+    pub fn to_bytes(contents: SnapshotContents<'_>) -> Vec<u8> {
+        let mut w = format::ContainerWriter::new();
+        if let Some(g) = contents.graph {
+            w.add_section(SectionTag::GRAPH, encode::encode_graph(g));
+        }
+        if let Some(idx) = contents.ah {
+            w.add_section(SectionTag::AH, encode::encode_ah(idx));
+        }
+        if let Some(idx) = contents.ch {
+            w.add_section(SectionTag::CH, encode::encode_ch(idx));
+        }
+        w.finish()
+    }
+
+    /// Reads and fully verifies the snapshot at `path`.
+    pub fn load(path: impl AsRef<Path>) -> Result<Snapshot, SnapshotError> {
+        let bytes = std::fs::read(path)?;
+        Self::from_bytes(&bytes)
+    }
+
+    /// Loads *only* the AH index from the snapshot at `path`.
+    ///
+    /// Every section's checksum is still verified (that is container
+    /// parsing, and cheap), but the graph and CH payloads are not
+    /// decoded or validated — the restart path a server cares about
+    /// pays only for the section it serves from.
+    pub fn load_ah(path: impl AsRef<Path>) -> Result<AhIndex, SnapshotError> {
+        let bytes = std::fs::read(path)?;
+        let container = format::Container::parse(&bytes)?;
+        let section = container
+            .section(SectionTag::AH)
+            .ok_or(SnapshotError::MissingSection {
+                section: SectionTag::AH,
+            })?;
+        encode::decode_ah(section)
+    }
+
+    /// Decodes a snapshot from an in-memory file image. Unknown sections
+    /// are ignored (after their checksums verify), so same-version files
+    /// written by extended tooling stay loadable.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
+        let container = format::Container::parse(bytes)?;
+        let graph = container
+            .section(SectionTag::GRAPH)
+            .map(encode::decode_graph)
+            .transpose()?;
+        let ah = container
+            .section(SectionTag::AH)
+            .map(encode::decode_ah)
+            .transpose()?;
+        let ch = container
+            .section(SectionTag::CH)
+            .map(encode::decode_ch)
+            .transpose()?;
+        Ok(Snapshot { graph, ah, ch })
+    }
+
+    /// The AH index, or [`SnapshotError::MissingSection`].
+    pub fn require_ah(self) -> Result<AhIndex, SnapshotError> {
+        self.ah.ok_or(SnapshotError::MissingSection {
+            section: SectionTag::AH,
+        })
+    }
+
+    /// The CH index, or [`SnapshotError::MissingSection`].
+    pub fn require_ch(self) -> Result<ChIndex, SnapshotError> {
+        self.ch.ok_or(SnapshotError::MissingSection {
+            section: SectionTag::CH,
+        })
+    }
+
+    /// The road network, or [`SnapshotError::MissingSection`].
+    pub fn require_graph(self) -> Result<Graph, SnapshotError> {
+        self.graph.ok_or(SnapshotError::MissingSection {
+            section: SectionTag::GRAPH,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ah_core::BuildConfig;
+
+    #[test]
+    fn graph_roundtrips_in_memory() {
+        let g = ah_data::fixtures::lattice(5, 4, 12);
+        let bytes = Snapshot::to_bytes(SnapshotContents::new().graph(&g));
+        let loaded = Snapshot::from_bytes(&bytes).unwrap().require_graph().unwrap();
+        assert_eq!(loaded.num_nodes(), g.num_nodes());
+        assert_eq!(loaded.num_edges(), g.num_edges());
+        for v in g.node_ids() {
+            assert_eq!(loaded.out_edges(v), g.out_edges(v));
+            assert_eq!(loaded.in_edges(v), g.in_edges(v));
+            assert_eq!(loaded.coord(v), g.coord(v));
+        }
+    }
+
+    #[test]
+    fn ah_and_ch_roundtrip_with_identical_answers() {
+        let g = ah_data::fixtures::lattice(8, 8, 14);
+        let ah = AhIndex::build(&g, &BuildConfig::default());
+        let ch = ah_ch::ChIndex::build(&g);
+        let bytes = Snapshot::to_bytes(SnapshotContents::new().ah(&ah).ch(&ch));
+        let loaded = Snapshot::from_bytes(&bytes).unwrap();
+        let (ah2, ch2) = (loaded.ah.unwrap(), loaded.ch.unwrap());
+        assert_eq!(ah2.stats(), ah.stats());
+        assert_eq!(ch2.num_shortcuts(), ch.num_shortcuts());
+
+        let mut q1 = ah_core::AhQuery::new();
+        let mut q2 = ah_core::AhQuery::new();
+        let mut c1 = ah_ch::ChQuery::new();
+        let mut c2 = ah_ch::ChQuery::new();
+        for s in (0..64).step_by(5) {
+            for t in (0..64).step_by(7) {
+                assert_eq!(
+                    q2.distance_full(&ah2, s, t),
+                    q1.distance_full(&ah, s, t),
+                    "AH ({s},{t})"
+                );
+                assert_eq!(
+                    c2.distance_full(&ch2, s, t),
+                    c1.distance_full(&ch, s, t),
+                    "CH ({s},{t})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn missing_sections_are_typed() {
+        let g = ah_data::fixtures::ring(6);
+        let bytes = Snapshot::to_bytes(SnapshotContents::new().graph(&g));
+        let loaded = Snapshot::from_bytes(&bytes).unwrap();
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes).unwrap().require_ah(),
+            Err(SnapshotError::MissingSection { section }) if section == SectionTag::AH
+        ));
+        assert!(loaded.require_graph().is_ok());
+    }
+
+    #[test]
+    fn write_is_atomic_and_loadable() {
+        let g = ah_data::fixtures::lattice(4, 4, 10);
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("ah_store_atomic_{}.snap", std::process::id()));
+        let size = Snapshot::write(&path, SnapshotContents::new().graph(&g)).unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), size);
+        let tmp = {
+            let mut os = path.as_os_str().to_os_string();
+            os.push(".tmp");
+            std::path::PathBuf::from(os)
+        };
+        assert!(!tmp.exists(), "tmp renamed away");
+        let loaded = Snapshot::load(&path).unwrap();
+        assert_eq!(loaded.graph.unwrap().num_nodes(), g.num_nodes());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_of_missing_file_is_io_error() {
+        let err = match Snapshot::load("/nonexistent/definitely/not/here.snap") {
+            Err(e) => e,
+            Ok(_) => panic!("expected an I/O error"),
+        };
+        assert!(matches!(err, SnapshotError::Io(_)));
+        assert!(err.to_string().contains("I/O"));
+    }
+}

@@ -1,0 +1,64 @@
+//! Golden-bytes test: pins the exact on-disk encoding of a tiny fixture.
+//!
+//! The hexdump below is the *same* worked example documented in
+//! `docs/FORMAT.md`. If an encoder change breaks this test, the change is
+//! a format change: bump `ah_store::VERSION`, update `docs/FORMAT.md`'s
+//! spec and worked example, and regenerate the expected bytes here (run
+//! the test with `--nocapture` after deleting the assertion to print the
+//! new dump).
+
+use ah_graph::{GraphBuilder, Point};
+use ah_store::{Snapshot, SnapshotContents};
+
+/// The fixture: two nodes at (0,0) and (3,4), one bidirectional edge of
+/// weight 7 (two directed arcs with deterministic nuances).
+fn tiny_graph() -> ah_graph::Graph {
+    let mut b = GraphBuilder::new();
+    let a = b.add_node(Point::new(0, 0));
+    let c = b.add_node(Point::new(3, 4));
+    b.add_bidirectional_edge(a, c, 7);
+    b.build()
+}
+
+fn hexdump(bytes: &[u8]) -> String {
+    let mut out = String::new();
+    for (i, chunk) in bytes.chunks(16).enumerate() {
+        out.push_str(&format!("{:08x} ", i * 16));
+        for b in chunk {
+            out.push_str(&format!(" {b:02x}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn tiny_fixture_bytes_are_stable() {
+    let g = tiny_graph();
+    let bytes = Snapshot::to_bytes(SnapshotContents::new().graph(&g));
+    let dump = hexdump(&bytes);
+    println!("{dump}");
+
+    let expected = "\
+00000000  41 48 53 4e 41 50 0d 0a 01 00 01 00 00 00 00 00
+00000010  67 72 61 70 68 00 00 00 38 00 00 00 00 00 00 00
+00000020  90 00 00 00 00 00 00 00 17 57 bf 83 fb c6 2b ae
+00000030  8e 08 47 c8 5c f9 a3 07 02 00 00 00 00 00 00 00
+00000040  03 00 00 00 00 00 00 00 00 00 00 00 01 00 00 00
+00000050  02 00 00 00 00 00 00 00 02 00 00 00 00 00 00 00
+00000060  01 00 00 00 07 00 00 00 6e a4 d1 00 00 00 00 00
+00000070  07 00 00 00 cc 3b ef 00 03 00 00 00 00 00 00 00
+00000080  00 00 00 00 01 00 00 00 02 00 00 00 00 00 00 00
+00000090  02 00 00 00 00 00 00 00 01 00 00 00 07 00 00 00
+000000a0  cc 3b ef 00 00 00 00 00 07 00 00 00 6e a4 d1 00
+000000b0  02 00 00 00 00 00 00 00 00 00 00 00 00 00 00 00
+000000c0  03 00 00 00 04 00 00 00
+";
+    assert_eq!(dump, expected, "on-disk encoding changed — see module docs");
+
+    // And the canonical sanity check: those bytes load back.
+    let loaded = Snapshot::from_bytes(&bytes).unwrap().require_graph().unwrap();
+    assert_eq!(loaded.num_nodes(), 2);
+    assert_eq!(loaded.edge_weight(0, 1), Some(7));
+    assert_eq!(loaded.edge_weight(1, 0), Some(7));
+}

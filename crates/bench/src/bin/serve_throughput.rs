@@ -20,6 +20,13 @@
 //! reloads them and skips the build entirely — the JSON then reports
 //! `index_loaded: true` with a near-zero `ah_build_secs`.
 //!
+//! `--shards K` additionally builds (or loads) a region-sharded index
+//! (`ah_shard`) and serves the same stream through a `ShardedServer` —
+//! per-shard worker pools, cross-shard composition — asserting the
+//! answers bit-equal the unsharded AH run and recording per-shard and
+//! cross-shard stats under the JSON's `"sharded"` key (`null` when
+//! disabled). See `docs/SHARDING.md`.
+//!
 //! ```sh
 //! cargo run --release -p ah_bench --bin serve_throughput -- \
 //!     --through S2 --pairs 100 --threads 4 --save-index idx.snap
@@ -30,7 +37,7 @@
 use ah_bench::{load_dataset, obtain_indices, HarnessArgs};
 use ah_server::{
     AhBackend, ChBackend, DijkstraBackend, DistanceBackend, Request, RunReport, Server,
-    ServerConfig,
+    ServerConfig, ShardedRunReport, ShardedServer, ShardedServerConfig,
 };
 use ah_workload::TrafficSchedule;
 
@@ -95,6 +102,60 @@ fn run_one(
     }
 }
 
+/// Renders the sharded run (per-lane stats + cross-shard mix) as the
+/// JSON `"sharded"` object.
+fn sharded_to_json(
+    sh: &ah_shard::ShardedIndex,
+    report: &ShardedRunReport,
+    workers_per_shard: usize,
+    build_secs: f64,
+) -> String {
+    let stats = sh.stats();
+    let lanes = report
+        .lanes
+        .iter()
+        .map(|l| {
+            format!(
+                "{{\"shard\":{},\"requests\":{},\"snapshot\":{}}}",
+                l.shard,
+                l.requests,
+                l.snapshot.to_json()
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n      ");
+    format!(
+        concat!(
+            "{{\n",
+            "    \"shards\": {},\n",
+            "    \"workers_per_shard\": {},\n",
+            "    \"borders\": {},\n",
+            "    \"certified\": {},\n",
+            "    \"reentry_pairs\": {},\n",
+            "    \"build_secs\": {:.3},\n",
+            "    \"same_shard\": {},\n",
+            "    \"cross_shard\": {},\n",
+            "    \"cross_shard_fraction\": {:.4},\n",
+            "    \"qps\": {:.1},\n",
+            "    \"wall_secs\": {:.6},\n",
+            "    \"lanes\": [\n      {}\n    ]\n",
+            "  }}"
+        ),
+        stats.shards,
+        workers_per_shard,
+        stats.borders,
+        stats.certified,
+        stats.reentry_pairs,
+        build_secs,
+        report.same_shard,
+        report.cross_shard,
+        report.cross_shard_fraction(),
+        report.qps(),
+        report.wall_secs,
+        lanes,
+    )
+}
+
 fn print_row(r: &Row) {
     let s = &r.report.snapshot;
     println!(
@@ -124,6 +185,7 @@ fn main() {
     eprintln!("[serve] {}: obtaining AH + CH indices …", spec.name);
     let idx = obtain_indices(&args, &spec, &ds.graph, "serve");
     let (ah, ch, ah_secs, ch_secs) = (idx.ah, idx.ch, idx.ah_secs, idx.ch_secs);
+    let sharded = idx.sharded.clone();
     eprintln!(
         "[serve] ready (AH {ah_secs:.1}s, CH {ch_secs:.1}s, loaded: {}); serving {} requests …",
         idx.loaded,
@@ -191,6 +253,61 @@ fn main() {
         eprintln!("[serve] WARNING: single-core machine — thread scaling cannot exceed 1x here");
     }
 
+    // Sharded serving (--shards K): same stream, routed by region key
+    // to per-shard pools; answers must stay bit-equal to unsharded AH.
+    let sharded_json = match &sharded {
+        None => "null".to_string(),
+        Some(sh) => {
+            let k = sh.num_shards();
+            let workers_per_shard = (args.threads / k).max(1);
+            let report = (0..REPS)
+                .map(|_| {
+                    // Fresh pools per rep: cold caches, like run_one.
+                    let server = ShardedServer::new(
+                        sh.clone(),
+                        ShardedServerConfig::with_workers_per_shard(workers_per_shard),
+                    );
+                    server.run(&requests)
+                })
+                .max_by(|a, b| a.qps().total_cmp(&b.qps()))
+                .expect("REPS >= 1");
+
+            for (a, b) in ah_responses.iter().zip(&report.responses) {
+                assert_eq!(
+                    (a.id, a.distance),
+                    (b.id, b.distance),
+                    "sharded serving disagrees with AH on request {}",
+                    a.id
+                );
+            }
+
+            let stats = sh.stats();
+            println!(
+                "\nsharded serving: {k} shards × {workers_per_shard} workers, \
+                 {} borders (certified: {}), {:.1}% cross-shard",
+                stats.borders,
+                stats.certified,
+                100.0 * report.cross_shard_fraction()
+            );
+            println!("shard\trequests\tqps\tp50_us\tp99_us\thit_rate");
+            for lane in &report.lanes {
+                let s = &lane.snapshot;
+                println!(
+                    "{}\t{}\t{:.0}\t{:.1}\t{:.1}\t{:.2}",
+                    lane.shard, lane.requests, s.qps, s.p50_us, s.p99_us, s.cache_hit_rate
+                );
+            }
+            println!(
+                "total\t{}\t{:.0}\t(unsharded AH at {} workers: {:.0} qps)",
+                report.responses.len(),
+                report.qps(),
+                args.threads,
+                backend_rows[0].report.snapshot.qps
+            );
+            sharded_to_json(sh, &report, workers_per_shard, idx.sharded_secs)
+        }
+    };
+
     let json = format!(
         concat!(
             "{{\n",
@@ -206,7 +323,8 @@ fn main() {
             "  \"ch_build_secs\": {:.3},\n",
             "  \"thread_sweep\": [\n    {}\n  ],\n",
             "  \"backend_comparison\": [\n    {}\n  ],\n",
-            "  \"speedup_1_to_max_workers\": {:.3}\n",
+            "  \"speedup_1_to_max_workers\": {:.3},\n",
+            "  \"sharded\": {}\n",
             "}}\n"
         ),
         spec.name,
@@ -229,6 +347,7 @@ fn main() {
             .collect::<Vec<_>>()
             .join(",\n    "),
         speedup,
+        sharded_json,
     );
     let out = std::env::var("SERVE_BENCH_OUT").unwrap_or_else(|_| "BENCH_server.json".into());
     std::fs::write(&out, &json).expect("write benchmark JSON");

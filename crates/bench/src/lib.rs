@@ -6,11 +6,13 @@
 //! through this library so that methods are always compared under
 //! identical conditions.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use ah_ch::ChIndex;
 use ah_core::AhIndex;
 use ah_graph::Graph;
+use ah_shard::{ShardConfig, ShardedIndex};
 use ah_store::{Snapshot, SnapshotContents};
 use ah_workload::{QuerySet, SeriesRecord};
 
@@ -30,6 +32,9 @@ pub struct HarnessArgs {
     /// future parallel builds). Defaults to the machine's available
     /// parallelism.
     pub threads: usize,
+    /// Region shards for sharded serving (`serve_throughput`); `0`
+    /// (the default) disables the sharded run entirely.
+    pub shards: usize,
     /// Base path to save built indexes to, as an `ah_store` snapshot per
     /// dataset (see [`snapshot_path`]). `None` skips saving.
     pub save_index: Option<String>,
@@ -46,6 +51,7 @@ impl Default for HarnessArgs {
             pairs: 500,
             seed: 0xF16,
             threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+            shards: 0,
             save_index: None,
             load_index: None,
         }
@@ -86,6 +92,12 @@ impl HarnessArgs {
                         .filter(|&n: &usize| n > 0)
                         .expect("--threads needs a positive number");
                 }
+                "--shards" => {
+                    args.shards = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--shards needs a number (0 disables sharding)");
+                }
                 "--save-index" => {
                     args.save_index = Some(it.next().expect("--save-index needs a path"));
                 }
@@ -94,7 +106,7 @@ impl HarnessArgs {
                 }
                 other => panic!(
                     "unknown argument {other} (try --through S9 | --pairs N | --seed N | \
-                     --threads N | --save-index PATH | --load-index PATH)"
+                     --threads N | --shards K | --save-index PATH | --load-index PATH)"
                 ),
             }
         }
@@ -129,16 +141,22 @@ pub fn snapshot_path(base: &str, dataset: &str) -> std::path::PathBuf {
 /// The AH + CH index pair an experiment runs against, with provenance:
 /// built fresh, or reloaded from an `ah_store` snapshot.
 pub struct ObtainedIndices {
-    /// The AH index.
-    pub ah: AhIndex,
+    /// The AH index (shared: the sharded index keeps it as its global
+    /// fallback, so it lives behind an `Arc`).
+    pub ah: Arc<AhIndex>,
     /// The CH index.
     pub ch: ChIndex,
+    /// The region-sharded index, present iff `--shards K` with `K > 0`.
+    pub sharded: Option<Arc<ShardedIndex>>,
     /// Seconds spent obtaining the AH index — build time, or (near-zero)
     /// snapshot load time when `--load-index` was given.
     pub ah_secs: f64,
     /// Seconds spent obtaining the CH index (the whole snapshot is read
     /// once; the load time is attributed to AH, so this is 0 on load).
     pub ch_secs: f64,
+    /// Seconds spent obtaining the sharded index (0 when disabled or
+    /// loaded).
+    pub sharded_secs: f64,
     /// True if the indexes came from a snapshot instead of a build.
     pub loaded: bool,
 }
@@ -188,32 +206,85 @@ pub fn obtain_indices(
                 spec.name
             ),
         }
+        let sharded = if args.shards > 0 {
+            let sh = snapshot.sharded.unwrap_or_else(|| {
+                panic!(
+                    "--load-index with --shards: {} has no sharded sections \
+                     (save it with --shards too)",
+                    path.display()
+                )
+            });
+            // `--shards K` must describe the partition actually served:
+            // compare the snapshot's shard count against what K would
+            // produce on this grid (after the same clamping the build
+            // applies), so an experiment never silently runs the
+            // file's partition instead of the requested one.
+            let effective =
+                ah_shard::ShardMap::new(ah.grid(), args.shards).num_shards();
+            assert_eq!(
+                sh.num_shards(),
+                effective,
+                "--load-index: {} holds a {}-shard partition but --shards {} \
+                 requests {} — rebuild with --save-index --shards {}",
+                path.display(),
+                sh.num_shards(),
+                args.shards,
+                effective,
+                args.shards,
+            );
+            Some(Arc::new(sh))
+        } else {
+            None
+        };
         eprintln!(
-            "[{tag}] {}: loaded AH + CH from {} in {load_secs:.3}s (build skipped)",
+            "[{tag}] {}: loaded AH + CH{} from {} in {load_secs:.3}s (build skipped)",
             spec.name,
+            if sharded.is_some() { " + shards" } else { "" },
             path.display()
         );
         return ObtainedIndices {
             ah,
             ch,
+            sharded,
             ah_secs: load_secs,
             ch_secs: 0.0,
+            sharded_secs: 0.0,
             loaded: true,
         };
     }
 
-    let (ah, ah_secs) = time_once(|| AhIndex::build(g, &Default::default()));
+    let (ah, ah_secs) = time_once(|| Arc::new(AhIndex::build(g, &Default::default())));
     let (ch, ch_secs) = time_once(|| ChIndex::build(g));
+    let (sharded, sharded_secs) = if args.shards > 0 {
+        let cfg = ShardConfig {
+            shards: args.shards,
+            ..Default::default()
+        };
+        let (sh, secs) =
+            time_once(|| Arc::new(ShardedIndex::from_global(g, ah.clone(), &cfg)));
+        eprintln!(
+            "[{tag}] {}: sharded into {} regions ({} borders, certified: {}) in {secs:.1}s",
+            spec.name,
+            sh.num_shards(),
+            sh.stats().borders,
+            sh.certified()
+        );
+        (Some(sh), secs)
+    } else {
+        (None, 0.0)
+    };
     if let Some(base) = &args.save_index {
         let path = snapshot_path(base, spec.name);
-        let bytes = Snapshot::write(
-            &path,
-            SnapshotContents::new().graph(g).ah(&ah).ch(&ch),
-        )
-        .unwrap_or_else(|e| panic!("--save-index: cannot write {}: {e}", path.display()));
+        let mut contents = SnapshotContents::new().graph(g).ah(&ah).ch(&ch);
+        if let Some(sh) = &sharded {
+            contents = contents.sharded(sh);
+        }
+        let bytes = Snapshot::write(&path, contents)
+            .unwrap_or_else(|e| panic!("--save-index: cannot write {}: {e}", path.display()));
         eprintln!(
-            "[{tag}] {}: saved graph + AH + CH snapshot to {} ({:.1} MiB)",
+            "[{tag}] {}: saved graph + AH + CH{} snapshot to {} ({:.1} MiB)",
             spec.name,
+            if sharded.is_some() { " + shards" } else { "" },
             path.display(),
             bytes as f64 / (1024.0 * 1024.0)
         );
@@ -221,8 +292,10 @@ pub fn obtain_indices(
     ObtainedIndices {
         ah,
         ch,
+        sharded,
         ah_secs,
         ch_secs,
+        sharded_secs,
         loaded: false,
     }
 }

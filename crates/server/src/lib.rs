@@ -25,6 +25,11 @@
 //!   [`Server::from_snapshot`] restarts a server from a persisted index
 //!   without paying the build, and an atomic index swap (with cache
 //!   invalidation) reindexes under live traffic with zero downtime.
+//! * [`ShardedServer`] — the scale-out layer over `ah_shard`: one
+//!   worker pool (queue + LRU + metrics) *per region shard*, requests
+//!   routed by the source node's grid region key, cross-shard answers
+//!   composed exactly through boundary nodes. `docs/SHARDING.md` is the
+//!   operator's guide.
 //!
 //! ```
 //! use ah_core::{AhIndex, BuildConfig};
@@ -46,6 +51,7 @@ mod cache;
 mod metrics;
 mod queue;
 mod server;
+mod sharded;
 mod snapshot;
 
 pub use backend::{AhBackend, BackendSession, ChBackend, DijkstraBackend, DistanceBackend};
@@ -53,4 +59,7 @@ pub use cache::{DistanceCache, NUM_SHARDS};
 pub use metrics::{LatencyHistogram, MetricsSnapshot, ServerMetrics};
 pub use queue::BoundedQueue;
 pub use server::{QueryKind, Request, Response, RunReport, Server, ServerConfig};
+pub use sharded::{
+    ShardLaneReport, ShardedBackend, ShardedRunReport, ShardedServer, ShardedServerConfig,
+};
 pub use snapshot::SnapshotServer;

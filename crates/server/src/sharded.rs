@@ -1,0 +1,420 @@
+//! Region-sharded serving: route each query to its shard's worker pool.
+//!
+//! Where [`crate::Server`] multiplexes one worker pool over one index,
+//! a [`ShardedServer`] owns one pool *per region shard* — each with its
+//! own bounded queue, sharded LRU distance cache, and metrics — and
+//! routes every request to the pool of its **source node's shard** (the
+//! grid-keyed region key, two integer divisions via
+//! [`ah_shard::ShardMap`]). Same-shard traffic, the bulk of an
+//! interactive workload over a spatially contiguous partition, is
+//! served entirely from that shard's small AH index; cross-shard
+//! requests compose through the boundary graph inside the same lane
+//! (see [`ah_shard::ShardedQuery`]), staying exact.
+//!
+//! Per-shard pools are what the ROADMAP's scale-out story needs: each
+//! lane's cache holds only its region's popular pairs, queue depths
+//! give per-region admission control, and the per-lane
+//! [`crate::MetricsSnapshot`]s show which regions are hot — all
+//! stepping stones to running each shard on its own machine.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use ah_graph::{NodeId, Path};
+use ah_shard::{ShardedIndex, ShardedQuery};
+use ah_store::{Snapshot, SnapshotError};
+
+use crate::backend::{BackendSession, DistanceBackend};
+use crate::metrics::MetricsSnapshot;
+use crate::server::{Request, Response, Server, ServerConfig};
+
+/// A [`DistanceBackend`] over a [`ShardedIndex`]: exact composed
+/// distances, global-index paths. Usable with a plain [`Server`] too —
+/// [`ShardedServer`] is the per-shard-pool layer on top.
+pub struct ShardedBackend<'a> {
+    idx: &'a ShardedIndex,
+}
+
+impl<'a> ShardedBackend<'a> {
+    /// Serves queries from a prebuilt sharded index.
+    pub fn new(idx: &'a ShardedIndex) -> Self {
+        ShardedBackend { idx }
+    }
+}
+
+impl DistanceBackend for ShardedBackend<'_> {
+    fn name(&self) -> &'static str {
+        "AH-sharded"
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.idx.num_nodes()
+    }
+
+    fn make_session(&self) -> Box<dyn BackendSession + '_> {
+        Box::new(ShardedSession {
+            idx: self.idx,
+            q: ShardedQuery::new(),
+        })
+    }
+}
+
+struct ShardedSession<'a> {
+    idx: &'a ShardedIndex,
+    q: ShardedQuery,
+}
+
+impl BackendSession for ShardedSession<'_> {
+    fn distance(&mut self, s: NodeId, t: NodeId) -> Option<u64> {
+        self.q.distance(self.idx, s, t)
+    }
+
+    fn path(&mut self, s: NodeId, t: NodeId) -> Option<Path> {
+        self.q.path(self.idx, s, t)
+    }
+}
+
+/// Serving parameters for a [`ShardedServer`].
+#[derive(Debug, Clone, Default)]
+pub struct ShardedServerConfig {
+    /// Configuration applied to every per-shard pool (workers per
+    /// lane, queue depth, cache entries per lane, batch size).
+    pub per_shard: ServerConfig,
+}
+
+impl ShardedServerConfig {
+    /// `workers` worker threads in every per-shard pool, defaults
+    /// elsewhere.
+    pub fn with_workers_per_shard(workers: usize) -> Self {
+        ShardedServerConfig {
+            per_shard: ServerConfig::with_workers(workers),
+        }
+    }
+}
+
+/// Per-lane slice of a [`ShardedRunReport`].
+#[derive(Debug, Clone)]
+pub struct ShardLaneReport {
+    /// The shard this lane serves.
+    pub shard: usize,
+    /// Requests routed to this lane (by source-node region key).
+    pub requests: usize,
+    /// The lane pool's telemetry for this run.
+    pub snapshot: MetricsSnapshot,
+}
+
+/// Outcome of one [`ShardedServer::run`] call.
+#[derive(Debug, Clone)]
+pub struct ShardedRunReport {
+    /// One response per request, sorted by request id — bit-equal to
+    /// what the unsharded AH backend answers.
+    pub responses: Vec<Response>,
+    /// Wall-clock seconds from routing start to the last lane
+    /// finishing.
+    pub wall_secs: f64,
+    /// Per-lane telemetry, one entry per shard that received traffic.
+    pub lanes: Vec<ShardLaneReport>,
+    /// Requests whose endpoints share a shard (served locally).
+    /// `same_shard + cross_shard` can be less than the response count:
+    /// requests naming out-of-range nodes have no region and are
+    /// counted in neither bucket.
+    pub same_shard: usize,
+    /// Requests whose endpoints straddle shards (composed through the
+    /// boundary graph).
+    pub cross_shard: usize,
+}
+
+impl ShardedRunReport {
+    /// Aggregate throughput across all lanes.
+    pub fn qps(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.responses.len() as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of requests that crossed shards.
+    pub fn cross_shard_fraction(&self) -> f64 {
+        let total = self.same_shard + self.cross_shard;
+        if total == 0 {
+            0.0
+        } else {
+            self.cross_shard as f64 / total as f64
+        }
+    }
+}
+
+/// A query server with one worker pool per region shard.
+///
+/// The pools (and their caches and metrics) persist across
+/// [`ShardedServer::run`] calls, modelling a warmed-up service per
+/// region.
+pub struct ShardedServer {
+    index: Arc<ShardedIndex>,
+    pools: Vec<Server>,
+}
+
+impl ShardedServer {
+    /// Builds one pool per shard of `index`.
+    pub fn new(index: Arc<ShardedIndex>, cfg: ShardedServerConfig) -> Self {
+        let pools = (0..index.num_shards())
+            .map(|_| Server::new(cfg.per_shard.clone()))
+            .collect();
+        ShardedServer { index, pools }
+    }
+
+    /// Restarts a sharded server from the snapshot at `path` (written
+    /// with [`ah_store::SnapshotContents::sharded`]): the partition,
+    /// per-shard indexes and boundary matrix all load instead of
+    /// rebuilding. Fails with a typed [`SnapshotError`] — never panics
+    /// — on missing files, corruption, version skew or missing
+    /// sections.
+    pub fn from_snapshot(
+        path: impl AsRef<std::path::Path>,
+        cfg: ShardedServerConfig,
+    ) -> Result<ShardedServer, SnapshotError> {
+        let index = Snapshot::load_sharded(path)?;
+        Ok(ShardedServer::new(Arc::new(index), cfg))
+    }
+
+    /// The sharded index being served.
+    pub fn index(&self) -> &Arc<ShardedIndex> {
+        &self.index
+    }
+
+    /// The per-shard pools (metrics, cache statistics), indexed by
+    /// shard.
+    pub fn pools(&self) -> &[Server] {
+        &self.pools
+    }
+
+    /// Serves every request, routed by source-node region key to the
+    /// per-shard pools, which run concurrently (each with its own
+    /// worker threads, queue and cache). Returns the merged responses
+    /// sorted by request id plus per-lane and cross-shard telemetry.
+    ///
+    /// Requests naming an out-of-range source node cannot be routed by
+    /// region and are handed to lane 0, whose bounds check answers them
+    /// with `distance: None` as [`Server::run`] documents.
+    pub fn run(&self, requests: &[Request]) -> ShardedRunReport {
+        let n = self.index.num_nodes();
+        let mut lanes: Vec<Vec<Request>> = vec![Vec::new(); self.pools.len()];
+        let mut same_shard = 0usize;
+        let mut cross_shard = 0usize;
+        for req in requests {
+            let lane = if (req.s as usize) < n {
+                self.index.shard_of(req.s) as usize
+            } else {
+                0
+            };
+            // Requests naming out-of-range nodes have no region and are
+            // counted in neither bucket, so the published cross-shard
+            // fraction describes only genuinely routed traffic.
+            if (req.s as usize) < n && (req.t as usize) < n {
+                if self.index.shard_of(req.s) != self.index.shard_of(req.t) {
+                    cross_shard += 1;
+                } else {
+                    same_shard += 1;
+                }
+            }
+            lanes[lane].push(*req);
+        }
+
+        let backend = ShardedBackend::new(&self.index);
+        let start = Instant::now();
+        let reports: Vec<Option<crate::server::RunReport>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = lanes
+                .iter()
+                .zip(&self.pools)
+                .map(|(reqs, pool)| {
+                    if reqs.is_empty() {
+                        None
+                    } else {
+                        let backend = &backend;
+                        Some(scope.spawn(move || pool.run(backend, reqs)))
+                    }
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.map(|h| h.join().expect("a lane pool panicked")))
+                .collect()
+        });
+        let wall_secs = start.elapsed().as_secs_f64();
+
+        let mut responses = Vec::with_capacity(requests.len());
+        let mut lane_reports = Vec::new();
+        for (shard, report) in reports.into_iter().enumerate() {
+            if let Some(mut r) = report {
+                responses.append(&mut r.responses);
+                lane_reports.push(ShardLaneReport {
+                    shard,
+                    requests: lanes[shard].len(),
+                    snapshot: r.snapshot,
+                });
+            }
+        }
+        responses.sort_unstable_by_key(|r| r.id);
+        ShardedRunReport {
+            responses,
+            wall_secs,
+            lanes: lane_reports,
+            same_shard,
+            cross_shard,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::AhBackend;
+    use ah_core::{AhIndex, BuildConfig};
+    use ah_search::dijkstra_distance;
+    use ah_shard::ShardConfig;
+    use ah_store::SnapshotContents;
+
+    fn sharded_fixture() -> (ah_graph::Graph, Arc<ShardedIndex>) {
+        let g = ah_data::fixtures::lattice(8, 8, 12);
+        let idx = ShardedIndex::build(
+            &g,
+            &ShardConfig {
+                shards: 4,
+                ..Default::default()
+            },
+        );
+        (g, Arc::new(idx))
+    }
+
+    fn mixed_requests(n: u32, total: usize) -> Vec<Request> {
+        (0..total as u64)
+            .map(|id| {
+                let s = (id as u32 * 7 + 3) % n;
+                let t = (id as u32 * 13 + 5) % n;
+                if id % 7 == 0 {
+                    Request::path(id, s, t)
+                } else {
+                    Request::distance(id, s, t)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sharded_server_matches_unsharded_bit_for_bit() {
+        let (g, idx) = sharded_fixture();
+        let reqs = mixed_requests(g.num_nodes() as u32, 300);
+
+        let sharded = ShardedServer::new(
+            idx.clone(),
+            ShardedServerConfig::with_workers_per_shard(2),
+        );
+        let report = sharded.run(&reqs);
+        assert_eq!(report.responses.len(), reqs.len());
+        assert!(report.cross_shard > 0, "workload must straddle shards");
+        assert!(report.same_shard > 0);
+        assert!(!report.lanes.is_empty());
+        assert_eq!(
+            report.lanes.iter().map(|l| l.requests).sum::<usize>(),
+            reqs.len()
+        );
+
+        let unsharded_idx = AhIndex::build(&g, &BuildConfig::default());
+        let unsharded = Server::new(ServerConfig::with_workers(2));
+        let want = unsharded.run(&AhBackend::new(&unsharded_idx), &reqs);
+        for (a, b) in report.responses.iter().zip(&want.responses) {
+            assert_eq!((a.id, a.distance), (b.id, b.distance), "req {}", a.id);
+        }
+        assert!(report.qps() > 0.0);
+    }
+
+    #[test]
+    fn backend_works_under_a_plain_server_too() {
+        let (g, idx) = sharded_fixture();
+        let server = Server::new(ServerConfig::with_workers(3));
+        let reqs = mixed_requests(g.num_nodes() as u32, 120);
+        let report = server.run(&ShardedBackend::new(&idx), &reqs);
+        for (req, resp) in reqs.iter().zip(&report.responses) {
+            let want = dijkstra_distance(&g, req.s, req.t).map(|d| d.length);
+            assert_eq!(resp.distance, want, "req {}", req.id);
+        }
+    }
+
+    #[test]
+    fn out_of_range_requests_are_answered_none() {
+        let (_, idx) = sharded_fixture();
+        let server = ShardedServer::new(idx, ShardedServerConfig::with_workers_per_shard(1));
+        let report = server.run(&[
+            Request::distance(0, 0, 9),
+            Request::distance(1, 9999, 0),
+            Request::distance(2, 0, 9999),
+        ]);
+        assert_eq!(report.responses.len(), 3);
+        assert!(report.responses[0].distance.is_some());
+        assert_eq!(report.responses[1].distance, None);
+        assert_eq!(report.responses[2].distance, None);
+        // Only the routable request is counted in the traffic mix.
+        assert_eq!(report.same_shard + report.cross_shard, 1);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_serves_identically() {
+        let (g, idx) = sharded_fixture();
+        let path = std::env::temp_dir().join(format!(
+            "ah_server_sharded_{}.snap",
+            std::process::id()
+        ));
+        Snapshot::write(&path, SnapshotContents::new().graph(&g).sharded(&idx)).unwrap();
+
+        let restored =
+            ShardedServer::from_snapshot(&path, ShardedServerConfig::with_workers_per_shard(2))
+                .unwrap();
+        assert_eq!(restored.index().num_shards(), idx.num_shards());
+        let reqs = mixed_requests(g.num_nodes() as u32, 150);
+        let live = ShardedServer::new(
+            idx.clone(),
+            ShardedServerConfig::with_workers_per_shard(2),
+        )
+        .run(&reqs);
+        let loaded = restored.run(&reqs);
+        for (a, b) in live.responses.iter().zip(&loaded.responses) {
+            assert_eq!((a.id, a.distance), (b.id, b.distance));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn from_snapshot_errors_are_typed() {
+        assert!(matches!(
+            ShardedServer::from_snapshot("/no/such/file.snap", Default::default()),
+            Err(SnapshotError::Io(_))
+        ));
+        // A graph+AH-only snapshot has no shards section.
+        let g = ah_data::fixtures::lattice(4, 4, 10);
+        let ah = AhIndex::build(&g, &BuildConfig::default());
+        let path = std::env::temp_dir().join(format!(
+            "ah_server_sharded_missing_{}.snap",
+            std::process::id()
+        ));
+        Snapshot::write(&path, SnapshotContents::new().graph(&g).ah(&ah)).unwrap();
+        assert!(matches!(
+            ShardedServer::from_snapshot(&path, Default::default()),
+            Err(SnapshotError::MissingSection { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn route_telemetry_reports_composition() {
+        use ah_shard::Route;
+        let (_, idx) = sharded_fixture();
+        let mut q = ShardedQuery::new();
+        // Find a definite cross-shard pair.
+        let s = 0u32;
+        let t = (idx.num_nodes() - 1) as u32;
+        assert_ne!(idx.shard_of(s), idx.shard_of(t));
+        q.distance(&idx, s, t);
+        assert_eq!(q.last_route, Route::Composed);
+    }
+}

@@ -1,0 +1,138 @@
+//! The grid-keyed partition: which shard owns which region of the plane.
+
+use ah_graph::Point;
+use ah_grid::GridHierarchy;
+
+/// Upper bound on the shard count. Keeps the per-shard snapshot section
+/// tags (`shard000` … `shard255`, see `ah_store`) well-formed and the
+/// assignment array at `u16`.
+pub const MAX_SHARDS: usize = 256;
+
+/// Deterministic node → shard assignment derived from the grid
+/// hierarchy.
+///
+/// One grid level `ℓ` is chosen — the coarsest whose cell count is at
+/// least the requested shard count — and its cells are split into `K`
+/// contiguous row-major bands: cell `(x, y)` belongs to shard
+/// `⌊rank·K / cells⌋` with `rank = y·per_axis + x`. Contiguous bands keep
+/// shards spatially coherent (neighbouring nodes usually share a shard,
+/// so most traffic is same-shard), and the whole map is three integers —
+/// rebuilding it from `(grid, K)` after a snapshot load is free and
+/// cannot drift from what the build used.
+///
+/// The effective shard count can be lower than requested: it is clamped
+/// to [`MAX_SHARDS`] and to the chosen level's cell count (a tiny
+/// network's grid may not have `K` cells anywhere).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMap {
+    level: u32,
+    per_axis: u64,
+    shards: u32,
+}
+
+impl ShardMap {
+    /// Derives the partition for `shards` shards over `grid`.
+    pub fn new(grid: &GridHierarchy, shards: usize) -> ShardMap {
+        let requested = shards.clamp(1, MAX_SHARDS) as u64;
+        let cells_at = |l: u32| {
+            let pa = grid.cells_per_axis(l) as u64;
+            pa * pa
+        };
+        let mut level = grid.levels();
+        while level > 1 && cells_at(level) < requested {
+            level -= 1;
+        }
+        ShardMap {
+            level,
+            per_axis: grid.cells_per_axis(level) as u64,
+            shards: requested.min(cells_at(level)) as u32,
+        }
+    }
+
+    /// The effective shard count (after clamping).
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.shards as usize
+    }
+
+    /// The grid level the shard key is read at.
+    #[inline]
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// The shard owning point `p`. Always `< num_shards()`; points
+    /// outside the fitted grid clamp to the boundary cells exactly as
+    /// [`GridHierarchy::cell_of`] does.
+    pub fn shard_of(&self, grid: &GridHierarchy, p: Point) -> u16 {
+        let c = grid.cell_of(self.level, p);
+        let rank = c.y as u64 * self.per_axis + c.x as u64;
+        let cells = self.per_axis * self.per_axis;
+        ((rank * self.shards as u64) / cells) as u16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ah_grid::MAX_LEVELS;
+
+    fn grid() -> GridHierarchy {
+        let bb = ah_graph::BoundingBox::of([Point::new(0, 0), Point::new(255, 255)]);
+        GridHierarchy::fit(bb, MAX_LEVELS)
+    }
+
+    #[test]
+    fn covers_exactly_k_shards_for_small_k() {
+        let g = grid();
+        for k in [1usize, 2, 3, 4, 8, 16] {
+            let m = ShardMap::new(&g, k);
+            assert_eq!(m.num_shards(), k, "k = {k}");
+            let mut seen = std::collections::HashSet::new();
+            for x in 0..=255 {
+                for y in 0..=255 {
+                    let s = m.shard_of(&g, Point::new(x, y));
+                    assert!((s as usize) < k);
+                    seen.insert(s);
+                }
+            }
+            assert_eq!(seen.len(), k, "every shard owns territory for k = {k}");
+        }
+    }
+
+    #[test]
+    fn descends_levels_for_large_k() {
+        let g = grid();
+        // R_h has 16 cells, so 64 shards need a finer level.
+        let m = ShardMap::new(&g, 64);
+        assert_eq!(m.num_shards(), 64);
+        assert!(m.level() < g.levels());
+    }
+
+    #[test]
+    fn clamps_to_available_cells_and_max() {
+        let tiny = GridHierarchy::fit_to_points(&[Point::new(0, 0), Point::new(3, 3)], 1);
+        // h = 1: the finest (and only usable) grid has at most 16 cells.
+        let m = ShardMap::new(&tiny, 500);
+        assert!(m.num_shards() <= 16);
+        let m0 = ShardMap::new(&tiny, 0);
+        assert_eq!(m0.num_shards(), 1);
+    }
+
+    #[test]
+    fn assignment_is_deterministic_and_banded() {
+        let g = grid();
+        let m = ShardMap::new(&g, 4);
+        assert_eq!(m, ShardMap::new(&g, 4));
+        // Row-major bands: moving north (increasing y) never decreases
+        // the shard id for a fixed x.
+        for x in [0, 100, 255] {
+            let mut last = 0u16;
+            for y in 0..=255 {
+                let s = m.shard_of(&g, Point::new(x, y));
+                assert!(s >= last, "bands must be monotone in y");
+                last = s;
+            }
+        }
+    }
+}

@@ -75,6 +75,15 @@ impl FieldWriter {
         }
         self.pad8();
     }
+
+    /// Writes a `u64` array (length prefix + packed LE elements; already
+    /// 8-aligned).
+    pub fn put_u64_slice(&mut self, v: &[u64]) {
+        self.put_len(v.len());
+        for &x in v {
+            self.buf.extend_from_slice(&x.to_le_bytes());
+        }
+    }
 }
 
 /// Sequential payload reader over a checksum-verified section.
@@ -173,6 +182,16 @@ impl<'a> FieldReader<'a> {
             .collect();
         self.align8()?;
         Ok(out)
+    }
+
+    /// Reads a `u64` array.
+    pub fn get_u64_vec(&mut self) -> Result<Vec<u64>, SnapshotError> {
+        let n = self.get_len(8)?;
+        let bytes = self.take(n * 8)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
     }
 
     /// Fails unless every payload byte has been consumed — trailing bytes

@@ -19,6 +19,7 @@ use ah_contraction::{HArc, Hierarchy};
 use ah_core::{AhIndex, ElevArc, ElevatingSets, ElevatingSide};
 use ah_graph::{Arc, Dist, Graph, NodeId, Point};
 use ah_grid::GridHierarchy;
+use ah_shard::ShardedIndex;
 
 use crate::codec::{FieldReader, FieldWriter};
 use crate::error::SnapshotError;
@@ -186,7 +187,14 @@ pub fn encode_ah(idx: &AhIndex) -> Vec<u8> {
 
 /// Decodes the `ah.index` section payload.
 pub fn decode_ah(bytes: &[u8]) -> Result<AhIndex, SnapshotError> {
-    let mut r = FieldReader::new(SectionTag::AH, bytes);
+    decode_ah_in(SectionTag::AH, bytes)
+}
+
+/// Decodes an AH-index payload from `section` (the global `ah.index`
+/// section or a per-shard `shardNNN` section — the payloads are
+/// identical; only error attribution differs).
+fn decode_ah_in(section: SectionTag, bytes: &[u8]) -> Result<AhIndex, SnapshotError> {
+    let mut r = FieldReader::new(section, bytes);
     let ox = r.get_i32()?;
     let oy = r.get_i32()?;
     let h = r.get_u32()?;
@@ -207,10 +215,7 @@ pub fn decode_ah(bytes: &[u8]) -> Result<AhIndex, SnapshotError> {
         coords,
         ElevatingSets { forward, backward },
     )
-    .map_err(|reason| SnapshotError::Malformed {
-        section: SectionTag::AH,
-        reason,
-    })
+    .map_err(|reason| SnapshotError::Malformed { section, reason })
 }
 
 fn put_side(w: &mut FieldWriter, side: &ElevatingSide) {
@@ -317,4 +322,121 @@ pub fn decode_ch(bytes: &[u8]) -> Result<ChIndex, SnapshotError> {
         section: SectionTag::CH,
         reason,
     })
+}
+
+// --------------------------------------------------- shards (format v2)
+
+/// Encodes a [`ShardedIndex`] as its sharded-snapshot sections: the
+/// `shards` metadata section plus one `shardNNN` AH-payload section per
+/// non-empty shard. The global AH index and the graph are *not* among
+/// the returned sections — the caller persists them under their own
+/// tags ([`SectionTag::AH`], [`SectionTag::GRAPH`]), and the decoder
+/// reassembles the partition skeleton from them.
+pub fn encode_shard_sections(idx: &ShardedIndex) -> Vec<(SectionTag, Vec<u8>)> {
+    let mut w = FieldWriter::new();
+    w.put_u32(idx.num_shards() as u32);
+    w.put_u32(idx.map().level());
+    w.put_u32(idx.certified() as u32);
+    w.put_u32(0); // reserved / alignment
+    w.put_u64(idx.num_nodes() as u64);
+    w.put_u64(idx.border_nodes().len() as u64);
+    w.put_u64_slice(idx.matrix());
+    for s in 0..idx.num_shards() {
+        let pairs = idx.shard(s).reentry();
+        w.put_u64(pairs.len() as u64);
+        for &(u, q) in pairs {
+            w.put_u32(u);
+            w.put_u32(q);
+        }
+    }
+    let mut sections = vec![(SectionTag::SHARDS, w.into_bytes())];
+    for s in 0..idx.num_shards() {
+        if let Some(shard_idx) = idx.shard(s).index() {
+            sections.push((SectionTag::shard_slot(s), encode_ah(shard_idx)));
+        }
+    }
+    sections
+}
+
+/// Decodes the sharded-snapshot sections of `container` against the
+/// already-decoded graph and global AH index. The partition skeleton is
+/// recomputed deterministically ([`ShardedIndex::from_raw_parts`]) and
+/// every persisted piece is validated against it *structurally*: shard
+/// count, partition level, per-shard node counts, matrix size, border
+/// and reentry index ranges. A combination of sections that fails any
+/// of these yields a typed error, never a misrouting index. Like every
+/// other section (edge weights included), the *values* — matrix
+/// distances, reentry sets, per-shard index contents — are trusted
+/// from the writer; checksums guard against corruption, not against a
+/// writer persisting stale data.
+pub fn decode_sharded(
+    container: &crate::format::Container<'_>,
+    graph: &Graph,
+    global: std::sync::Arc<AhIndex>,
+) -> Result<ShardedIndex, SnapshotError> {
+    let bytes = container
+        .section(SectionTag::SHARDS)
+        .ok_or(SnapshotError::MissingSection {
+            section: SectionTag::SHARDS,
+        })?;
+    let mut r = FieldReader::new(SectionTag::SHARDS, bytes);
+    let k = r.get_u32()? as usize;
+    let level = r.get_u32()?;
+    let certified = match r.get_u32()? {
+        0 => false,
+        1 => true,
+        _ => return Err(r.malformed("certified flag is not 0 or 1")),
+    };
+    let _reserved = r.get_u32()?;
+    let num_nodes = r.get_u64()? as usize;
+    let border_count = r.get_u64()? as usize;
+    let matrix = r.get_u64_vec()?;
+    if k == 0 || k > 256 {
+        return Err(r.malformed("shard count outside 1..=256"));
+    }
+    let mut reentry: Vec<Vec<(u32, u32)>> = Vec::with_capacity(k);
+    for _ in 0..k {
+        let n_pairs = r.get_len(8)?;
+        let mut pairs = Vec::with_capacity(n_pairs);
+        for _ in 0..n_pairs {
+            let u = r.get_u32()?;
+            let q = r.get_u32()?;
+            if u as usize >= border_count || q as usize >= border_count {
+                return Err(r.malformed("reentry pair names a border out of range"));
+            }
+            pairs.push((u, q));
+        }
+        reentry.push(pairs);
+    }
+    r.expect_end()?;
+    if num_nodes != graph.num_nodes() {
+        return Err(r.malformed("sharded node count disagrees with the graph section"));
+    }
+    if certified && matrix.len() != border_count * border_count {
+        return Err(r.malformed("boundary matrix size is not |borders|^2"));
+    }
+
+    let mut indexes = Vec::with_capacity(k);
+    for s in 0..k {
+        let tag = SectionTag::shard_slot(s);
+        let idx = container
+            .section(tag)
+            .map(|b| decode_ah_in(tag, b))
+            .transpose()?;
+        indexes.push(idx);
+    }
+
+    let idx =
+        ShardedIndex::from_raw_parts(graph, global, k, indexes, certified, matrix, reentry)
+            .map_err(|reason| SnapshotError::Malformed {
+                section: SectionTag::SHARDS,
+                reason,
+            })?;
+    if idx.map().level() != level || idx.border_nodes().len() != border_count {
+        return Err(SnapshotError::Malformed {
+            section: SectionTag::SHARDS,
+            reason: "persisted partition disagrees with the graph-derived one",
+        });
+    }
+    Ok(idx)
 }

@@ -29,7 +29,11 @@ pub const MAGIC: [u8; 8] = *b"AHSNAP\r\n";
 /// Current format version. Any layout change — field order, element
 /// encoding, section semantics — must bump this, and loaders refuse files
 /// with a newer version than they understand.
-pub const VERSION: u16 = 1;
+///
+/// History: **1** graph/AH/CH sections; **2** adds the sharded-snapshot
+/// sections (`shards` metadata + one `shardNNN` AH payload per
+/// non-empty shard). Version-1 files remain loadable.
+pub const VERSION: u16 = 2;
 
 /// Fixed header bytes before the section table.
 pub const HEADER_LEN: usize = 16;
@@ -48,6 +52,25 @@ impl SectionTag {
     pub const AH: SectionTag = SectionTag(*b"ah.index");
     /// The Contraction Hierarchies index (`ah_ch::ChIndex`).
     pub const CH: SectionTag = SectionTag(*b"ch.index");
+    /// Sharded-snapshot metadata (`ah_shard::ShardedIndex`): shard
+    /// count, certification flag, boundary matrix, reentry pairs.
+    pub const SHARDS: SectionTag = SectionTag(*b"shards\0\0");
+
+    /// The per-shard AH index section for shard `slot`
+    /// (`shard000` … `shard255`; payload encoding identical to
+    /// [`SectionTag::AH`]). Empty shards have no section.
+    ///
+    /// # Panics
+    /// Panics if `slot` exceeds 255 (`ah_shard::MAX_SHARDS` keeps real
+    /// indexes below this).
+    pub fn shard_slot(slot: usize) -> SectionTag {
+        assert!(slot < 256, "shard slot {slot} out of tag range");
+        let mut tag = *b"shard\0\0\0";
+        tag[5] = b'0' + (slot / 100) as u8;
+        tag[6] = b'0' + (slot / 10 % 10) as u8;
+        tag[7] = b'0' + (slot % 10) as u8;
+        SectionTag(tag)
+    }
 }
 
 impl std::fmt::Display for SectionTag {

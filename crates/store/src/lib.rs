@@ -45,10 +45,12 @@ mod error;
 mod format;
 
 use std::path::Path;
+use std::sync::Arc;
 
 use ah_ch::ChIndex;
 use ah_core::AhIndex;
 use ah_graph::Graph;
+use ah_shard::ShardedIndex;
 
 pub use crc::crc64;
 pub use error::SnapshotError;
@@ -63,6 +65,7 @@ pub struct SnapshotContents<'a> {
     graph: Option<&'a Graph>,
     ah: Option<&'a AhIndex>,
     ch: Option<&'a ChIndex>,
+    sharded: Option<&'a ShardedIndex>,
 }
 
 impl<'a> SnapshotContents<'a> {
@@ -88,6 +91,21 @@ impl<'a> SnapshotContents<'a> {
         self.ch = Some(idx);
         self
     }
+
+    /// Includes the region-sharded index (format v2 sections: `shards`
+    /// metadata + one `shardNNN` payload per non-empty shard).
+    ///
+    /// A sharded snapshot must also carry the graph — the decoder
+    /// recomputes the partition skeleton from it — so
+    /// [`SnapshotContents::graph`] is mandatory alongside this; the
+    /// global AH section is taken from [`ShardedIndex::global`]
+    /// automatically unless [`SnapshotContents::ah`] set one — which
+    /// must be the very same object (asserted at encode time; see
+    /// [`Snapshot::to_bytes`]).
+    pub fn sharded(mut self, idx: &'a ShardedIndex) -> Self {
+        self.sharded = Some(idx);
+        self
+    }
 }
 
 /// A loaded snapshot: whichever of the three persistable objects the file
@@ -96,10 +114,15 @@ impl<'a> SnapshotContents<'a> {
 pub struct Snapshot {
     /// The road network, if the file has a `graph` section.
     pub graph: Option<Graph>,
-    /// The AH index, if the file has an `ah.index` section.
-    pub ah: Option<AhIndex>,
+    /// The AH index, if the file has an `ah.index` section. Shared
+    /// (`Arc`) because a sharded snapshot's [`ShardedIndex::global`]
+    /// is this same decoded index — the payload is decoded once.
+    pub ah: Option<Arc<AhIndex>>,
     /// The CH index, if the file has a `ch.index` section.
     pub ch: Option<ChIndex>,
+    /// The sharded index, if the file has a `shards` section (which
+    /// requires the `graph` and `ah.index` sections to reassemble).
+    pub sharded: Option<ShardedIndex>,
 }
 
 impl Snapshot {
@@ -112,6 +135,11 @@ impl Snapshot {
     pub fn write(path: impl AsRef<Path>, contents: SnapshotContents<'_>) -> Result<u64, SnapshotError> {
         use std::io::Write;
         let path = path.as_ref();
+        if contents.sharded.is_some() && contents.graph.is_none() {
+            return Err(SnapshotError::MissingSection {
+                section: SectionTag::GRAPH,
+            });
+        }
         let bytes = Self::to_bytes(contents);
         // Append ".tmp" to the *full* file name (never replace the
         // extension): targets differing only in extension must not
@@ -138,16 +166,45 @@ impl Snapshot {
     }
 
     /// Serializes `contents` to an in-memory file image.
+    ///
+    /// # Panics
+    /// Panics if a sharded index is included without the graph it was
+    /// built from (the decoder cannot reassemble the partition without
+    /// it) — [`Snapshot::write`] surfaces that condition as a typed
+    /// error instead — or if an explicitly set AH index is a *different
+    /// object* than the sharded index's global (the file has one
+    /// `ah.index` section, and the decoder reuses it as the sharded
+    /// global; silently writing one of two disagreeing indexes would
+    /// corrupt fallback and path answers on load).
     pub fn to_bytes(contents: SnapshotContents<'_>) -> Vec<u8> {
         let mut w = format::ContainerWriter::new();
         if let Some(g) = contents.graph {
             w.add_section(SectionTag::GRAPH, encode::encode_graph(g));
         }
         if let Some(idx) = contents.ah {
+            if let Some(sh) = contents.sharded {
+                assert!(
+                    std::ptr::eq(idx, sh.global().as_ref()),
+                    "SnapshotContents::ah must be the sharded index's own global \
+                     (or be left unset so it is included automatically)"
+                );
+            }
             w.add_section(SectionTag::AH, encode::encode_ah(idx));
+        } else if let Some(sh) = contents.sharded {
+            // A sharded snapshot always carries its global index.
+            w.add_section(SectionTag::AH, encode::encode_ah(sh.global()));
         }
         if let Some(idx) = contents.ch {
             w.add_section(SectionTag::CH, encode::encode_ch(idx));
+        }
+        if let Some(sh) = contents.sharded {
+            assert!(
+                contents.graph.is_some(),
+                "a sharded snapshot must include the graph section"
+            );
+            for (tag, payload) in encode::encode_shard_sections(sh) {
+                w.add_section(tag, payload);
+            }
         }
         w.finish()
     }
@@ -187,16 +244,67 @@ impl Snapshot {
         let ah = container
             .section(SectionTag::AH)
             .map(encode::decode_ah)
-            .transpose()?;
+            .transpose()?
+            .map(Arc::new);
         let ch = container
             .section(SectionTag::CH)
             .map(encode::decode_ch)
             .transpose()?;
-        Ok(Snapshot { graph, ah, ch })
+        let sharded = if container.section(SectionTag::SHARDS).is_some() {
+            Some(Self::decode_sharded_from(
+                &container,
+                graph.as_ref(),
+                ah.clone(),
+            )?)
+        } else {
+            None
+        };
+        Ok(Snapshot {
+            graph,
+            ah,
+            ch,
+            sharded,
+        })
+    }
+
+    /// Loads *only* the sharded index (graph + global AH + shard
+    /// sections) from the snapshot at `path`, skipping the CH payload —
+    /// the restart path of a sharded server.
+    pub fn load_sharded(path: impl AsRef<Path>) -> Result<ShardedIndex, SnapshotError> {
+        let bytes = std::fs::read(path)?;
+        let container = format::Container::parse(&bytes)?;
+        let graph = container
+            .section(SectionTag::GRAPH)
+            .map(encode::decode_graph)
+            .transpose()?;
+        let global = container
+            .section(SectionTag::AH)
+            .map(encode::decode_ah)
+            .transpose()?
+            .map(Arc::new);
+        Self::decode_sharded_from(&container, graph.as_ref(), global)
+    }
+
+    /// Shared sharded-section decode: requires the graph and the global
+    /// AH index, both already decoded by the caller (the sharded index
+    /// shares the same `Arc` as [`Snapshot::ah`], so the dominant AH
+    /// payload is decoded exactly once per load).
+    fn decode_sharded_from(
+        container: &format::Container<'_>,
+        graph: Option<&Graph>,
+        global: Option<Arc<AhIndex>>,
+    ) -> Result<ShardedIndex, SnapshotError> {
+        let graph = graph.ok_or(SnapshotError::MissingSection {
+            section: SectionTag::GRAPH,
+        })?;
+        let global = global.ok_or(SnapshotError::MissingSection {
+            section: SectionTag::AH,
+        })?;
+        encode::decode_sharded(container, graph, global)
     }
 
     /// The AH index, or [`SnapshotError::MissingSection`].
-    pub fn require_ah(self) -> Result<AhIndex, SnapshotError> {
+    pub fn require_ah(self) -> Result<Arc<AhIndex>, SnapshotError> {
         self.ah.ok_or(SnapshotError::MissingSection {
             section: SectionTag::AH,
         })
@@ -295,6 +403,82 @@ mod tests {
         let loaded = Snapshot::load(&path).unwrap();
         assert_eq!(loaded.graph.unwrap().num_nodes(), g.num_nodes());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sharded_roundtrips_with_identical_answers() {
+        use ah_shard::{ShardConfig, ShardedIndex, ShardedQuery};
+        let g = ah_data::fixtures::lattice(8, 8, 14);
+        let sh = ShardedIndex::build(
+            &g,
+            &ShardConfig {
+                shards: 4,
+                ..Default::default()
+            },
+        );
+        let bytes = Snapshot::to_bytes(SnapshotContents::new().graph(&g).sharded(&sh));
+        let loaded = Snapshot::from_bytes(&bytes).unwrap();
+        // The auto-included global AH section decodes standalone too.
+        assert_eq!(loaded.ah.as_ref().unwrap().num_nodes(), g.num_nodes());
+        let sh2 = loaded.sharded.unwrap();
+        assert_eq!(sh2.stats(), sh.stats());
+        assert_eq!(sh2.border_nodes(), sh.border_nodes());
+        assert_eq!(sh2.matrix(), sh.matrix());
+
+        let mut q1 = ShardedQuery::new();
+        let mut q2 = ShardedQuery::new();
+        for s in (0..64).step_by(5) {
+            for t in (0..64).step_by(7) {
+                assert_eq!(q2.distance(&sh2, s, t), q1.distance(&sh, s, t), "({s},{t})");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_snapshot_requires_the_graph_section() {
+        use ah_shard::{ShardConfig, ShardedIndex};
+        let g = ah_data::fixtures::lattice(5, 5, 10);
+        let sh = ShardedIndex::build(&g, &ShardConfig::default());
+        let path = std::env::temp_dir().join(format!(
+            "ah_store_shard_nograph_{}.snap",
+            std::process::id()
+        ));
+        assert!(matches!(
+            Snapshot::write(&path, SnapshotContents::new().sharded(&sh)),
+            Err(SnapshotError::MissingSection { section }) if section == SectionTag::GRAPH
+        ));
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn forged_sharded_meta_is_rejected_typed() {
+        use ah_shard::{ShardConfig, ShardedIndex};
+        let g = ah_data::fixtures::lattice(6, 6, 12);
+        let sh = ShardedIndex::build(
+            &g,
+            &ShardConfig {
+                shards: 2,
+                ..Default::default()
+            },
+        );
+        // Re-pair the sharded sections with a graph of a *different
+        // node count*: the skeleton recomputation must notice.
+        let smaller = ah_data::fixtures::lattice(3, 3, 12);
+        let mismatched =
+            Snapshot::to_bytes(SnapshotContents::new().graph(&smaller).sharded(&sh));
+        assert!(matches!(
+            Snapshot::from_bytes(&mismatched),
+            Err(SnapshotError::Malformed { section, .. }) if section == SectionTag::SHARDS
+        ));
+        // Same node count but moved geometry (spacing 20 vs 12): the
+        // graph-derived partition drifts from the persisted one.
+        let moved = ah_data::fixtures::lattice(6, 6, 20);
+        let drifted =
+            Snapshot::to_bytes(SnapshotContents::new().graph(&moved).sharded(&sh));
+        assert!(
+            Snapshot::from_bytes(&drifted).is_err(),
+            "a drifted partition must not load silently"
+        );
     }
 
     #[test]

@@ -40,10 +40,10 @@ fn tiny_fixture_bytes_are_stable() {
     println!("{dump}");
 
     let expected = "\
-00000000  41 48 53 4e 41 50 0d 0a 01 00 01 00 00 00 00 00
+00000000  41 48 53 4e 41 50 0d 0a 02 00 01 00 00 00 00 00
 00000010  67 72 61 70 68 00 00 00 38 00 00 00 00 00 00 00
 00000020  90 00 00 00 00 00 00 00 17 57 bf 83 fb c6 2b ae
-00000030  8e 08 47 c8 5c f9 a3 07 02 00 00 00 00 00 00 00
+00000030  72 0e d2 8d ee 1f 46 bd 02 00 00 00 00 00 00 00
 00000040  03 00 00 00 00 00 00 00 00 00 00 00 01 00 00 00
 00000050  02 00 00 00 00 00 00 00 02 00 00 00 00 00 00 00
 00000060  01 00 00 00 07 00 00 00 6e a4 d1 00 00 00 00 00

@@ -1,0 +1,441 @@
+//! **Open-loop load generator** for the `serve_edge` HTTP edge: N
+//! connections, target-QPS pacing, latency histograms over the wire —
+//! the measurement half of the ROADMAP's open-service story.
+//!
+//! Unlike `serve_throughput` (closed-loop: the feeder blocks when the
+//! pool falls behind), each connection here has an independent *writer*
+//! that sends requests on schedule regardless of whether responses have
+//! come back, and a *reader* that consumes pipelined responses and
+//! attributes each one's wire latency to its send time. Under overload
+//! the latency therefore grows and the edge's `429`s appear — which is
+//! the behaviour being measured, not an error.
+//!
+//! Phases (all optional except the main run):
+//!
+//! 1. **Main run** — `--requests` distance queries spread round-robin
+//!    over `--connections`, paced to an aggregate `--qps` target (0 =
+//!    unpaced, i.e. as fast as the sockets accept).
+//! 2. **Burst** (`--burst N`) — one fresh connection pipelines N
+//!    requests in a single write; with a queue smaller than N the edge
+//!    must answer the excess with `429` while every accepted request
+//!    still completes. Counts are reported.
+//! 3. **Scrape** — `GET /metrics`, parsing the admission counters so
+//!    the report can cross-check client-observed `429`s against the
+//!    server's own `ah_queue_rejected_total`.
+//! 4. **Shutdown** (`--shutdown`) — `GET /admin/shutdown` (needs
+//!    `serve_edge --allow-shutdown`), proving graceful drain over the
+//!    wire.
+//!
+//! `--check-index SNAPSHOT` loads the graph + AH index the server was
+//! started from, regenerates the paper's Q1–Q10 interactive traffic mix
+//! (`--pairs`, `--seed` must match nothing — the *snapshot* pins the
+//! network), and verifies every HTTP answer is **bit-equal** to a
+//! direct `AhQuery` on the same pair.
+//!
+//! Results go to stdout and `BENCH_edge.json` (override with the
+//! `EDGE_BENCH_OUT` environment variable).
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use ah_core::AhQuery;
+use ah_net::blocking;
+use ah_server::LatencyHistogram;
+use ah_store::Snapshot;
+use ah_workload::TrafficSchedule;
+
+struct Args {
+    addr: String,
+    connections: usize,
+    requests: usize,
+    qps: f64,
+    burst: usize,
+    check_index: Option<String>,
+    pairs: usize,
+    seed: u64,
+    shutdown: bool,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        addr: "127.0.0.1:8080".to_string(),
+        connections: 4,
+        requests: 2000,
+        qps: 0.0,
+        burst: 0,
+        check_index: None,
+        pairs: 200,
+        seed: 0xF16,
+        shutdown: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => a.addr = it.next().expect("--addr needs host:port"),
+            "--connections" => {
+                a.connections = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .expect("--connections needs a positive number")
+            }
+            "--requests" => {
+                a.requests = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--requests needs a number")
+            }
+            "--qps" => {
+                a.qps = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--qps needs a number (0 = unpaced)")
+            }
+            "--burst" => {
+                a.burst = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--burst needs a number")
+            }
+            "--check-index" => a.check_index = Some(it.next().expect("--check-index PATH")),
+            "--pairs" => {
+                a.pairs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--pairs needs a number")
+            }
+            "--seed" => {
+                a.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs a number")
+            }
+            "--shutdown" => a.shutdown = true,
+            other => panic!(
+                "unknown argument {other} (try --addr HOST:PORT | --connections N | \
+                 --requests N | --qps N | --burst N | --check-index PATH | --pairs N | \
+                 --seed N | --shutdown)"
+            ),
+        }
+    }
+    a
+}
+
+/// Client-side status tally (shared across reader threads).
+#[derive(Default)]
+struct StatusCounts {
+    ok: AtomicU64,
+    rejected: AtomicU64,
+    other: AtomicU64,
+    mismatches: AtomicU64,
+}
+
+fn main() {
+    let args = parse_args();
+
+    // Discover the served network.
+    let health = blocking::Client::connect(args.addr.as_str())
+        .and_then(|mut c| c.get("/healthz"))
+        .unwrap_or_else(|e| panic!("cannot reach {}: {e}", args.addr));
+    assert_eq!(health.status, 200, "healthz failed: {}", health.text());
+    let nodes: u64 = health
+        .text()
+        .split("\"nodes\":")
+        .nth(1)
+        .and_then(|s| {
+            let end = s.find(|c: char| !c.is_ascii_digit()).unwrap_or(s.len());
+            s[..end].parse().ok()
+        })
+        .expect("healthz reports nodes");
+    eprintln!("[edge_throughput] {} serves {nodes} nodes", args.addr);
+
+    // Build the request stream: the paper's interactive Q1–Q10 mix when
+    // identity-checking against a snapshot, uniform random pairs
+    // otherwise.
+    let mut expected: Option<Vec<Option<u64>>> = None;
+    let stream: Vec<(u32, u32)> = match &args.check_index {
+        Some(path) => {
+            eprintln!("[edge_throughput] loading {path} for identity checking …");
+            let snap = Snapshot::load(path).unwrap_or_else(|e| panic!("{path}: {e}"));
+            let g = snap.graph.expect("snapshot has a graph section");
+            let ah = snap.ah.expect("snapshot has an AH section");
+            assert_eq!(g.num_nodes() as u64, nodes, "snapshot serves a different network");
+            let sets = ah_workload::generate_query_sets(&g, args.pairs, args.seed);
+            let stream =
+                TrafficSchedule::interactive(args.requests, 0.25, args.seed).generate(&sets);
+            let mut q = AhQuery::new();
+            expected = Some(
+                stream
+                    .iter()
+                    .map(|&(s, t)| q.distance(&ah, s, t))
+                    .collect(),
+            );
+            stream
+        }
+        None => {
+            // Deterministic uniform pairs via an LCG, no index needed.
+            let mut x = args.seed | 1;
+            (0..args.requests)
+                .map(|_| {
+                    let mut next = || {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                        (x >> 33) % nodes.max(1)
+                    };
+                    (next() as u32, next() as u32)
+                })
+                .collect()
+        }
+    };
+
+    // ---------------------------------------------------------- main run
+    let hist = LatencyHistogram::new();
+    let counts = StatusCounts::default();
+    let per_conn_interval = if args.qps > 0.0 {
+        Duration::from_secs_f64(args.connections as f64 / args.qps)
+    } else {
+        Duration::ZERO
+    };
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for conn_id in 0..args.connections {
+            let my: Vec<(u32, u32)> = stream
+                .iter()
+                .copied()
+                .skip(conn_id)
+                .step_by(args.connections)
+                .collect();
+            let my_expected: Option<Vec<Option<u64>>> = expected.as_ref().map(|e| {
+                e.iter()
+                    .copied()
+                    .skip(conn_id)
+                    .step_by(args.connections)
+                    .collect()
+            });
+            let hist = &hist;
+            let counts = &counts;
+            let addr = args.addr.as_str();
+            scope.spawn(move || {
+                let mut reader = blocking::Client::connect(addr).expect("connect");
+                let mut writer = reader.stream().try_clone().expect("socket clone");
+                let (tx, rx) = mpsc::channel::<Instant>();
+                let n = my.len();
+                std::thread::scope(|inner| {
+                    // Open-loop writer: sends on schedule, never waits
+                    // for responses.
+                    inner.spawn(move || {
+                        let t0 = Instant::now();
+                        for (i, (s, t)) in my.into_iter().enumerate() {
+                            if !per_conn_interval.is_zero() {
+                                let due = t0 + per_conn_interval * i as u32;
+                                if let Some(wait) = due.checked_duration_since(Instant::now())
+                                {
+                                    std::thread::sleep(wait);
+                                }
+                            }
+                            let req = format!(
+                                "GET /v1/distance?src={s}&dst={t} HTTP/1.1\r\nHost: b\r\n\r\n"
+                            );
+                            tx.send(Instant::now()).unwrap();
+                            writer.write_all(req.as_bytes()).expect("paced write");
+                        }
+                    });
+                    // Reader: responses come back in send order per
+                    // connection (the edge writes in pipeline order).
+                    inner.spawn(move || {
+                        for i in 0..n {
+                            let sent_at = rx.recv().expect("send time");
+                            let resp = reader.recv().expect("response read failed");
+                            hist.record_ns(sent_at.elapsed().as_nanos() as u64);
+                            match resp.status {
+                                200 => {
+                                    counts.ok.fetch_add(1, Ordering::Relaxed);
+                                    if let Some(exp) = &my_expected {
+                                        if resp.distance() != exp[i] {
+                                            counts
+                                                .mismatches
+                                                .fetch_add(1, Ordering::Relaxed);
+                                            eprintln!(
+                                                "[edge_throughput] MISMATCH: got {:?} want {:?} ({})",
+                                                resp.distance(),
+                                                exp[i],
+                                                resp.text(),
+                                            );
+                                        }
+                                    }
+                                }
+                                429 => {
+                                    counts.rejected.fetch_add(1, Ordering::Relaxed);
+                                }
+                                _ => {
+                                    counts.other.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    });
+                });
+            });
+        }
+    });
+    let wall_secs = started.elapsed().as_secs_f64();
+    let ok = counts.ok.load(Ordering::Relaxed);
+    let rejected_429 = counts.rejected.load(Ordering::Relaxed);
+    let other = counts.other.load(Ordering::Relaxed);
+    let mismatches = counts.mismatches.load(Ordering::Relaxed);
+    assert_eq!(
+        ok + rejected_429 + other,
+        stream.len() as u64,
+        "every request must be answered"
+    );
+    if expected.is_some() {
+        assert_eq!(mismatches, 0, "HTTP answers diverged from direct AhQuery");
+        assert_eq!(other, 0, "unexpected non-200/429 during identity run");
+    }
+
+    let qps = if wall_secs > 0.0 {
+        stream.len() as f64 / wall_secs
+    } else {
+        0.0
+    };
+    println!(
+        "main run: {} requests over {} connections in {wall_secs:.3}s → {qps:.0} qps \
+         (200: {ok}, 429: {rejected_429}, other: {other}{})",
+        stream.len(),
+        args.connections,
+        if expected.is_some() {
+            ", identity verified"
+        } else {
+            ""
+        },
+    );
+    println!(
+        "latency: mean {:.1}us p50 {:.1}us p95 {:.1}us p99 {:.1}us",
+        hist.mean_ns() / 1e3,
+        hist.quantile_ns(0.50) / 1e3,
+        hist.quantile_ns(0.95) / 1e3,
+        hist.quantile_ns(0.99) / 1e3,
+    );
+
+    // ------------------------------------------------------------- burst
+    let burst_json = if args.burst > 0 {
+        let mut c = blocking::Client::connect(args.addr.as_str()).expect("connect");
+        let mut raw = String::new();
+        for i in 0..args.burst {
+            let s = (i as u64 % nodes) as u32;
+            let t = ((i as u64 * 7 + 1) % nodes) as u32;
+            raw.push_str(&format!(
+                "GET /v1/distance?src={s}&dst={t} HTTP/1.1\r\nHost: b\r\n\r\n"
+            ));
+        }
+        c.send(raw.as_bytes()).expect("burst write");
+        let (mut accepted, mut shed, mut burst_other) = (0u64, 0u64, 0u64);
+        for _ in 0..args.burst {
+            match c.recv().expect("burst response").status {
+                200 => accepted += 1,
+                429 => shed += 1,
+                _ => burst_other += 1,
+            }
+        }
+        println!(
+            "burst: {} pipelined → {accepted} accepted, {shed} shed with 429, {burst_other} other",
+            args.burst
+        );
+        format!(
+            "{{\"size\":{},\"accepted\":{accepted},\"rejected\":{shed},\"other\":{burst_other}}}",
+            args.burst
+        )
+    } else {
+        "null".to_string()
+    };
+
+    // ------------------------------------------------------------ scrape
+    let scrape_resp = blocking::Client::connect(args.addr.as_str())
+        .and_then(|mut c| c.get("/metrics"))
+        .expect("/metrics scrape failed");
+    assert_eq!(scrape_resp.status, 200, "/metrics scrape failed");
+    let metrics_text = scrape_resp.text();
+    let scrape = |name: &str| -> u64 {
+        metrics_text
+            .lines()
+            .find(|l| l.starts_with(name) && !l.starts_with('#'))
+            .and_then(|l| l.split_whitespace().last())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    };
+    let server_rejected = scrape("ah_queue_rejected_total");
+    let server_high_water = scrape("ah_queue_high_water");
+    let server_queries = scrape("ah_server_queries_total");
+    println!(
+        "server metrics: {server_queries} queries served, queue high-water {server_high_water}, \
+         rejected {server_rejected}"
+    );
+
+    // --------------------------------------------------------- shutdown
+    let mut clean_shutdown = false;
+    if args.shutdown {
+        let mut c = blocking::Client::connect(args.addr.as_str()).expect("connect");
+        let resp = c.get("/admin/shutdown").expect("shutdown request");
+        assert_eq!(
+            resp.status, 200,
+            "shutdown endpoint (serve_edge --allow-shutdown?)"
+        );
+        // The drain must end in a clean EOF (FIN after the flushed
+        // response) — a reset or read error means connections were
+        // aborted, not drained.
+        clean_shutdown = match c.read_eof() {
+            Ok(clean) => clean,
+            Err(e) => {
+                eprintln!("[edge_throughput] drain ended in error, not EOF: {e}");
+                false
+            }
+        };
+        if clean_shutdown {
+            println!("server drained and closed cleanly");
+        }
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"edge_throughput\",\n",
+            "  \"addr\": \"{}\",\n",
+            "  \"connections\": {},\n",
+            "  \"requests\": {},\n",
+            "  \"target_qps\": {},\n",
+            "  \"achieved_qps\": {:.1},\n",
+            "  \"wall_secs\": {:.6},\n",
+            "  \"latency_us\": {{\"mean\":{:.3},\"p50\":{:.3},\"p95\":{:.3},\"p99\":{:.3}}},\n",
+            "  \"responses\": {{\"200\":{},\"429\":{},\"other\":{}}},\n",
+            "  \"identity_checked\": {},\n",
+            "  \"identity_mismatches\": {},\n",
+            "  \"burst\": {},\n",
+            "  \"server\": {{\"queries\":{},\"queue_high_water\":{},\"rejected\":{}}},\n",
+            "  \"clean_shutdown\": {}\n",
+            "}}\n"
+        ),
+        args.addr,
+        args.connections,
+        stream.len(),
+        args.qps,
+        qps,
+        wall_secs,
+        hist.mean_ns() / 1e3,
+        hist.quantile_ns(0.50) / 1e3,
+        hist.quantile_ns(0.95) / 1e3,
+        hist.quantile_ns(0.99) / 1e3,
+        ok,
+        rejected_429,
+        other,
+        expected.is_some(),
+        mismatches,
+        burst_json,
+        server_queries,
+        server_high_water,
+        server_rejected,
+        clean_shutdown,
+    );
+    let out = std::env::var("EDGE_BENCH_OUT").unwrap_or_else(|_| "BENCH_edge.json".into());
+    std::fs::write(&out, &json).expect("write benchmark JSON");
+    println!("wrote {out}");
+}

@@ -1,0 +1,235 @@
+//! **The open service**: load (or build) an index and serve it over
+//! HTTP on a real socket — the ROADMAP's "closed-loop harness → open
+//! service" step, wiring `ah_net::EdgeServer` in front of
+//! `ah_server::Server::serve_queue`.
+//!
+//! ```sh
+//! # one-time: persist the indexes (serve_throughput does it too)
+//! cargo run --release -p ah_bench --bin serve_edge -- \
+//!     --through S1 --save-index idx.snap
+//! # serve restarts skip the build entirely
+//! cargo run --release -p ah_bench --bin serve_edge -- \
+//!     --through S1 --load-index idx.snap --addr 127.0.0.1:8080 --workers 4
+//! # then:  curl 'http://127.0.0.1:8080/v1/distance?src=17&dst=910'
+//! ```
+//!
+//! `--shards K` serves through the region-sharded index
+//! (`ah_shard::ShardedQuery` composition — answers stay bit-equal to
+//! the global AH index). `--queue N` sets the admission window: bursts
+//! beyond it are answered `429 Too Many Requests` with a `Retry-After`
+//! hint (see `docs/EDGE.md`). `--slow-us N` injects a per-query delay
+//! (fault injection for overload rehearsal — this is what the CI smoke
+//! uses to make 429s deterministic). `--allow-shutdown` exposes
+//! `GET /admin/shutdown` for supervised drains.
+//!
+//! On shutdown the bin prints a JSON report (edge counters, admission
+//! stats, serving latency quantiles) to stdout and, when the
+//! `EDGE_SERVE_OUT` environment variable is set, to that file.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ah_bench::{obtain_indices, snapshot_path, HarnessArgs};
+use ah_net::{EdgeConfig, EdgeServer};
+use ah_server::{
+    AhBackend, DelayBackend, DistanceBackend, Server, ServerConfig, ShardedBackend,
+};
+
+struct EdgeArgs {
+    harness: HarnessArgs,
+    addr: String,
+    workers: usize,
+    queue: usize,
+    max_conns: usize,
+    slow_us: u64,
+    retry_after: u32,
+    allow_shutdown: bool,
+}
+
+fn parse_args() -> EdgeArgs {
+    let mut a = EdgeArgs {
+        harness: HarnessArgs {
+            through: 1, // S1 by default: builds in seconds, realistic enough
+            ..Default::default()
+        },
+        addr: "127.0.0.1:8080".to_string(),
+        workers: std::thread::available_parallelism().map_or(1, |p| p.get()),
+        queue: 1024,
+        max_conns: 1024,
+        slow_us: 0,
+        retry_after: 1,
+        allow_shutdown: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        // Dataset/index selection is the shared harness vocabulary
+        // (--through, --shards, --save-index, --load-index, …).
+        if a.harness.accept(&arg, &mut it) {
+            continue;
+        }
+        match arg.as_str() {
+            "--addr" => a.addr = it.next().expect("--addr needs host:port"),
+            "--workers" => {
+                a.workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .expect("--workers needs a positive number");
+            }
+            "--queue" => {
+                a.queue = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--queue needs a number");
+            }
+            "--max-conns" => {
+                a.max_conns = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-conns needs a number");
+            }
+            "--slow-us" => {
+                a.slow_us = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--slow-us needs microseconds");
+            }
+            "--retry-after" => {
+                a.retry_after = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--retry-after needs seconds");
+            }
+            "--allow-shutdown" => a.allow_shutdown = true,
+            other => panic!(
+                "unknown argument {other} (try --through SN | --shards K | \
+                 --load-index PATH | --save-index PATH | --addr HOST:PORT | \
+                 --workers N | --queue N | --max-conns N | --slow-us N | \
+                 --retry-after N | --allow-shutdown)"
+            ),
+        }
+    }
+    a
+}
+
+fn main() {
+    let args = parse_args();
+    let spec = *args.harness.datasets().last().expect("registry non-empty");
+
+    eprintln!("[edge] building {} road network …", spec.name);
+    let g = spec.build();
+    let idx = obtain_indices(&args.harness, &spec, &g, "edge");
+    if let (Some(base), None) = (&args.harness.save_index, &args.harness.load_index) {
+        eprintln!(
+            "[edge] snapshot saved; restart with --load-index {} to skip the build",
+            snapshot_path(base, spec.name).display()
+        );
+    }
+
+    // Pick the backend: sharded composition when requested, global AH
+    // otherwise; optionally slowed for overload rehearsal.
+    let ah = Arc::clone(&idx.ah);
+    let ah_backend = AhBackend::new(&ah);
+    let sharded = idx.sharded.clone();
+    let sharded_backend = sharded.as_deref().map(ShardedBackend::new);
+    let inner: &dyn DistanceBackend = match &sharded_backend {
+        Some(b) => b,
+        None => &ah_backend,
+    };
+    let delayed;
+    let backend: &dyn DistanceBackend = if args.slow_us > 0 {
+        delayed = DelayBackend::new(inner, Duration::from_micros(args.slow_us));
+        &delayed
+    } else {
+        inner
+    };
+
+    let server = Server::new(ServerConfig {
+        workers: args.workers,
+        ..Default::default()
+    });
+    let edge = EdgeServer::bind(
+        args.addr.as_str(),
+        EdgeConfig {
+            workers: args.workers,
+            queue_capacity: args.queue,
+            max_connections: args.max_conns,
+            retry_after_secs: args.retry_after,
+            allow_shutdown: args.allow_shutdown,
+            ..Default::default()
+        },
+    )
+    .unwrap_or_else(|e| panic!("cannot bind {}: {e}", args.addr));
+    let addr = edge.local_addr().expect("local_addr");
+    println!(
+        "serve_edge listening on {addr} ({}, {} nodes, {} workers, queue {}{}{})",
+        backend.name(),
+        backend.num_nodes(),
+        args.workers,
+        args.queue,
+        if args.slow_us > 0 {
+            format!(", +{}us/query", args.slow_us)
+        } else {
+            String::new()
+        },
+        if args.allow_shutdown {
+            ", admin shutdown on"
+        } else {
+            ""
+        },
+    );
+
+    let report = edge.serve(&server, backend).expect("edge event loop");
+
+    let snapshot = server.metrics().snapshot(0.0);
+    let responses = report
+        .responses_by_status
+        .iter()
+        .map(|(s, n)| format!("\"{s}\":{n}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"serve_edge\",\n",
+            "  \"dataset\": \"{}\",\n",
+            "  \"backend\": \"{}\",\n",
+            "  \"addr\": \"{}\",\n",
+            "  \"poller\": \"{}\",\n",
+            "  \"workers\": {},\n",
+            "  \"queue_capacity\": {},\n",
+            "  \"index_loaded\": {},\n",
+            "  \"connections\": {},\n",
+            "  \"shed_connections\": {},\n",
+            "  \"timeouts\": {},\n",
+            "  \"bytes_in\": {},\n",
+            "  \"bytes_out\": {},\n",
+            "  \"rejected\": {},\n",
+            "  \"queue_high_water\": {},\n",
+            "  \"responses\": {{{}}},\n",
+            "  \"serving\": {}\n",
+            "}}\n"
+        ),
+        spec.name,
+        backend.name(),
+        addr,
+        report.poller,
+        args.workers,
+        args.queue,
+        idx.loaded,
+        report.connections,
+        report.shed_connections,
+        report.timeouts,
+        report.bytes_in,
+        report.bytes_out,
+        report.rejected,
+        report.queue_high_water,
+        responses,
+        snapshot.to_json(),
+    );
+    println!("serve_edge drained cleanly; report:\n{json}");
+    if let Ok(path) = std::env::var("EDGE_SERVE_OUT") {
+        std::fs::write(&path, &json).expect("write EDGE_SERVE_OUT");
+        println!("wrote {path}");
+    }
+}

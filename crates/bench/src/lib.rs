@@ -65,52 +65,63 @@ impl HarnessArgs {
         let mut args = HarnessArgs::default();
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
-            match a.as_str() {
-                "--through" => {
-                    let v = it.next().expect("--through needs a dataset name");
-                    args.through = REGISTRY
-                        .iter()
-                        .position(|d| d.name == v)
-                        .unwrap_or_else(|| panic!("unknown dataset {v}"));
-                }
-                "--pairs" => {
-                    args.pairs = it
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--pairs needs a number");
-                }
-                "--seed" => {
-                    args.seed = it
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--seed needs a number");
-                }
-                "--threads" => {
-                    args.threads = it
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .filter(|&n: &usize| n > 0)
-                        .expect("--threads needs a positive number");
-                }
-                "--shards" => {
-                    args.shards = it
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--shards needs a number (0 disables sharding)");
-                }
-                "--save-index" => {
-                    args.save_index = Some(it.next().expect("--save-index needs a path"));
-                }
-                "--load-index" => {
-                    args.load_index = Some(it.next().expect("--load-index needs a path"));
-                }
-                other => panic!(
-                    "unknown argument {other} (try --through S9 | --pairs N | --seed N | \
+            if !args.accept(&a, &mut it) {
+                panic!(
+                    "unknown argument {a} (try --through S9 | --pairs N | --seed N | \
                      --threads N | --shards K | --save-index PATH | --load-index PATH)"
-                ),
+                );
             }
         }
         args
+    }
+
+    /// Consumes one recognized harness flag (and its value) from `it`.
+    /// Returns `false` — touching nothing — when `arg` is not a harness
+    /// flag, so bins with extra flags of their own (e.g. `serve_edge`)
+    /// can layer their parsing on top instead of duplicating this one.
+    pub fn accept(&mut self, arg: &str, it: &mut impl Iterator<Item = String>) -> bool {
+        match arg {
+            "--through" => {
+                let v = it.next().expect("--through needs a dataset name");
+                self.through = REGISTRY
+                    .iter()
+                    .position(|d| d.name == v)
+                    .unwrap_or_else(|| panic!("unknown dataset {v}"));
+            }
+            "--pairs" => {
+                self.pairs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--pairs needs a number");
+            }
+            "--seed" => {
+                self.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs a number");
+            }
+            "--threads" => {
+                self.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .expect("--threads needs a positive number");
+            }
+            "--shards" => {
+                self.shards = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--shards needs a number (0 disables sharding)");
+            }
+            "--save-index" => {
+                self.save_index = Some(it.next().expect("--save-index needs a path"));
+            }
+            "--load-index" => {
+                self.load_index = Some(it.next().expect("--load-index needs a path"));
+            }
+            _ => return false,
+        }
+        true
     }
 
     /// The selected dataset slice.

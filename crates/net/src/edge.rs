@@ -1,0 +1,1237 @@
+//! The network edge: an event-looped HTTP front door over the serving
+//! queue.
+//!
+//! One thread runs a readiness loop ([`crate::sys::Poller`]: epoll on
+//! Linux, `poll` elsewhere) that owns *all* sockets: it accepts
+//! connections, reads and parses pipelined HTTP requests, and writes
+//! responses — never blocking, never spawning per connection. Query
+//! work is handed to `workers` threads running
+//! [`ah_server::Server::serve_queue`], each with its own reusable
+//! backend session, through the same bounded MPMC queue the closed-loop
+//! harness uses. That queue is the **admission window**: when it is
+//! full, [`BoundedQueue::try_push`] hands the request straight back and
+//! the edge answers `429 Too Many Requests` with a `Retry-After` hint —
+//! overload sheds load at the door instead of growing buffers.
+//!
+//! Per-connection state machines enforce the rest of the paranoia a
+//! public listener needs: header/body size caps (`431`/`413`), malformed
+//! input classification (`400`), a pipelining cap that simply stops
+//! reading a socket until its backlog drains (TCP back-pressure does the
+//! rest), read/write/idle timeouts, and a connection cap that sheds
+//! with `503`.
+//!
+//! Responses are written strictly in pipeline order per connection:
+//! each parsed request claims a *slot*; backend completions fill slots
+//! out of order but only the front slot's bytes ever enter the socket.
+//!
+//! **Graceful shutdown** (via [`EdgeHandle::shutdown`] or the
+//! `/admin/shutdown` endpoint when enabled) follows the drain contract
+//! of [`ah_server::Server::serve_queue`]: stop accepting and reading,
+//! close the job queue, let workers drain every admitted request, flush
+//! every response, then close connections and return.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read as _, Write as _};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use ah_server::{BoundedQueue, DistanceBackend, Request, Response, Server, TryPushError};
+
+use crate::http::{self, HttpError, HttpLimits, ParseOutcome};
+use crate::sys::{Event, Poller, PollerKind, WakePipe};
+
+/// Poller token of the listening socket.
+const LISTENER: u64 = 0;
+/// Poller token of the wake pipe's read end.
+const WAKER: u64 = 1;
+/// First token handed to an accepted connection.
+const FIRST_CONN: u64 = 2;
+
+/// Routing tag carried through the job queue: (connection token, slot id).
+type Tag = (u64, u64);
+
+/// Statuses the edge emits, in reporting order.
+pub const STATUSES: [u16; 9] = [200, 400, 404, 405, 408, 413, 429, 431, 503];
+
+/// Tuning knobs for the edge.
+#[derive(Debug, Clone)]
+pub struct EdgeConfig {
+    /// Worker threads draining the job queue (0 clamps to 1).
+    pub workers: usize,
+    /// Bounded job-queue depth — the admission window. Requests beyond
+    /// it are answered `429`.
+    pub queue_capacity: usize,
+    /// Maximum simultaneously open connections; excess accepts are shed
+    /// with a best-effort `503` and an immediate close.
+    pub max_connections: usize,
+    /// Maximum unanswered pipelined requests per connection; past it the
+    /// edge stops reading that socket until slots drain.
+    pub max_pipeline: usize,
+    /// Maximum buffered unsent response bytes per connection; past it
+    /// the edge stops reading that socket and stops converting answered
+    /// pipeline slots into response bytes (a client that sends requests
+    /// but never reads responses cannot grow the write buffer without
+    /// bound — the write timeout then reaps it).
+    pub max_write_backlog: usize,
+    /// Maximum buffered unparsed request bytes per connection; past it
+    /// the edge stops reading that socket until parsing catches up, so
+    /// a client pipelining faster than the edge serves cannot grow the
+    /// read buffer without bound. Must exceed
+    /// `limits.max_head_bytes + limits.max_body_bytes` (one whole
+    /// request) or parsing could deadlock; the constructor-free config
+    /// leaves that to the operator.
+    pub max_read_backlog: usize,
+    /// HTTP parsing caps (head/body bytes, header count).
+    pub limits: HttpLimits,
+    /// How long a partially received request may stall before the
+    /// connection is answered `408` and closed.
+    pub read_timeout: Duration,
+    /// How long a pending write may stall before the connection is
+    /// dropped (the peer stopped reading).
+    pub write_timeout: Duration,
+    /// How long a connection may sit idle (no request in flight) before
+    /// it is closed.
+    pub idle_timeout: Duration,
+    /// Value of the `Retry-After` header on `429`/`503` responses.
+    pub retry_after_secs: u32,
+    /// Readiness backend (epoll on Linux by default, poll elsewhere).
+    pub poller: PollerKind,
+    /// Expose `GET /admin/shutdown` (for loopback smoke tests and
+    /// supervised deployments; leave off on untrusted networks).
+    pub allow_shutdown: bool,
+}
+
+impl Default for EdgeConfig {
+    fn default() -> Self {
+        EdgeConfig {
+            workers: std::thread::available_parallelism().map_or(1, |p| p.get()),
+            queue_capacity: 1024,
+            max_connections: 1024,
+            max_pipeline: 64,
+            max_write_backlog: 256 * 1024,
+            max_read_backlog: 64 * 1024,
+            limits: HttpLimits::default(),
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(60),
+            retry_after_secs: 1,
+            poller: PollerKind::default(),
+            allow_shutdown: false,
+        }
+    }
+}
+
+/// Edge-level counters (connection and response accounting; query-level
+/// latency lives in [`ah_server::ServerMetrics`]). All relaxed atomics,
+/// readable from any thread via [`EdgeHandle::metrics`].
+#[derive(Debug, Default)]
+pub struct EdgeMetrics {
+    connections: AtomicU64,
+    connections_closed: AtomicU64,
+    shed_connections: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    timeouts: AtomicU64,
+    responses: [AtomicU64; STATUSES.len()],
+}
+
+impl EdgeMetrics {
+    fn count_response(&self, status: u16) {
+        if let Some(i) = STATUSES.iter().position(|&s| s == status) {
+            self.responses[i].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Responses sent with `status`.
+    pub fn responses(&self, status: u16) -> u64 {
+        STATUSES
+            .iter()
+            .position(|&s| s == status)
+            .map_or(0, |i| self.responses[i].load(Ordering::Relaxed))
+    }
+
+    /// Total responses sent, any status.
+    pub fn total_responses(&self) -> u64 {
+        self.responses.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Connections accepted over the edge's lifetime.
+    pub fn connections(&self) -> u64 {
+        self.connections.load(Ordering::Relaxed)
+    }
+
+    /// Connections closed (any reason).
+    pub fn connections_closed(&self) -> u64 {
+        self.connections_closed.load(Ordering::Relaxed)
+    }
+
+    /// Connections shed at accept time (connection cap).
+    pub fn shed_connections(&self) -> u64 {
+        self.shed_connections.load(Ordering::Relaxed)
+    }
+
+    /// Request bytes read off sockets.
+    pub fn bytes_in(&self) -> u64 {
+        self.bytes_in.load(Ordering::Relaxed)
+    }
+
+    /// Response bytes written to sockets.
+    pub fn bytes_out(&self) -> u64 {
+        self.bytes_out.load(Ordering::Relaxed)
+    }
+
+    /// Connections reaped by read/write/idle timeout.
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts.load(Ordering::Relaxed)
+    }
+}
+
+/// State shared between the event loop, the workers and [`EdgeHandle`]s.
+struct Shared {
+    stop: AtomicBool,
+    waker: WakePipe,
+    metrics: EdgeMetrics,
+}
+
+/// A clonable remote control for a running edge: request graceful
+/// shutdown and read live metrics from any thread.
+#[derive(Clone)]
+pub struct EdgeHandle {
+    shared: Arc<Shared>,
+}
+
+impl EdgeHandle {
+    /// Begins graceful shutdown: stop accepting, drain admitted
+    /// requests, flush responses, close. [`EdgeServer::serve`] returns
+    /// once the drain completes.
+    pub fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        self.shared.waker.wake();
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_stopping(&self) -> bool {
+        self.shared.stop.load(Ordering::Relaxed)
+    }
+
+    /// Live edge counters.
+    pub fn metrics(&self) -> &EdgeMetrics {
+        &self.shared.metrics
+    }
+}
+
+/// Final accounting returned by [`EdgeServer::serve`].
+#[derive(Debug, Clone)]
+pub struct EdgeReport {
+    /// `(status, count)` for every status the edge emits, in
+    /// [`STATUSES`] order.
+    pub responses_by_status: Vec<(u16, u64)>,
+    /// Connections accepted.
+    pub connections: u64,
+    /// Connections shed at accept (connection cap).
+    pub shed_connections: u64,
+    /// Requests rejected at admission (the `429` source; equals the job
+    /// queue's rejected counter).
+    pub rejected: u64,
+    /// Deepest the job queue got.
+    pub queue_high_water: usize,
+    /// Request bytes read.
+    pub bytes_in: u64,
+    /// Response bytes written.
+    pub bytes_out: u64,
+    /// Connections reaped by timeout.
+    pub timeouts: u64,
+    /// Readiness backend that served the run.
+    pub poller: &'static str,
+}
+
+/// One pipelined exchange: claimed when the request is parsed, filled
+/// when its response bytes are ready, flushed strictly in claim order.
+struct Slot {
+    id: u64,
+    keep_alive: bool,
+    state: SlotState,
+}
+
+enum SlotState {
+    /// Admitted to the backend; context to render the eventual response.
+    Waiting { src: u32, dst: u32, is_path: bool },
+    /// Response bytes ready to enter the write buffer.
+    Ready(Vec<u8>),
+}
+
+/// Per-connection state machine.
+struct Conn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    /// Bytes of `wbuf` already written.
+    wpos: usize,
+    slots: VecDeque<Slot>,
+    next_slot: u64,
+    last_activity: Instant,
+    /// When the partial request at the head of `rbuf` started waiting
+    /// for its remaining bytes. Unlike `last_activity` this does NOT
+    /// reset on every received byte, so a client trickling one byte per
+    /// second cannot hold a request open past the read timeout.
+    partial_since: Option<Instant>,
+    /// When the pending write backlog appeared. Measured separately
+    /// from `last_activity` so a client that keeps *sending* while
+    /// never *reading* still trips the write timeout.
+    write_stalled_since: Option<Instant>,
+    /// No more reads: peer EOF, fatal request, shutdown, or scheduled close.
+    read_shut: bool,
+    /// Close once every slot is answered and flushed.
+    close_after_flush: bool,
+    /// Socket error — close immediately, abandon pending writes.
+    dead: bool,
+    /// Interest currently registered with the poller.
+    reg_read: bool,
+    reg_write: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, now: Instant) -> Conn {
+        Conn {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            slots: VecDeque::new(),
+            next_slot: 0,
+            last_activity: now,
+            partial_since: None,
+            write_stalled_since: None,
+            read_shut: false,
+            close_after_flush: false,
+            dead: false,
+            reg_read: true,
+            reg_write: false,
+        }
+    }
+
+    fn has_pending_write(&self) -> bool {
+        self.wpos < self.wbuf.len()
+    }
+
+    /// Everything answered and on the wire?
+    fn drained(&self) -> bool {
+        self.slots.is_empty() && !self.has_pending_write()
+    }
+
+    fn push_ready(&mut self, keep_alive: bool, bytes: Vec<u8>) {
+        let id = self.next_slot;
+        self.next_slot += 1;
+        self.slots.push_back(Slot {
+            id,
+            keep_alive,
+            state: SlotState::Ready(bytes),
+        });
+    }
+}
+
+/// A bound, not-yet-serving edge. [`EdgeServer::bind`] then
+/// [`EdgeServer::serve`] (which blocks until shutdown).
+pub struct EdgeServer {
+    listener: TcpListener,
+    cfg: EdgeConfig,
+    shared: Arc<Shared>,
+}
+
+impl EdgeServer {
+    /// Binds the listening socket (non-blocking) without serving yet, so
+    /// the caller can learn the ephemeral port and keep an
+    /// [`EdgeHandle`] before traffic starts.
+    pub fn bind(addr: impl ToSocketAddrs, cfg: EdgeConfig) -> io::Result<EdgeServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(EdgeServer {
+            listener,
+            cfg,
+            shared: Arc::new(Shared {
+                stop: AtomicBool::new(false),
+                waker: WakePipe::new()?,
+                metrics: EdgeMetrics::default(),
+            }),
+        })
+    }
+
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A remote control usable from other threads while `serve` runs.
+    pub fn handle(&self) -> EdgeHandle {
+        EdgeHandle {
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// Serves until shutdown is requested, then drains and returns the
+    /// final accounting. Queries run on `cfg.workers` threads through
+    /// `server`'s cache and metrics against `backend`; the calling
+    /// thread becomes the event loop.
+    pub fn serve(
+        self,
+        server: &Server,
+        backend: &dyn DistanceBackend,
+    ) -> io::Result<EdgeReport> {
+        let EdgeServer {
+            listener,
+            cfg,
+            shared,
+        } = self;
+        let workers = cfg.workers.max(1);
+        let jobs: BoundedQueue<(Request, Tag)> = BoundedQueue::new(cfg.queue_capacity);
+        let completions: Mutex<Vec<(Tag, Response)>> = Mutex::new(Vec::new());
+
+        let result = std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let jobs = &jobs;
+                let completions = &completions;
+                let shared = &shared;
+                scope.spawn(move || {
+                    server.serve_queue(backend, jobs, |tag, resp| {
+                        let mut done = completions.lock().unwrap();
+                        let was_empty = done.is_empty();
+                        done.push((tag, resp));
+                        drop(done);
+                        // A non-empty list already has a wake pending;
+                        // skipping the syscall batches completions.
+                        if was_empty {
+                            shared.waker.wake();
+                        }
+                    });
+                });
+            }
+
+            let mut ev_loop = EventLoop {
+                cfg: &cfg,
+                listener: Some(listener),
+                poller: Poller::new(cfg.poller)?,
+                shared: &shared,
+                server,
+                jobs: &jobs,
+                completions: &completions,
+                conns: HashMap::new(),
+                next_token: FIRST_CONN,
+                in_flight: 0,
+                failed_tags: std::collections::HashSet::new(),
+                next_req_id: 0,
+                num_nodes: backend.num_nodes(),
+                jobs_closed: false,
+            };
+            let out = ev_loop.run();
+            // Whatever happened in the loop, release the workers.
+            jobs.close();
+            out
+        });
+
+        // Fold final queue saturation into the serving metrics so
+        // report consumers (BENCH JSON, /metrics scrapes of a later
+        // incarnation) see it.
+        server.metrics().record_queue(&jobs);
+
+        result.map(|()| {
+            let m = &shared.metrics;
+            EdgeReport {
+                responses_by_status: STATUSES.iter().map(|&s| (s, m.responses(s))).collect(),
+                connections: m.connections(),
+                shed_connections: m.shed_connections(),
+                rejected: jobs.rejected(),
+                queue_high_water: jobs.high_water(),
+                bytes_in: m.bytes_in(),
+                bytes_out: m.bytes_out(),
+                timeouts: m.timeouts(),
+                poller: cfg.poller.name(),
+            }
+        })
+    }
+}
+
+/// Everything the event loop touches, borrowed for the scope of one
+/// [`EdgeServer::serve`] call.
+struct EventLoop<'a> {
+    cfg: &'a EdgeConfig,
+    listener: Option<TcpListener>,
+    poller: Poller,
+    shared: &'a Shared,
+    server: &'a Server,
+    jobs: &'a BoundedQueue<(Request, Tag)>,
+    completions: &'a Mutex<Vec<(Tag, Response)>>,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    /// Requests admitted to the queue whose completions are still due.
+    in_flight: usize,
+    /// Tags answered 503 by [`EventLoop::fail_waiting_slots`] (worker
+    /// crash); their late completions must not be double-counted.
+    failed_tags: std::collections::HashSet<Tag>,
+    next_req_id: u64,
+    num_nodes: usize,
+    jobs_closed: bool,
+}
+
+impl EventLoop<'_> {
+    fn run(&mut self) -> io::Result<()> {
+        let listener_fd = self.listener.as_ref().unwrap().as_raw_fd();
+        self.poller.register(listener_fd, LISTENER, true, false)?;
+        self.poller
+            .register(self.shared.waker.read_fd(), WAKER, true, false)?;
+
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            if !self.jobs_closed && self.jobs.is_closed() {
+                // We did not close the queue, so a worker's panic guard
+                // did (see `Server::serve_queue`). Completions for the
+                // waiting slots may never arrive: answer them 503 and
+                // drain what can still be flushed — the worker's panic
+                // then propagates when the thread scope joins.
+                self.jobs_closed = true;
+                self.fail_waiting_slots();
+                self.shared.stop.store(true, Ordering::Relaxed);
+            }
+            if self.shared.stop.load(Ordering::Relaxed) {
+                self.enter_drain()?;
+                if self.conns.is_empty() {
+                    break;
+                }
+            }
+            self.poller.wait(&mut events, 50)?;
+            let now = Instant::now();
+            for i in 0..events.len() {
+                let ev = events[i];
+                match ev.token {
+                    LISTENER => self.accept_ready(now)?,
+                    WAKER => self.shared.waker.drain(),
+                    token => self.service_conn(token, ev, now)?,
+                }
+            }
+            self.drain_completions(now)?;
+            self.sweep_timeouts(now)?;
+        }
+        Ok(())
+    }
+
+    /// Transition into draining: close the listener, stop reading every
+    /// socket, close the job queue (workers drain the backlog), and
+    /// schedule every connection to close once flushed.
+    fn enter_drain(&mut self) -> io::Result<()> {
+        if let Some(listener) = self.listener.take() {
+            self.poller.deregister(listener.as_raw_fd())?;
+            // Dropped here: pending SYNs get RST, new clients see ECONNREFUSED.
+        }
+        if !self.jobs_closed {
+            self.jobs.close();
+            self.jobs_closed = true;
+        }
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        let now = Instant::now();
+        for token in tokens {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.read_shut = true;
+                conn.close_after_flush = true;
+            }
+            self.pump_and_settle(token, now)?;
+        }
+        Ok(())
+    }
+
+    /// Emergency path for a crashed worker pool: every slot still
+    /// waiting on a completion is answered `503` so its connection can
+    /// flush and close instead of hanging on an answer that will never
+    /// come. Only the first failed slot per connection is counted as a
+    /// response — the `Connection: close` it carries discards everything
+    /// pipelined behind it, so later 503s are never delivered. Failed
+    /// tags are remembered so a surviving worker's late completion for
+    /// one of them does not decrement `in_flight` a second time.
+    fn fail_waiting_slots(&mut self) {
+        for (&token, conn) in &mut self.conns {
+            let mut first_on_conn = true;
+            for slot in &mut conn.slots {
+                if matches!(slot.state, SlotState::Waiting { .. }) {
+                    if first_on_conn {
+                        self.shared.metrics.count_response(503);
+                        first_on_conn = false;
+                    }
+                    let body = http::json_error("backend failure");
+                    slot.keep_alive = false;
+                    slot.state = SlotState::Ready(http::response(
+                        503,
+                        "application/json",
+                        &body,
+                        false,
+                        &[],
+                    ));
+                    self.in_flight = self.in_flight.saturating_sub(1);
+                    self.failed_tags.insert((token, slot.id));
+                }
+            }
+        }
+    }
+
+    fn accept_ready(&mut self, now: Instant) -> io::Result<()> {
+        loop {
+            let Some(listener) = self.listener.as_ref() else {
+                return Ok(());
+            };
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    if self.conns.len() >= self.cfg.max_connections {
+                        // Shed at the door: best-effort 503, then close.
+                        self.shared
+                            .metrics
+                            .shed_connections
+                            .fetch_add(1, Ordering::Relaxed);
+                        self.shared.metrics.count_response(503);
+                        let _ = stream.set_nonblocking(true);
+                        let body = http::json_error("connection limit reached");
+                        let retry = self.cfg.retry_after_secs.to_string();
+                        let resp = http::response(
+                            503,
+                            "application/json",
+                            &body,
+                            false,
+                            &[("Retry-After", &retry)],
+                        );
+                        let _ = (&stream).write(&resp);
+                        continue;
+                    }
+                    stream.set_nonblocking(true)?;
+                    let _ = stream.set_nodelay(true);
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    self.poller.register(stream.as_raw_fd(), token, true, false)?;
+                    self.conns.insert(token, Conn::new(stream, now));
+                    self.shared
+                        .metrics
+                        .connections
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // Anything else — ECONNABORTED (transient, safe to retry
+                // next tick) but also EMFILE/ENFILE, where accept fails
+                // *without* dequeuing the pending connection. Return to
+                // the event loop instead of retrying inline: the
+                // level-triggered poller re-offers the listener next
+                // wait, so existing connections keep being serviced
+                // instead of livelocking in this accept loop.
+                Err(_) => return Ok(()),
+            }
+        }
+    }
+
+    /// Handles one readiness event for a connection: write what can be
+    /// written, read and parse what arrived, then settle registration
+    /// and close-state.
+    fn service_conn(&mut self, token: u64, ev: Event, now: Instant) -> io::Result<()> {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return Ok(()); // closed earlier in this batch
+        };
+
+        if ev.hangup && conn.read_shut {
+            // The kernel reports errors/hangups even with an empty
+            // interest set. A read-shut connection will not observe
+            // them through a read, so without this the level-triggered
+            // poller would re-deliver the event every wait (a busy
+            // spin) while a backend completion is still pending. The
+            // peer is gone either way — its response is undeliverable.
+            conn.dead = true;
+        }
+        if ev.writable {
+            pump_write(conn, &self.shared.metrics, now, self.cfg.max_write_backlog);
+        }
+        if ev.readable && !conn.read_shut && !conn.dead {
+            read_some(conn, &self.shared.metrics, now, self.cfg);
+        }
+        self.pump_and_settle(token, now)
+    }
+
+    /// Parses every complete pipelined request buffered on `conn` and
+    /// routes each one (immediate response, or admission to the queue).
+    /// Consumed bytes are tracked as an offset and drained from the
+    /// read buffer once at the end — one memmove per pass, not one per
+    /// request, so deep pipelined bursts parse in linear time.
+    fn parse_conn(&mut self, token: u64, stopping: bool) {
+        let mut pos = 0usize;
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return; // connection gone; its buffers went with it
+            };
+            if conn.dead
+                || conn.close_after_flush
+                || stopping
+                || conn.slots.len() >= self.cfg.max_pipeline
+            {
+                break;
+            }
+            match http::parse_request(&conn.rbuf[pos..], &self.cfg.limits) {
+                ParseOutcome::Incomplete => {
+                    if conn.read_shut && conn.rbuf.len() > pos {
+                        // Peer half-closed mid-request: nothing to answer.
+                        conn.rbuf.clear();
+                        pos = 0;
+                        conn.close_after_flush = true;
+                    }
+                    break;
+                }
+                ParseOutcome::Error(err) => {
+                    // answer_parse_error clears the whole buffer.
+                    pos = 0;
+                    self.answer_parse_error(token, err);
+                    break;
+                }
+                ParseOutcome::Request(req) => {
+                    pos += req.consumed;
+                    let keep = req.keep_alive;
+                    self.route(token, req);
+                    if !keep {
+                        if let Some(conn) = self.conns.get_mut(&token) {
+                            conn.read_shut = true;
+                            conn.close_after_flush = true;
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        if pos > 0 {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.rbuf.drain(..pos);
+            }
+        }
+    }
+
+    /// Fatal framing error: answer with its status and schedule close —
+    /// request boundaries can no longer be trusted.
+    fn answer_parse_error(&mut self, token: u64, err: HttpError) {
+        let status = err.status();
+        self.shared.metrics.count_response(status);
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let body = http::json_error(err.detail());
+        conn.push_ready(
+            false,
+            http::response(status, "application/json", &body, false, &[]),
+        );
+        conn.rbuf.clear();
+        conn.read_shut = true;
+        conn.close_after_flush = true;
+    }
+
+    /// Routes one well-framed request: answer immediately (health,
+    /// metrics, admin, errors) or admit a query to the job queue —
+    /// rejecting with `429 Retry-After` when the admission window is
+    /// full.
+    fn route(&mut self, token: u64, req: http::ParsedRequest) {
+        let keep = req.keep_alive;
+        let path = http::path_of(&req.target);
+
+        if req.method != "GET" {
+            self.respond_now(token, 405, keep, http::json_error("only GET is supported"));
+            return;
+        }
+        match path {
+            "/healthz" => {
+                let body = format!(
+                    "{{\"status\":\"ok\",\"nodes\":{},\"open_connections\":{}}}",
+                    self.num_nodes,
+                    self.conns.len()
+                )
+                .into_bytes();
+                self.respond_now(token, 200, keep, body);
+            }
+            "/metrics" => {
+                let body = self.render_metrics().into_bytes();
+                self.shared.metrics.count_response(200);
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.push_ready(
+                        keep,
+                        http::response(200, "text/plain; version=0.0.4", &body, keep, &[]),
+                    );
+                }
+            }
+            "/admin/shutdown" if self.cfg.allow_shutdown => {
+                self.shared.stop.store(true, Ordering::Relaxed);
+                self.respond_now(token, 200, keep, b"{\"status\":\"draining\"}".to_vec());
+            }
+            "/v1/distance" | "/v1/path" => {
+                let is_path = path == "/v1/path";
+                let (src, dst) = match (
+                    http::query_param(&req.target, "src").and_then(|v| v.parse::<u32>().ok()),
+                    http::query_param(&req.target, "dst").and_then(|v| v.parse::<u32>().ok()),
+                ) {
+                    (Some(s), Some(d)) => (s, d),
+                    _ => {
+                        // Well-framed but unusable: answer 400 and keep
+                        // the connection (framing is intact).
+                        self.respond_now(
+                            token,
+                            400,
+                            keep,
+                            http::json_error("src and dst must be u32 query parameters"),
+                        );
+                        return;
+                    }
+                };
+                self.admit(token, src, dst, is_path, keep);
+            }
+            _ => {
+                self.respond_now(token, 404, keep, http::json_error("unknown path"));
+            }
+        }
+    }
+
+    /// Admission control: claim a pipeline slot and try to enqueue; a
+    /// full queue turns the slot into an immediate `429`.
+    fn admit(&mut self, token: u64, src: u32, dst: u32, is_path: bool, keep: bool) {
+        let id = self.next_req_id;
+        self.next_req_id += 1;
+        let request = if is_path {
+            Request::path(id, src, dst)
+        } else {
+            Request::distance(id, src, dst)
+        };
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let slot_id = conn.next_slot;
+        conn.next_slot += 1;
+        match self.jobs.try_push((request, (token, slot_id))) {
+            Ok(()) => {
+                self.in_flight += 1;
+                conn.slots.push_back(Slot {
+                    id: slot_id,
+                    keep_alive: keep,
+                    state: SlotState::Waiting { src, dst, is_path },
+                });
+            }
+            Err(TryPushError::Full(_)) => {
+                // The admission window is full: shed *this* request,
+                // keep the connection — the client is told when to come
+                // back. (try_push already counted the rejection.)
+                self.shared.metrics.count_response(429);
+                let retry = self.cfg.retry_after_secs.to_string();
+                let body = http::json_error("server overloaded, retry later");
+                conn.slots.push_back(Slot {
+                    id: slot_id,
+                    keep_alive: keep,
+                    state: SlotState::Ready(http::response(
+                        429,
+                        "application/json",
+                        &body,
+                        keep,
+                        &[("Retry-After", &retry)],
+                    )),
+                });
+            }
+            Err(TryPushError::Closed(_)) => {
+                // Shutting down: this request arrived after the drain
+                // began.
+                self.shared.metrics.count_response(503);
+                let body = http::json_error("shutting down");
+                conn.slots.push_back(Slot {
+                    id: slot_id,
+                    keep_alive: false,
+                    state: SlotState::Ready(http::response(
+                        503,
+                        "application/json",
+                        &body,
+                        false,
+                        &[],
+                    )),
+                });
+                conn.read_shut = true;
+                conn.close_after_flush = true;
+            }
+        }
+    }
+
+    /// Queues an immediate JSON response on the connection.
+    fn respond_now(&mut self, token: u64, status: u16, keep: bool, body: Vec<u8>) {
+        self.shared.metrics.count_response(status);
+        if let Some(conn) = self.conns.get_mut(&token) {
+            conn.push_ready(
+                keep,
+                http::response(status, "application/json", &body, keep, &[]),
+            );
+        }
+    }
+
+    /// Moves worker completions into their slots and flushes the
+    /// affected connections.
+    fn drain_completions(&mut self, now: Instant) -> io::Result<()> {
+        let done = std::mem::take(&mut *self.completions.lock().unwrap());
+        if done.is_empty() {
+            return Ok(());
+        }
+        let mut touched: Vec<u64> = Vec::with_capacity(done.len());
+        for ((token, slot_id), resp) in done {
+            if self.failed_tags.remove(&(token, slot_id)) {
+                // fail_waiting_slots already answered this slot (503)
+                // and accounted for it; a surviving worker's late
+                // completion must not decrement in_flight again.
+                continue;
+            }
+            self.in_flight = self.in_flight.saturating_sub(1);
+            let Some(conn) = self.conns.get_mut(&token) else {
+                continue; // connection died while the query ran
+            };
+            let Some(slot) = conn.slots.iter_mut().find(|s| s.id == slot_id) else {
+                continue;
+            };
+            if let SlotState::Waiting { src, dst, is_path } = slot.state {
+                let body = render_query_json(src, dst, is_path, &resp);
+                slot.state = SlotState::Ready(http::response(
+                    200,
+                    "application/json",
+                    &body,
+                    slot.keep_alive,
+                    &[],
+                ));
+                self.shared.metrics.count_response(200);
+                touched.push(token);
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        for token in touched {
+            self.pump_and_settle(token, now)?;
+        }
+        Ok(())
+    }
+
+    /// Drives a connection as far as it can go without new input —
+    /// alternating flush (which frees pipeline slots) and parse (which
+    /// fills them from buffered bytes) until neither makes progress —
+    /// then reconciles poller interest with what the connection still
+    /// wants, and closes it when it is finished (or dead).
+    ///
+    /// The alternation matters: after the *last* completion of a burst
+    /// flushes, no further event would arrive to parse the rest of a
+    /// deeply pipelined read buffer; looping here is what keeps a
+    /// backlog larger than `max_pipeline` moving.
+    fn pump_and_settle(&mut self, token: u64, now: Instant) -> io::Result<()> {
+        let stopping = self.shared.stop.load(Ordering::Relaxed);
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return Ok(());
+            };
+            let before = (
+                conn.slots.len(),
+                conn.rbuf.len(),
+                conn.wbuf.len() - conn.wpos,
+            );
+            pump_write(conn, &self.shared.metrics, now, self.cfg.max_write_backlog);
+            self.parse_conn(token, stopping);
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return Ok(());
+            };
+            let after = (
+                conn.slots.len(),
+                conn.rbuf.len(),
+                conn.wbuf.len() - conn.wpos,
+            );
+            if before == after {
+                break;
+            }
+        }
+        let conn = self.conns.get_mut(&token).expect("checked in loop");
+        // Start (or clear) the partial-request clock: bytes left in the
+        // read buffer with no request in flight can only be an
+        // incomplete head/body awaiting the rest.
+        if !conn.rbuf.is_empty() && conn.slots.is_empty() && !conn.read_shut {
+            conn.partial_since.get_or_insert(now);
+        } else {
+            conn.partial_since = None;
+        }
+        // Same idea for the write side: the clock runs from when the
+        // backlog appeared, not from the peer's last send.
+        if conn.has_pending_write() {
+            conn.write_stalled_since.get_or_insert(now);
+        } else {
+            conn.write_stalled_since = None;
+        }
+        let finished = conn.drained() && (conn.close_after_flush || conn.read_shut);
+        if conn.dead || finished {
+            let conn = self.conns.remove(&token).unwrap();
+            self.poller.deregister(conn.stream.as_raw_fd())?;
+            self.shared
+                .metrics
+                .connections_closed
+                .fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+
+        let want_read = !conn.read_shut
+            && conn.slots.len() < self.cfg.max_pipeline
+            && conn.rbuf.len() < self.cfg.max_read_backlog
+            && conn.wbuf.len() - conn.wpos < self.cfg.max_write_backlog;
+        let want_write = conn.has_pending_write();
+        if want_read != conn.reg_read || want_write != conn.reg_write {
+            conn.reg_read = want_read;
+            conn.reg_write = want_write;
+            self.poller
+                .modify(conn.stream.as_raw_fd(), token, want_read, want_write)?;
+        }
+        Ok(())
+    }
+
+    /// Enforces read/write/idle timeouts across all connections.
+    fn sweep_timeouts(&mut self, now: Instant) -> io::Result<()> {
+        let mut expired: Vec<(u64, bool)> = Vec::new(); // (token, hard drop)
+        for (&token, conn) in &self.conns {
+            let idle = now.duration_since(conn.last_activity);
+            // The clocks are checked independently — an armed (but not
+            // yet expired) write-stall clock must not shadow the
+            // read-stall check, or a client keeping a token write
+            // backlog alive could trickle a partial request forever.
+            let write_stalled = conn
+                .write_stalled_since
+                .is_some_and(|t0| now.duration_since(t0) > self.cfg.write_timeout);
+            let read_stalled = conn
+                .partial_since
+                .is_some_and(|t0| now.duration_since(t0) > self.cfg.read_timeout);
+            if write_stalled {
+                expired.push((token, true)); // peer stopped reading
+            } else if read_stalled {
+                // Measured from when the partial request *started*, not
+                // from the last byte — trickling bytes buys no time.
+                expired.push((token, false)); // stalled mid-request → 408
+            } else if conn.slots.is_empty()
+                && !conn.has_pending_write()
+                && idle > self.cfg.idle_timeout
+            {
+                expired.push((token, true)); // idle keep-alive, close silently
+            }
+        }
+        for (token, hard) in expired {
+            self.shared.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+            if hard {
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.dead = true;
+                }
+            } else {
+                self.shared.metrics.count_response(408);
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    if std::env::var_os("AH_EDGE_DEBUG").is_some() {
+                        eprintln!(
+                            "[edge-debug] 408: rbuf={} ({:?}) slots={} wbuf={} reg_read={} reg_write={}",
+                            conn.rbuf.len(),
+                            String::from_utf8_lossy(&conn.rbuf[..conn.rbuf.len().min(80)]),
+                            conn.slots.len(),
+                            conn.wbuf.len() - conn.wpos,
+                            conn.reg_read,
+                            conn.reg_write,
+                        );
+                    }
+                    let body = http::json_error("request timed out");
+                    conn.push_ready(
+                        false,
+                        http::response(408, "application/json", &body, false, &[]),
+                    );
+                    conn.rbuf.clear();
+                    conn.read_shut = true;
+                    conn.close_after_flush = true;
+                }
+            }
+            self.pump_and_settle(token, now)?;
+        }
+        Ok(())
+    }
+
+    /// Prometheus-style text exposition: edge counters, admission-queue
+    /// saturation, and the serving engine's lifetime query metrics.
+    fn render_metrics(&self) -> String {
+        let m = &self.shared.metrics;
+        let sm = self.server.metrics();
+        let mut out = String::with_capacity(1024);
+        out.push_str("# TYPE ah_edge_connections_total counter\n");
+        out.push_str(&format!("ah_edge_connections_total {}\n", m.connections()));
+        out.push_str(&format!("ah_edge_connections_open {}\n", self.conns.len()));
+        out.push_str(&format!(
+            "ah_edge_shed_connections_total {}\n",
+            m.shed_connections()
+        ));
+        out.push_str(&format!("ah_edge_timeouts_total {}\n", m.timeouts()));
+        out.push_str(&format!("ah_edge_bytes_in_total {}\n", m.bytes_in()));
+        out.push_str(&format!("ah_edge_bytes_out_total {}\n", m.bytes_out()));
+        out.push_str("# TYPE ah_edge_responses_total counter\n");
+        for &status in &STATUSES {
+            out.push_str(&format!(
+                "ah_edge_responses_total{{code=\"{}\"}} {}\n",
+                status,
+                m.responses(status)
+            ));
+        }
+        out.push_str("# Admission queue (the bounded serving queue).\n");
+        out.push_str(&format!("ah_queue_capacity {}\n", self.jobs.capacity()));
+        out.push_str(&format!("ah_queue_depth {}\n", self.jobs.len()));
+        out.push_str(&format!("ah_queue_high_water {}\n", self.jobs.high_water()));
+        out.push_str(&format!(
+            "ah_queue_rejected_total {}\n",
+            self.jobs.rejected()
+        ));
+        out.push_str(&format!("ah_edge_in_flight {}\n", self.in_flight));
+        out.push_str("# Serving engine (lifetime).\n");
+        out.push_str(&format!(
+            "ah_server_queries_total {}\n",
+            sm.latency.count()
+        ));
+        for (q, label) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+            out.push_str(&format!(
+                "ah_server_query_latency_us{{quantile=\"{}\"}} {:.3}\n",
+                label,
+                sm.latency.quantile_ns(q) / 1e3
+            ));
+        }
+        out.push_str(&format!(
+            "ah_server_cache_hits_total {}\n",
+            sm.cache_hits.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "ah_server_cache_misses_total {}\n",
+            sm.cache_misses.load(Ordering::Relaxed)
+        ));
+        out
+    }
+}
+
+/// Renders the JSON body of a completed query response.
+fn render_query_json(src: u32, dst: u32, is_path: bool, resp: &Response) -> Vec<u8> {
+    let distance = match resp.distance {
+        Some(d) => d.to_string(),
+        None => "null".to_string(),
+    };
+    if is_path {
+        let hops = match resp.hops {
+            Some(h) => h.to_string(),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"src\":{src},\"dst\":{dst},\"distance\":{distance},\"hops\":{hops}}}"
+        )
+        .into_bytes()
+    } else {
+        format!(
+            "{{\"src\":{src},\"dst\":{dst},\"distance\":{distance},\"cache_hit\":{}}}",
+            resp.cache_hit
+        )
+        .into_bytes()
+    }
+}
+
+/// Reads whatever the socket has (until `WouldBlock`, EOF, or a
+/// backlog cap suggests stopping), appending to the connection's parse
+/// buffer. The read-backlog cap also bounds how long one fast sender
+/// can occupy the event loop in a single pass.
+fn read_some(conn: &mut Conn, metrics: &EdgeMetrics, now: Instant, cfg: &EdgeConfig) {
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        if conn.slots.len() >= cfg.max_pipeline || conn.rbuf.len() >= cfg.max_read_backlog {
+            return; // stop reading; TCP back-pressure takes over
+        }
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.read_shut = true;
+                return;
+            }
+            Ok(n) => {
+                metrics.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
+                conn.rbuf.extend_from_slice(&chunk[..n]);
+                conn.last_activity = now;
+                if n < chunk.len() {
+                    return; // drained the socket buffer
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                return;
+            }
+        }
+    }
+}
+
+/// Moves ready front slots into the write buffer (strict pipeline
+/// order) and writes as much as the socket accepts. Slot conversion
+/// stops once the unsent backlog reaches `max_write_backlog`, so a
+/// peer that never reads cannot turn buffered requests into unbounded
+/// response bytes — parked `Ready` slots count against the pipeline
+/// cap, which in turn halts parsing and (via the settle gate) reading.
+fn pump_write(conn: &mut Conn, metrics: &EdgeMetrics, now: Instant, max_write_backlog: usize) {
+    loop {
+        while let Some(front) = conn.slots.front() {
+            if !matches!(front.state, SlotState::Ready(_)) {
+                break;
+            }
+            if conn.wbuf.len() - conn.wpos >= max_write_backlog {
+                break; // backlog cap: leave the slot parked
+            }
+            let slot = conn.slots.pop_front().unwrap();
+            let SlotState::Ready(bytes) = slot.state else {
+                unreachable!()
+            };
+            conn.wbuf.extend_from_slice(&bytes);
+            if !slot.keep_alive {
+                // This response is the last one this connection will
+                // carry; anything the client pipelined after it is
+                // abandoned by protocol.
+                conn.read_shut = true;
+                conn.close_after_flush = true;
+                conn.slots.clear();
+                break;
+            }
+        }
+        if !conn.has_pending_write() {
+            conn.wbuf.clear();
+            conn.wpos = 0;
+            return;
+        }
+        match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+            Ok(0) => {
+                conn.dead = true;
+                return;
+            }
+            Ok(n) => {
+                conn.wpos += n;
+                metrics.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+                conn.last_activity = now;
+                // Any progress restarts the write-stall clock (the
+                // settle pass re-arms it if a backlog remains), so the
+                // write timeout measures *stalls*, not slow-but-steady
+                // consumption.
+                conn.write_stalled_since = None;
+                if !conn.has_pending_write() {
+                    conn.wbuf.clear();
+                    conn.wpos = 0;
+                    // Loop again: more slots may have become movable.
+                    if conn.slots.is_empty() {
+                        return;
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                // Reclaim the flushed prefix before parking: retaining
+                // it would let a long-lived connection's buffer grow
+                // with total bytes sent rather than with its backlog.
+                if conn.wpos > 0 {
+                    conn.wbuf.drain(..conn.wpos);
+                    conn.wpos = 0;
+                }
+                return;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                return;
+            }
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Property-based fuzzing of the incremental HTTP parser (vendored
+//! proptest): arbitrary byte soup, mutated/truncated real requests, and
+//! split-across-reads delivery must never panic, never mis-frame, and
+//! always classify errors as the right status (400 malformed / 431
+//! oversized head / 413 oversized body).
+
+use ah_net::http::{parse_request, HttpError, HttpLimits, ParseOutcome};
+use proptest::prelude::*;
+
+/// A pool of request templates — valid ones, borderline ones, and
+/// broken ones — that mutation starts from.
+const TEMPLATES: &[&[u8]] = &[
+    b"GET /v1/distance?src=1&dst=2 HTTP/1.1\r\nHost: x\r\n\r\n",
+    b"GET /v1/path?src=100&dst=2000 HTTP/1.1\r\nConnection: close\r\n\r\n",
+    b"GET /healthz HTTP/1.0\r\nConnection: keep-alive\r\n\r\n",
+    b"GET / HTTP/1.1\r\n\r\n",
+    b"POST /v1/distance HTTP/1.1\r\nContent-Length: 4\r\n\r\nbody",
+    b"GET /metrics HTTP/1.1\nHost: lf-only\n\n",
+    b"GARBAGE\r\n\r\n",
+    b"GET / HTTP/2.0\r\n\r\n",
+    b"GET / HTTP/1.1\r\nBroken-Header\r\n\r\n",
+    b"GET / HTTP/1.1\r\nContent-Length: banana\r\n\r\n",
+    b"\xff\xfe\x00\x01\r\n\r\n",
+];
+
+/// Exhaustively checks the parser invariants on one input under the
+/// given limits. Returns the outcome for further classification.
+fn check_invariants(input: &[u8], limits: &HttpLimits) -> ParseOutcome {
+    let out = parse_request(input, limits); // must not panic, ever
+    match &out {
+        ParseOutcome::Request(req) => {
+            assert!(req.consumed <= input.len(), "consumed beyond input");
+            assert!(req.consumed > 0, "a request cannot be zero bytes");
+            assert!(!req.method.is_empty());
+            assert!(req.target.starts_with('/'));
+        }
+        ParseOutcome::Error(e) => {
+            assert!(
+                matches!(e.status(), 400 | 413 | 431),
+                "unexpected classification {}",
+                e.status()
+            );
+        }
+        ParseOutcome::Incomplete => {
+            // An incomplete head may not exceed the cap (else it must
+            // have been classified 431) unless a declared body is what
+            // is still missing.
+            if !input.is_empty() {
+                assert!(
+                    input.len() < limits.max_head_bytes + limits.max_body_bytes,
+                    "unbounded buffering: {} bytes still Incomplete",
+                    input.len()
+                );
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Arbitrary byte soup never panics and never classifies outside
+    /// the 400/413/431 set.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(0u8..=255, 0..256)) {
+        check_invariants(&bytes, &HttpLimits::default());
+        // Tight limits hit the cap branches more often.
+        check_invariants(
+            &bytes,
+            &HttpLimits { max_head_bytes: 32, max_body_bytes: 8, max_headers: 2 },
+        );
+    }
+
+    /// Mutated templates (byte flips, truncation, duplication) never
+    /// panic; full valid templates still parse.
+    #[test]
+    fn mutated_requests_never_panic(
+        (tpl, cut, flip_at, flip_to, dup) in (
+            0usize..TEMPLATES.len(),
+            0usize..64,
+            0usize..64,
+            0u8..=255,
+            0usize..3,
+        )
+    ) {
+        let mut bytes = TEMPLATES[tpl].to_vec();
+        if !bytes.is_empty() {
+            let at = flip_at % bytes.len();
+            bytes[at] = flip_to;
+        }
+        let cut = cut % (bytes.len() + 1);
+        bytes.truncate(cut);
+        for _ in 0..dup {
+            let b2 = bytes.clone();
+            bytes.extend_from_slice(&b2);
+        }
+        check_invariants(&bytes, &HttpLimits::default());
+    }
+
+    /// Split-across-reads delivery: feeding any prefix must yield
+    /// Incomplete or an error — never a framed request before its last
+    /// byte arrived — and the full buffer must parse exactly like the
+    /// one-shot parse.
+    #[test]
+    fn truncation_is_prefix_stable(tpl in 0usize..TEMPLATES.len(), cut in 0usize..64) {
+        let full = TEMPLATES[tpl];
+        let limits = HttpLimits::default();
+        let whole = check_invariants(full, &limits);
+        let cut = cut % (full.len() + 1);
+        match check_invariants(&full[..cut], &limits) {
+            ParseOutcome::Request(req) => {
+                // A complete parse from a prefix must be byte-identical
+                // to the full parse (the request really ended there).
+                match whole {
+                    ParseOutcome::Request(w) => prop_assert_eq!(w.consumed, req.consumed),
+                    other => panic!("prefix parsed but full input gave {other:?}"),
+                }
+            }
+            ParseOutcome::Incomplete => {}
+            ParseOutcome::Error(e) => {
+                // Errors visible in a prefix must persist in the full
+                // input (classification is stable as bytes arrive) —
+                // except BodyTooLarge, which can only soften framing
+                // errors… it cannot: assert stability outright.
+                match check_invariants(full, &limits) {
+                    ParseOutcome::Error(_) => {}
+                    other => panic!("prefix errored {e:?} but full input gave {other:?}"),
+                }
+            }
+        }
+    }
+
+    /// Pipelined streams of valid requests frame exactly: repeatedly
+    /// parsing and draining consumes every request, and any split point
+    /// mid-stream stays Incomplete until the boundary arrives.
+    #[test]
+    fn pipelined_framing_is_exact(
+        picks in proptest::collection::vec(0usize..5, 1..6),
+        split in 0usize..512,
+    ) {
+        // Only well-formed templates here (the first five are valid).
+        let mut stream = Vec::new();
+        let mut boundaries = Vec::new();
+        for &p in &picks {
+            stream.extend_from_slice(TEMPLATES[p]);
+            boundaries.push(stream.len());
+        }
+        let limits = HttpLimits::default();
+
+        // Whole-stream framing: each parse consumes exactly one
+        // template.
+        let mut off = 0;
+        for (i, &end) in boundaries.iter().enumerate() {
+            match parse_request(&stream[off..], &limits) {
+                ParseOutcome::Request(req) => {
+                    prop_assert_eq!(off + req.consumed, end, "request {} misframed", i);
+                    off = end;
+                }
+                other => panic!("request {i} did not parse: {other:?}"),
+            }
+        }
+        prop_assert_eq!(off, stream.len());
+
+        // Split delivery: a prefix cut anywhere inside request k parses
+        // requests 0..k fully and reports Incomplete for the tail.
+        let split = split % (stream.len() + 1);
+        let mut off = 0;
+        loop {
+            match parse_request(&stream[off..split], &limits) {
+                ParseOutcome::Request(req) => {
+                    let end = off + req.consumed;
+                    prop_assert!(
+                        boundaries.contains(&end),
+                        "split parse ended at {} which is not a boundary",
+                        end
+                    );
+                    off = end;
+                }
+                ParseOutcome::Incomplete => break,
+                ParseOutcome::Error(e) => panic!("valid stream classified {e:?}"),
+            }
+            if off == split {
+                break;
+            }
+        }
+    }
+}
+
+/// Non-proptest spot checks of the exact classification table (the
+/// fuzz cases above assert "no panic + sane class"; these pin the
+/// specific statuses the edge documents in docs/EDGE.md).
+#[test]
+fn classification_table() {
+    let limits = HttpLimits::default();
+    let cases: &[(&[u8], u16)] = &[
+        (b"BAD\rLINE\r\n\r\n", 400),
+        (b"GET / HTTP/9.9\r\n\r\n", 400),
+        (b"GET / HTTP/1.1\r\nNo-Colon\r\n\r\n", 400),
+        (b"POST / HTTP/1.1\r\nContent-Length: 1000000\r\n\r\n", 413),
+    ];
+    for (input, want) in cases {
+        match parse_request(input, &limits) {
+            ParseOutcome::Error(e) => assert_eq!(e.status(), *want, "{:?}", e),
+            other => panic!("{:?} → {other:?}", String::from_utf8_lossy(input)),
+        }
+    }
+    // 431 from the cap.
+    let tight = HttpLimits {
+        max_head_bytes: 40,
+        ..Default::default()
+    };
+    assert!(matches!(
+        parse_request(
+            b"GET /a/very/long/path/exceeding/everything HTTP/1.1\r\n\r\n",
+            &tight
+        ),
+        ParseOutcome::Error(HttpError::HeadersTooLarge)
+    ));
+}

@@ -179,6 +179,59 @@ impl BackendSession for DijkstraSession<'_> {
     }
 }
 
+/// Wraps any backend and sleeps a fixed delay before each query — a
+/// fault-injection stand-in for heavier backends (bigger networks,
+/// remote shards). The network edge's CI smoke uses it to make
+/// overload deterministic: with a known per-query cost, a burst larger
+/// than the admission window *must* shed `429`s.
+pub struct DelayBackend<'a> {
+    inner: &'a dyn DistanceBackend,
+    delay: std::time::Duration,
+}
+
+impl<'a> DelayBackend<'a> {
+    /// Serves through `inner`, sleeping `delay` before every query.
+    pub fn new(inner: &'a dyn DistanceBackend, delay: std::time::Duration) -> Self {
+        DelayBackend { inner, delay }
+    }
+}
+
+impl DistanceBackend for DelayBackend<'_> {
+    fn name(&self) -> &'static str {
+        // The wrapped backend's identity matters more in reports than
+        // the fact of the delay (which callers log separately).
+        self.inner.name()
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.inner.num_nodes()
+    }
+
+    fn make_session(&self) -> Box<dyn BackendSession + '_> {
+        Box::new(DelaySession {
+            inner: self.inner.make_session(),
+            delay: self.delay,
+        })
+    }
+}
+
+struct DelaySession<'a> {
+    inner: Box<dyn BackendSession + 'a>,
+    delay: std::time::Duration,
+}
+
+impl BackendSession for DelaySession<'_> {
+    fn distance(&mut self, s: NodeId, t: NodeId) -> Option<u64> {
+        std::thread::sleep(self.delay);
+        self.inner.distance(s, t)
+    }
+
+    fn path(&mut self, s: NodeId, t: NodeId) -> Option<Path> {
+        std::thread::sleep(self.delay);
+        self.inner.path(s, t)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,6 +260,21 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn delay_backend_answers_identically_just_slower() {
+        let g = ah_data::fixtures::ring(10);
+        let plain = DijkstraBackend::new(&g);
+        let delayed = DelayBackend::new(&plain, std::time::Duration::from_millis(2));
+        assert_eq!(delayed.num_nodes(), 10);
+        let mut s = delayed.make_session();
+        let t0 = std::time::Instant::now();
+        assert_eq!(
+            s.distance(0, 5),
+            dijkstra_distance(&g, 0, 5).map(|d| d.length)
+        );
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(2));
     }
 
     #[test]

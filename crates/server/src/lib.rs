@@ -54,10 +54,12 @@ mod server;
 mod sharded;
 mod snapshot;
 
-pub use backend::{AhBackend, BackendSession, ChBackend, DijkstraBackend, DistanceBackend};
+pub use backend::{
+    AhBackend, BackendSession, ChBackend, DelayBackend, DijkstraBackend, DistanceBackend,
+};
 pub use cache::{DistanceCache, NUM_SHARDS};
 pub use metrics::{LatencyHistogram, MetricsSnapshot, ServerMetrics};
-pub use queue::BoundedQueue;
+pub use queue::{BoundedQueue, TryPushError};
 pub use server::{QueryKind, Request, Response, RunReport, Server, ServerConfig};
 pub use sharded::{
     ShardLaneReport, ShardedBackend, ShardedRunReport, ShardedServer, ShardedServerConfig,

@@ -112,6 +112,17 @@ pub struct ServerMetrics {
     pub cache_hits: AtomicU64,
     /// Distance queries that went to the backend.
     pub cache_misses: AtomicU64,
+    /// Requests refused at admission because the bounded queue was full
+    /// (the edge answers these with 429). Always 0 for closed-loop runs,
+    /// whose feeder blocks instead of rejecting.
+    pub rejected: AtomicU64,
+    /// Deepest the request queue has been — saturation headroom. A
+    /// high-water mark at the queue's capacity means admission control
+    /// engaged (or was one request away from engaging).
+    pub queue_high_water: AtomicU64,
+    /// Queue depth when the metrics were last sampled (a gauge, not a
+    /// counter; 0 after a drained run).
+    pub queue_depth: AtomicU64,
 }
 
 impl ServerMetrics {
@@ -121,13 +132,37 @@ impl ServerMetrics {
     }
 
     /// Folds another metrics object's counts into this one (used to roll a
-    /// per-run measurement into the server's lifetime totals).
+    /// per-run measurement into the server's lifetime totals). Counters
+    /// add; the queue high-water takes the max of the two marks and the
+    /// depth gauge takes the other's (more recent) sample.
     pub fn merge_from(&self, other: &ServerMetrics) {
         self.latency.merge(&other.latency);
         self.cache_hits
             .fetch_add(other.cache_hits.load(Ordering::Relaxed), Ordering::Relaxed);
         self.cache_misses
             .fetch_add(other.cache_misses.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.rejected
+            .fetch_add(other.rejected.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.queue_high_water.fetch_max(
+            other.queue_high_water.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        self.queue_depth
+            .store(other.queue_depth.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Folds a queue's saturation state into the metrics: the depth
+    /// gauge is overwritten, the high-water mark maxed, and the
+    /// rejected counter **added**. Call exactly once per queue, at the
+    /// end of its life (a closed-loop run, one edge `serve`): adding
+    /// rather than storing means a server reused across several queues
+    /// accumulates rejections instead of forgetting earlier runs'.
+    pub fn record_queue<T: Send>(&self, queue: &crate::BoundedQueue<T>) {
+        self.queue_depth
+            .store(queue.len() as u64, Ordering::Relaxed);
+        self.queue_high_water
+            .fetch_max(queue.high_water() as u64, Ordering::Relaxed);
+        self.rejected.fetch_add(queue.rejected(), Ordering::Relaxed);
     }
 
     /// Immutable snapshot for reporting.
@@ -154,6 +189,9 @@ impl ServerMetrics {
             } else {
                 0.0
             },
+            rejected: self.rejected.load(Ordering::Relaxed),
+            queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
         }
     }
 }
@@ -182,6 +220,13 @@ pub struct MetricsSnapshot {
     /// `cache_hits / (cache_hits + cache_misses)`, over distance queries
     /// (the only kind that probes the cache).
     pub cache_hit_rate: f64,
+    /// Requests refused at admission (bounded queue full → 429 at the
+    /// edge). 0 for closed-loop runs.
+    pub rejected: u64,
+    /// Deepest the request queue has been.
+    pub queue_high_water: u64,
+    /// Queue depth at sampling time (0 after a drained run).
+    pub queue_depth: u64,
 }
 
 impl MetricsSnapshot {
@@ -193,7 +238,8 @@ impl MetricsSnapshot {
                 "{{\"queries\":{},\"wall_secs\":{:.6},\"qps\":{:.1},",
                 "\"mean_us\":{:.3},\"p50_us\":{:.3},\"p95_us\":{:.3},",
                 "\"p99_us\":{:.3},\"cache_hits\":{},\"cache_misses\":{},",
-                "\"cache_hit_rate\":{:.4}}}"
+                "\"cache_hit_rate\":{:.4},\"rejected\":{},",
+                "\"queue_high_water\":{},\"queue_depth\":{}}}"
             ),
             self.queries,
             self.wall_secs,
@@ -205,6 +251,9 @@ impl MetricsSnapshot {
             self.cache_hits,
             self.cache_misses,
             self.cache_hit_rate,
+            self.rejected,
+            self.queue_high_water,
+            self.queue_depth,
         )
     }
 }
@@ -289,5 +338,28 @@ mod tests {
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"queries\":2"));
         assert!(json.contains("\"cache_hit_rate\":0.5000"));
+        assert!(json.contains("\"rejected\":0"));
+        assert!(json.contains("\"queue_high_water\":0"));
+    }
+
+    #[test]
+    fn record_queue_samples_saturation() {
+        let q: crate::BoundedQueue<u8> = crate::BoundedQueue::new(2);
+        q.push(1);
+        q.push(2);
+        let _ = q.try_push(3); // rejected
+        let m = ServerMetrics::new();
+        m.record_queue(&q);
+        let s = m.snapshot(1.0);
+        assert_eq!(s.queue_depth, 2);
+        assert_eq!(s.queue_high_water, 2);
+        assert_eq!(s.rejected, 1);
+
+        // Merging keeps the deeper high-water mark and adds rejections.
+        let total = ServerMetrics::new();
+        total.queue_high_water.store(5, Ordering::Relaxed);
+        total.merge_from(&m);
+        assert_eq!(total.queue_high_water.load(Ordering::Relaxed), 5);
+        assert_eq!(total.rejected.load(Ordering::Relaxed), 1);
     }
 }

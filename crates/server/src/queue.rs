@@ -10,13 +10,31 @@
 //! acquisition hands a worker up to `max` requests, which keeps lock
 //! traffic negligible even when individual queries take only a few
 //! microseconds.
+//!
+//! Open-loop producers — the network edge, which must *never* block its
+//! event loop — use [`BoundedQueue::try_push`] instead: a full queue
+//! returns the item immediately (admission control's rejection branch)
+//! and is counted in [`BoundedQueue::rejected`]. The queue also tracks
+//! its [`BoundedQueue::high_water`] mark so operators can see how close
+//! to saturation the service ran, not just whether it tipped over.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 
 struct State<T> {
     items: VecDeque<T>,
     closed: bool,
+}
+
+/// Why a [`BoundedQueue::try_push`] did not enqueue; carries the item
+/// back so the producer can answer the caller (e.g. with a 429).
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryPushError<T> {
+    /// The queue is at capacity — admission control should reject.
+    Full(T),
+    /// The queue has been closed — the service is shutting down.
+    Closed(T),
 }
 
 /// Bounded MPMC FIFO channel. `T` crosses threads, hence `T: Send`.
@@ -27,6 +45,10 @@ pub struct BoundedQueue<T: Send> {
     not_empty: Condvar,
     /// Signalled when items are removed (wakes blocked producers).
     not_full: Condvar,
+    /// Deepest the buffer has ever been (saturation telemetry).
+    high_water: AtomicUsize,
+    /// Items refused by [`BoundedQueue::try_push`] on a full queue.
+    rejected: AtomicU64,
 }
 
 impl<T: Send> BoundedQueue<T> {
@@ -40,12 +62,19 @@ impl<T: Send> BoundedQueue<T> {
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
+            high_water: AtomicUsize::new(0),
+            rejected: AtomicU64::new(0),
         }
     }
 
     /// Maximum number of in-flight items.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    #[inline]
+    fn note_depth(&self, depth: usize) {
+        self.high_water.fetch_max(depth, Ordering::Relaxed);
     }
 
     /// Enqueues one item, blocking while the queue is full. Returns `false`
@@ -59,9 +88,32 @@ impl<T: Send> BoundedQueue<T> {
             return false;
         }
         st.items.push_back(item);
+        self.note_depth(st.items.len());
         drop(st);
         self.not_empty.notify_one();
         true
+    }
+
+    /// Enqueues one item *without ever blocking*: a full queue hands the
+    /// item straight back as [`TryPushError::Full`] (and counts it in
+    /// [`BoundedQueue::rejected`]) so the producer can answer the caller
+    /// with an overload response instead of buffering unboundedly. This
+    /// is the admission-control branch the network edge runs on.
+    pub fn try_push(&self, item: T) -> Result<(), TryPushError<T>> {
+        let mut st = self.state.lock().unwrap();
+        if st.closed {
+            return Err(TryPushError::Closed(item));
+        }
+        if st.items.len() >= self.capacity {
+            drop(st);
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(TryPushError::Full(item));
+        }
+        st.items.push_back(item);
+        self.note_depth(st.items.len());
+        drop(st);
+        self.not_empty.notify_one();
+        Ok(())
     }
 
     /// Dequeues up to `max` items into `out`, blocking while the queue is
@@ -85,12 +137,42 @@ impl<T: Send> BoundedQueue<T> {
 
     /// Closes the queue: producers fail fast, consumers drain what remains
     /// and then observe the end of the stream.
+    ///
+    /// This is the *graceful* half of shutdown — everything already
+    /// admitted is still served. See [`BoundedQueue::abort`] for the
+    /// hard stop.
     pub fn close(&self) {
         let mut st = self.state.lock().unwrap();
         st.closed = true;
         drop(st);
         self.not_empty.notify_all();
         self.not_full.notify_all();
+    }
+
+    /// Closes the queue *and discards everything still buffered*,
+    /// returning the dropped items so a caller implementing a hard stop
+    /// can still answer their originators (e.g. with 503s). The network
+    /// edge's graceful drain never calls this — it `close()`s and
+    /// serves the backlog instead; this is the escape hatch for
+    /// supervisors that cannot wait. Consumers observe the end of the
+    /// stream immediately; in-flight batches already popped still
+    /// finish on their workers.
+    pub fn abort(&self) -> Vec<T> {
+        let mut st = self.state.lock().unwrap();
+        st.closed = true;
+        let dropped: Vec<T> = st.items.drain(..).collect();
+        drop(st);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+        dropped
+    }
+
+    /// Whether the queue has been closed (by [`BoundedQueue::close`],
+    /// [`BoundedQueue::abort`], or a dying consumer's panic guard).
+    /// Producers can use this to distinguish an orderly shutdown they
+    /// initiated from a worker crash they must react to.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().unwrap().closed
     }
 
     /// Items currently buffered (diagnostics only; racy by nature).
@@ -101,6 +183,19 @@ impl<T: Send> BoundedQueue<T> {
     /// Whether the buffer is currently empty (diagnostics only).
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Deepest the buffer has ever been — how close the service came to
+    /// saturation even if it never rejected.
+    pub fn high_water(&self) -> usize {
+        self.high_water.load(Ordering::Relaxed)
+    }
+
+    /// Items refused by [`BoundedQueue::try_push`] because the queue was
+    /// full (the operator-visible overload counter; closed-queue
+    /// rejections during shutdown are not counted as overload).
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
     }
 }
 
@@ -174,6 +269,50 @@ mod tests {
         });
         assert_eq!(count.load(Ordering::Relaxed), 400);
         assert_eq!(consumed.load(Ordering::Relaxed), produced);
+    }
+
+    #[test]
+    fn try_push_rejects_on_full_and_counts() {
+        let q = BoundedQueue::new(2);
+        assert!(q.try_push(1u32).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(TryPushError::Full(3)));
+        assert_eq!(q.try_push(4), Err(TryPushError::Full(4)));
+        assert_eq!(q.rejected(), 2);
+        assert_eq!(q.high_water(), 2);
+        let mut out = Vec::new();
+        q.pop_batch(1, &mut out);
+        assert!(q.try_push(5).is_ok(), "slot freed, admission resumes");
+        q.close();
+        // Closed-queue refusals are shutdown, not overload.
+        assert_eq!(q.try_push(6), Err(TryPushError::Closed(6)));
+        assert_eq!(q.rejected(), 2);
+    }
+
+    #[test]
+    fn high_water_tracks_deepest_point() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.push(i);
+        }
+        let mut out = Vec::new();
+        q.pop_batch(5, &mut out);
+        q.push(9);
+        assert_eq!(q.high_water(), 5, "draining must not lower the mark");
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn abort_discards_and_returns_backlog() {
+        let q = BoundedQueue::new(8);
+        for i in 0..4 {
+            q.push(i);
+        }
+        let dropped = q.abort();
+        assert_eq!(dropped, vec![0, 1, 2, 3]);
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(16, &mut out), 0, "consumers see immediate end");
+        assert!(!q.push(9));
     }
 
     #[test]

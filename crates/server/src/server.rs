@@ -218,23 +218,13 @@ impl Server {
                             break;
                         }
                         for req in &batch {
-                            let t0 = Instant::now();
-                            let resp = serve_one(req, num_nodes, session.as_mut(), cache);
-                            let ns = t0.elapsed().as_nanos() as u64;
-                            run_metrics.latency.record_ns(ns);
-                            // Only distance queries probe the cache; path
-                            // requests stay out of the hit/miss ratio so
-                            // the snapshot agrees with the cache's own
-                            // counters.
-                            if req.kind == QueryKind::Distance {
-                                let ctr = if resp.cache_hit {
-                                    &run_metrics.cache_hits
-                                } else {
-                                    &run_metrics.cache_misses
-                                };
-                                ctr.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                            }
-                            local.push(resp);
+                            local.push(timed_serve(
+                                req,
+                                num_nodes,
+                                session.as_mut(),
+                                cache,
+                                run_metrics,
+                            ));
                         }
                     }
                     results.lock().unwrap().append(&mut local);
@@ -254,6 +244,11 @@ impl Server {
         });
         let wall_secs = start.elapsed().as_secs_f64();
 
+        // How saturated did the admission window get? (Closed-loop runs
+        // never reject, but the high-water mark shows how hard the
+        // feeder leaned on the back-pressure.)
+        run_metrics.record_queue(&queue);
+
         // Fold this run's telemetry into the server's lifetime metrics in
         // one step, keeping the per-query loop down to one histogram.
         self.metrics.merge_from(&run_metrics);
@@ -265,6 +260,72 @@ impl Server {
             responses,
             wall_secs,
             snapshot,
+        }
+    }
+
+    /// Open-loop worker entry: drains `queue` until it is closed *and*
+    /// empty, serving each request against `backend` through this
+    /// server's cache and lifetime metrics, and handing every completed
+    /// `(tag, Response)` to `on_done`. The tag is opaque routing state
+    /// (the network edge uses it to find the connection and pipeline
+    /// slot a response belongs to).
+    ///
+    /// This is the backend-session handoff an open service builds on:
+    /// producers admit work with [`BoundedQueue::try_push`] (answering
+    /// overload themselves when it returns `Full`), while one thread per
+    /// worker runs `serve_queue`, each with its own reusable
+    /// [`crate::BackendSession`].
+    ///
+    /// **Graceful-shutdown ordering** — drain before exit, in this
+    /// order, so no accepted request is ever dropped:
+    ///
+    /// 1. the producer stops accepting new work (edge: stops reading
+    ///    sockets, closes its listener);
+    /// 2. [`BoundedQueue::close`] — late producers fail fast, the
+    ///    admitted backlog stays;
+    /// 3. workers drain the backlog and flush their in-flight batches
+    ///    (`pop_batch` keeps returning items after `close` until the
+    ///    buffer is empty), delivering every completion, then return;
+    /// 4. the caller flushes what `on_done` delivered and only then
+    ///    closes connections.
+    ///
+    /// For a hard stop that discards the backlog instead, use
+    /// [`BoundedQueue::abort`] — it returns the dropped items so the
+    /// caller can still answer their originators (e.g. with 503s).
+    /// If this worker (or the backend underneath it) panics, a drop
+    /// guard closes the queue — the same invariant [`Server::run`]
+    /// enforces with its own guards — so producers observe
+    /// [`BoundedQueue::is_closed`] and can fail fast instead of waiting
+    /// forever for completions a dead worker will never deliver.
+    pub fn serve_queue<T: Send>(
+        &self,
+        backend: &dyn DistanceBackend,
+        queue: &BoundedQueue<(Request, T)>,
+        mut on_done: impl FnMut(T, Response),
+    ) {
+        struct CloseOnPanic<'a, T: Send>(&'a BoundedQueue<T>);
+        impl<T: Send> Drop for CloseOnPanic<'_, T> {
+            fn drop(&mut self) {
+                if std::thread::panicking() {
+                    self.0.close();
+                }
+            }
+        }
+        let _guard = CloseOnPanic(queue);
+
+        let num_nodes = backend.num_nodes();
+        let cache = self.cache.as_ref();
+        let mut session = backend.make_session();
+        let mut batch: Vec<(Request, T)> = Vec::with_capacity(self.cfg.batch_size);
+        loop {
+            batch.clear();
+            if queue.pop_batch(self.cfg.batch_size, &mut batch) == 0 {
+                break;
+            }
+            for (req, tag) in batch.drain(..) {
+                let resp = timed_serve(&req, num_nodes, session.as_mut(), cache, &self.metrics);
+                on_done(tag, resp);
+            }
         }
     }
 }
@@ -297,6 +358,33 @@ impl Drop for BarrierOnUnwind<'_> {
             self.barrier.wait();
         }
     }
+}
+
+/// Serves one request and records its latency and cache outcome into
+/// `metrics` — the per-query body shared by the closed-loop worker pool
+/// and the open-loop [`Server::serve_queue`] drain.
+fn timed_serve(
+    req: &Request,
+    num_nodes: usize,
+    session: &mut dyn crate::backend::BackendSession,
+    cache: Option<&DistanceCache>,
+    metrics: &ServerMetrics,
+) -> Response {
+    let t0 = Instant::now();
+    let resp = serve_one(req, num_nodes, session, cache);
+    metrics.latency.record_ns(t0.elapsed().as_nanos() as u64);
+    // Only distance queries probe the cache; path requests stay out of
+    // the hit/miss ratio so the snapshot agrees with the cache's own
+    // counters.
+    if req.kind == QueryKind::Distance {
+        let ctr = if resp.cache_hit {
+            &metrics.cache_hits
+        } else {
+            &metrics.cache_misses
+        };
+        ctr.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+    resp
 }
 
 /// Serves one request on a worker: bounds check, cache probe (distance
@@ -555,6 +643,84 @@ mod tests {
         });
         let reqs: Vec<Request> = (0..64).map(|i| Request::distance(i, 0, 1)).collect();
         let _ = server.run(&PanicBackend, &reqs);
+    }
+
+    #[test]
+    fn serve_queue_drains_backlog_after_close() {
+        // The open-loop drain contract: requests admitted before close()
+        // are all served and completed, even though the queue was closed
+        // while they were still buffered.
+        let g = ah_data::fixtures::lattice(6, 6, 10);
+        let idx = AhIndex::build(&g, &BuildConfig::default());
+        let backend = AhBackend::new(&idx);
+        let server = Server::new(ServerConfig {
+            workers: 2,
+            queue_capacity: 64,
+            cache_capacity: 256,
+            batch_size: 4,
+        });
+        let queue: BoundedQueue<(Request, u64)> = BoundedQueue::new(64);
+        let done = Mutex::new(Vec::new());
+
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                let queue = &queue;
+                let done = &done;
+                let server = &server;
+                let backend = &backend;
+                scope.spawn(move || {
+                    server.serve_queue(backend, queue, |tag, resp| {
+                        done.lock().unwrap().push((tag, resp));
+                    });
+                });
+            }
+            // Admit a backlog, then close *before* it can possibly have
+            // drained; everything admitted must still complete.
+            for id in 0..40u64 {
+                let req = Request::distance(id, (id % 36) as u32, ((id * 7 + 3) % 36) as u32);
+                assert!(queue.push((req, id ^ 0xABCD)));
+            }
+            queue.close();
+        });
+
+        let mut done = done.into_inner().unwrap();
+        assert_eq!(done.len(), 40, "every admitted request completes");
+        done.sort_unstable_by_key(|(_, r)| r.id);
+        for (tag, resp) in &done {
+            assert_eq!(*tag, resp.id ^ 0xABCD, "tags route back unmangled");
+            let want =
+                dijkstra_distance(&g, (resp.id % 36) as u32, ((resp.id * 7 + 3) % 36) as u32)
+                    .map(|d| d.length);
+            assert_eq!(resp.distance, want, "req {}", resp.id);
+        }
+        assert_eq!(server.metrics().latency.count(), 40);
+        // try_push on the closed queue is a shutdown refusal, not overload.
+        let late = Request::distance(99, 0, 1);
+        assert!(matches!(
+            queue.try_push((late, 0)),
+            Err(crate::queue::TryPushError::Closed(_))
+        ));
+        assert_eq!(queue.rejected(), 0);
+    }
+
+    #[test]
+    fn run_reports_queue_saturation() {
+        let g = ah_data::fixtures::ring(16);
+        let backend = DijkstraBackend::new(&g);
+        let server = Server::new(ServerConfig {
+            workers: 1,
+            queue_capacity: 4,
+            cache_capacity: 0,
+            batch_size: 2,
+        });
+        let reqs: Vec<Request> = (0..64)
+            .map(|i| Request::distance(i, (i % 16) as u32, ((i * 5 + 1) % 16) as u32))
+            .collect();
+        let report = server.run(&backend, &reqs);
+        assert!(report.snapshot.queue_high_water >= 1);
+        assert!(report.snapshot.queue_high_water <= 4, "bounded by capacity");
+        assert_eq!(report.snapshot.queue_depth, 0, "drained at end of run");
+        assert_eq!(report.snapshot.rejected, 0, "closed-loop never rejects");
     }
 
     #[test]

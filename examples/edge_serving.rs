@@ -1,0 +1,108 @@
+//! End-to-end **open service** in one file: build a small road network,
+//! index it, put the HTTP edge in front of the serving engine, and
+//! query it over a real loopback socket — printing what a client
+//! actually observes (statuses, bodies, wire latencies), including what
+//! overload looks like when a burst exceeds the admission window.
+//!
+//! ```sh
+//! cargo run --release -p ah_examples --example edge_serving
+//! ```
+
+use std::time::{Duration, Instant};
+
+use ah_core::{AhIndex, BuildConfig};
+use ah_net::blocking;
+use ah_net::{EdgeConfig, EdgeServer};
+use ah_server::{AhBackend, Server, ServerConfig};
+
+fn main() {
+    // 1. A network and its index (a 12×12 lattice keeps this instant).
+    let g = ah_data::fixtures::lattice(12, 12, 15);
+    println!(
+        "network: {} nodes, {} edges; building AH index …",
+        g.num_nodes(),
+        g.num_edges()
+    );
+    let idx = AhIndex::build(&g, &BuildConfig::default());
+    let backend = AhBackend::new(&idx);
+
+    // 2. The serving engine (cache + metrics + workers) and the edge.
+    //    A deliberately small queue makes the overload demo visible.
+    let server = Server::new(ServerConfig::with_workers(2));
+    let edge = EdgeServer::bind(
+        "127.0.0.1:0",
+        EdgeConfig {
+            workers: 2,
+            queue_capacity: 8,
+            ..Default::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = edge.local_addr().unwrap();
+    let handle = edge.handle();
+    println!("edge listening on http://{addr} (queue capacity 8)\n");
+
+    std::thread::scope(|scope| {
+        let serving = scope.spawn(|| edge.serve(&server, &backend));
+
+        // 3. A keep-alive client (`ah_net::blocking`): sequential
+        //    queries with wire latency.
+        let mut c = blocking::Client::connect(addr).expect("connect");
+        c.stream()
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        for (s, t) in [(0u32, 143u32), (5, 77), (143, 0), (0, 143)] {
+            let t0 = Instant::now();
+            let resp = c.get(&format!("/v1/distance?src={s}&dst={t}")).unwrap();
+            println!(
+                "GET /v1/distance?src={s}&dst={t}  → {} {}  ({:.0} µs over the wire)",
+                resp.status,
+                resp.text(),
+                t0.elapsed().as_secs_f64() * 1e6
+            );
+        }
+        // A path query and the health endpoint on the same connection.
+        let resp = c.get("/v1/path?src=0&dst=143").unwrap();
+        println!("GET /v1/path?src=0&dst=143     → {} {}", resp.status, resp.text());
+        let resp = c.get("/healthz").unwrap();
+        println!("GET /healthz                   → {} {}\n", resp.status, resp.text());
+
+        // 4. Overload: pipeline a burst far beyond the queue capacity.
+        //    The edge answers the excess with 429 + Retry-After instead
+        //    of buffering without bound.
+        let mut burst = String::new();
+        for i in 0..64u32 {
+            burst.push_str(&format!(
+                "GET /v1/distance?src={}&dst={} HTTP/1.1\r\nHost: e\r\n\r\n",
+                i % 144,
+                (i * 7 + 3) % 144
+            ));
+        }
+        c.send(burst.as_bytes()).unwrap();
+        let (mut ok, mut shed) = (0, 0);
+        for _ in 0..64 {
+            match c.recv().unwrap().status {
+                200 => ok += 1,
+                429 => shed += 1,
+                other => println!("unexpected status {other}"),
+            }
+        }
+        println!("burst of 64 pipelined requests → {ok} × 200, {shed} × 429 (admission control)");
+
+        // 5. Scrape the operator metrics, then drain gracefully.
+        let metrics = c.get("/metrics").unwrap().text();
+        for line in metrics
+            .lines()
+            .filter(|l| l.starts_with("ah_queue") || l.starts_with("ah_server_query_latency"))
+        {
+            println!("  {line}");
+        }
+
+        handle.shutdown();
+        let report = serving.join().unwrap().expect("serve");
+        println!(
+            "\ndrained: {} connections served, {} rejected at admission, queue high-water {}",
+            report.connections, report.rejected, report.queue_high_water
+        );
+    });
+}

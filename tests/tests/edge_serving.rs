@@ -1,0 +1,206 @@
+//! End-to-end loopback identity for the HTTP edge: distances served
+//! over a real `127.0.0.1` socket must be **bit-equal** to direct
+//! `AhQuery` answers for a randomized Q1–Q10 traffic mix — in both
+//! unsharded and region-sharded (4-shard) modes — and path queries must
+//! carry the same distances. Overload and drain behaviour at the HTTP
+//! layer are covered by `crates/net/tests/edge_loopback.rs`; this suite
+//! pins the *serving identity* across the full stack:
+//!
+//! ```text
+//! TrafficSchedule → HTTP client → EdgeServer → serve_queue workers →
+//! AhBackend / ShardedBackend → JSON → client-parsed distance
+//! ```
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use ah_core::{AhIndex, AhQuery, BuildConfig};
+use ah_net::{EdgeConfig, EdgeServer};
+use ah_server::{AhBackend, DistanceBackend, Server, ServerConfig, ShardedBackend};
+use ah_shard::{ShardConfig, ShardedIndex};
+use ah_workload::{generate_query_sets, TrafficSchedule};
+
+fn network() -> ah_graph::Graph {
+    ah_data::hierarchical_grid(&ah_data::HierarchicalGridConfig {
+        width: 18,
+        height: 18,
+        seed: 4242,
+        ..Default::default()
+    })
+}
+
+/// A Q1–Q10 interactive mix over the network, deterministic in `seed`.
+fn traffic(g: &ah_graph::Graph, total: usize, seed: u64) -> Vec<(u32, u32)> {
+    let sets = generate_query_sets(g, 30, seed);
+    let stream = TrafficSchedule::interactive(total, 0.2, seed).generate(&sets);
+    assert!(!stream.is_empty(), "degenerate workload");
+    stream
+}
+
+/// Runs `client` against an edge serving `backend`, then drains.
+fn with_edge<F: FnOnce(SocketAddr)>(backend: &dyn DistanceBackend, client: F) {
+    let server = Server::new(ServerConfig::with_workers(3));
+    let edge = EdgeServer::bind(
+        "127.0.0.1:0",
+        EdgeConfig {
+            workers: 3,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let addr = edge.local_addr().unwrap();
+    let handle = edge.handle();
+    std::thread::scope(|scope| {
+        let serving = scope.spawn(|| edge.serve(&server, backend));
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| client(addr)));
+        handle.shutdown();
+        serving.join().unwrap().unwrap();
+        if let Err(p) = outcome {
+            std::panic::resume_unwind(p);
+        }
+    });
+}
+
+/// Issues pipelined GETs over one keep-alive connection and returns
+/// the responses (pipeline order == request order; every one must be
+/// a 200).
+fn fetch_responses(addr: SocketAddr, targets: &[String]) -> Vec<ah_net::blocking::Response> {
+    let mut c = ah_net::blocking::Client::connect(addr).unwrap();
+    // Pipeline in bounded windows so huge workloads do not need a
+    // matching server-side pipeline cap.
+    let mut responses = Vec::with_capacity(targets.len());
+    for window in targets.chunks(32) {
+        let mut burst = String::new();
+        for t in window {
+            burst.push_str(&format!("GET {t} HTTP/1.1\r\nHost: i\r\n\r\n"));
+        }
+        c.send(burst.as_bytes()).unwrap();
+        for _ in window {
+            let resp = c.recv().expect("pipelined response");
+            assert_eq!(resp.status, 200, "{}", resp.text());
+            responses.push(resp);
+        }
+    }
+    responses
+}
+
+#[test]
+fn unsharded_http_distances_bit_equal_ahquery_on_q1_q10_mix() {
+    let g = network();
+    let idx = AhIndex::build(&g, &BuildConfig::default());
+    let stream = traffic(&g, 400, 9001);
+    let mut q = AhQuery::new();
+    let want: Vec<Option<u64>> = stream.iter().map(|&(s, t)| q.distance(&idx, s, t)).collect();
+
+    let backend = AhBackend::new(&idx);
+    with_edge(&backend, |addr| {
+        let targets: Vec<String> = stream
+            .iter()
+            .map(|(s, t)| format!("/v1/distance?src={s}&dst={t}"))
+            .collect();
+        let responses = fetch_responses(addr, &targets);
+        for (i, resp) in responses.iter().enumerate() {
+            assert_eq!(
+                resp.distance(),
+                want[i],
+                "pair {:?} over HTTP diverged: {}",
+                stream[i],
+                resp.text()
+            );
+        }
+    });
+}
+
+#[test]
+fn sharded_http_distances_bit_equal_ahquery_on_q1_q10_mix() {
+    let g = network();
+    let global = Arc::new(AhIndex::build(&g, &BuildConfig::default()));
+    let sharded = ShardedIndex::from_global(
+        &g,
+        global.clone(),
+        &ShardConfig {
+            shards: 4,
+            ..Default::default()
+        },
+    );
+    let stream = traffic(&g, 400, 1337);
+    // The mix must genuinely exercise boundary composition.
+    assert!(
+        stream
+            .iter()
+            .any(|&(s, t)| sharded.shard_of(s) != sharded.shard_of(t)),
+        "workload never straddles shards"
+    );
+    let mut q = AhQuery::new();
+    let want: Vec<Option<u64>> = stream
+        .iter()
+        .map(|&(s, t)| q.distance(&global, s, t))
+        .collect();
+
+    let backend = ShardedBackend::new(&sharded);
+    with_edge(&backend, |addr| {
+        let targets: Vec<String> = stream
+            .iter()
+            .map(|(s, t)| format!("/v1/distance?src={s}&dst={t}"))
+            .collect();
+        let responses = fetch_responses(addr, &targets);
+        for (i, resp) in responses.iter().enumerate() {
+            assert_eq!(
+                resp.distance(),
+                want[i],
+                "sharded pair {:?} over HTTP diverged: {}",
+                stream[i],
+                resp.text()
+            );
+        }
+    });
+}
+
+#[test]
+fn http_path_queries_agree_with_distance_queries() {
+    let g = network();
+    let idx = AhIndex::build(&g, &BuildConfig::default());
+    let stream = traffic(&g, 60, 777);
+    let mut q = AhQuery::new();
+
+    let backend = AhBackend::new(&idx);
+    with_edge(&backend, |addr| {
+        let targets: Vec<String> = stream
+            .iter()
+            .map(|(s, t)| format!("/v1/path?src={s}&dst={t}"))
+            .collect();
+        let responses = fetch_responses(addr, &targets);
+        for (i, resp) in responses.iter().enumerate() {
+            let (s, t) = stream[i];
+            let want = q.distance(&idx, s, t);
+            assert_eq!(resp.distance(), want, "path distance for ({s},{t})");
+            if want.is_some() {
+                assert!(resp.text().contains("\"hops\":"), "{}", resp.text());
+            }
+        }
+    });
+}
+
+/// The serving cache is shared across HTTP workers: repeated pairs in
+/// the stream must produce cache hits visible in the JSON responses,
+/// with identical distances either way.
+#[test]
+fn repeated_pairs_hit_the_cache_with_identical_answers() {
+    let g = network();
+    let idx = AhIndex::build(&g, &BuildConfig::default());
+    let backend = AhBackend::new(&idx);
+    with_edge(&backend, |addr| {
+        let targets: Vec<String> = (0..40)
+            .map(|_| "/v1/distance?src=3&dst=200".to_string())
+            .collect();
+        let responses = fetch_responses(addr, &targets);
+        let first = responses[0].distance();
+        assert!(responses.iter().all(|r| r.distance() == first));
+        assert!(
+            responses
+                .iter()
+                .any(|r| r.text().contains("\"cache_hit\":true")),
+            "no cache hit in 40 repeats"
+        );
+    });
+}

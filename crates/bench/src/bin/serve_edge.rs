@@ -13,7 +13,11 @@
 //! # then:  curl 'http://127.0.0.1:8080/v1/distance?src=17&dst=910'
 //! ```
 //!
-//! `--shards K` serves through the region-sharded index
+//! `--backend labels` serves distances from the hub-labeling index
+//! (`ah_labels`; built from the CH order, or loaded from the snapshot's
+//! `labels` section when present) with `/v1/path` delegated to AH —
+//! answers stay bit-equal to the default AH backend. `--shards K`
+//! serves through the region-sharded index
 //! (`ah_shard::ShardedQuery` composition — answers stay bit-equal to
 //! the global AH index). `--queue N` sets the admission window: bursts
 //! beyond it are answered `429 Too Many Requests` with a `Retry-After`
@@ -32,7 +36,7 @@ use std::time::Duration;
 use ah_bench::{obtain_indices, snapshot_path, HarnessArgs};
 use ah_net::{EdgeConfig, EdgeServer};
 use ah_server::{
-    AhBackend, DelayBackend, DistanceBackend, Server, ServerConfig, ShardedBackend,
+    AhBackend, DelayBackend, DistanceBackend, LabelBackend, Server, ServerConfig, ShardedBackend,
 };
 
 struct EdgeArgs {
@@ -44,6 +48,7 @@ struct EdgeArgs {
     slow_us: u64,
     retry_after: u32,
     allow_shutdown: bool,
+    backend: String,
 }
 
 fn parse_args() -> EdgeArgs {
@@ -59,6 +64,7 @@ fn parse_args() -> EdgeArgs {
         slow_us: 0,
         retry_after: 1,
         allow_shutdown: false,
+        backend: "ah".to_string(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -101,14 +107,28 @@ fn parse_args() -> EdgeArgs {
                     .expect("--retry-after needs seconds");
             }
             "--allow-shutdown" => a.allow_shutdown = true,
+            "--backend" => {
+                a.backend = it.next().expect("--backend needs ah|labels");
+                assert!(
+                    matches!(a.backend.as_str(), "ah" | "labels"),
+                    "--backend must be ah or labels (got {})",
+                    a.backend
+                );
+            }
             other => panic!(
                 "unknown argument {other} (try --through SN | --shards K | \
-                 --load-index PATH | --save-index PATH | --addr HOST:PORT | \
-                 --workers N | --queue N | --max-conns N | --slow-us N | \
-                 --retry-after N | --allow-shutdown)"
+                 --backend ah|labels | --load-index PATH | --save-index PATH | \
+                 --addr HOST:PORT | --workers N | --queue N | --max-conns N | \
+                 --slow-us N | --retry-after N | --allow-shutdown)"
             ),
         }
     }
+    assert!(
+        !(a.backend == "labels" && a.harness.shards > 0),
+        "--backend labels and --shards are mutually exclusive"
+    );
+    // The labels backend needs the labeling obtained alongside AH.
+    a.harness.labels |= a.backend == "labels";
     a
 }
 
@@ -126,15 +146,21 @@ fn main() {
         );
     }
 
-    // Pick the backend: sharded composition when requested, global AH
-    // otherwise; optionally slowed for overload rehearsal.
+    // Pick the backend: hub labels under --backend labels, sharded
+    // composition when requested, global AH otherwise; optionally
+    // slowed for overload rehearsal.
     let ah = Arc::clone(&idx.ah);
     let ah_backend = AhBackend::new(&ah);
     let sharded = idx.sharded.clone();
     let sharded_backend = sharded.as_deref().map(ShardedBackend::new);
-    let inner: &dyn DistanceBackend = match &sharded_backend {
-        Some(b) => b,
-        None => &ah_backend,
+    let labels = idx.labels.clone();
+    let label_backend = (args.backend == "labels").then(|| {
+        LabelBackend::new(labels.as_deref().expect("labels obtained for --backend labels"), &ah)
+    });
+    let inner: &dyn DistanceBackend = match (&label_backend, &sharded_backend) {
+        (Some(b), _) => b,
+        (None, Some(b)) => b,
+        (None, None) => &ah_backend,
     };
     let delayed;
     let backend: &dyn DistanceBackend = if args.slow_us > 0 {

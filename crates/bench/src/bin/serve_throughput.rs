@@ -7,8 +7,11 @@
 //!
 //! * a *thread sweep* of the AH backend (1, 2, 4, … up to `--threads`,
 //!   each from a cold cache, same stream), and
-//! * a *backend comparison* (AH vs CH vs bidirectional Dijkstra) at the
-//!   full thread count.
+//! * a *backend comparison* (AH vs CH vs bidirectional Dijkstra vs hub
+//!   labels) at the full thread count. Every comparison row carries the
+//!   backend's direct single-session `query_ns` on the same mix, and the
+//!   `labels` row additionally reports label shape and build cost
+//!   (`avg_label_entries`, `bytes_per_node`, `build_secs`).
 //!
 //! Results go to stdout and, machine-readably, to `BENCH_server.json`
 //! (override the path with the `SERVE_BENCH_OUT` environment variable) so
@@ -34,10 +37,10 @@
 //!     --through S2 --pairs 100 --threads 4 --load-index idx.snap
 //! ```
 
-use ah_bench::{load_dataset, obtain_indices, HarnessArgs};
+use ah_bench::{load_dataset, obtain_indices, time_query_set, HarnessArgs};
 use ah_server::{
-    AhBackend, ChBackend, DijkstraBackend, DistanceBackend, Request, RunReport, Server,
-    ServerConfig, ShardedRunReport, ShardedServer, ShardedServerConfig,
+    AhBackend, ChBackend, DijkstraBackend, DistanceBackend, LabelBackend, Request, RunReport,
+    Server, ServerConfig, ShardedRunReport, ShardedServer, ShardedServerConfig,
 };
 use ah_workload::TrafficSchedule;
 
@@ -49,15 +52,20 @@ struct Row {
     backend: &'static str,
     threads: usize,
     report: RunReport,
+    /// Extra JSON fields (each starting with a comma), appended after
+    /// the snapshot — the backend comparison uses this for `query_ns`
+    /// and the labels row's shape/build stats.
+    extra: String,
 }
 
 impl Row {
     fn to_json(&self) -> String {
         format!(
-            "{{\"backend\":\"{}\",\"threads\":{},\"snapshot\":{}}}",
+            "{{\"backend\":\"{}\",\"threads\":{},\"snapshot\":{}{}}}",
             self.backend,
             self.threads,
-            self.report.snapshot.to_json()
+            self.report.snapshot.to_json(),
+            self.extra
         )
     }
 }
@@ -99,6 +107,7 @@ fn run_one(
         backend: backend.name(),
         threads,
         report,
+        extra: String::new(),
     }
 }
 
@@ -165,7 +174,9 @@ fn print_row(r: &Row) {
 }
 
 fn main() {
-    let args = HarnessArgs::parse();
+    let mut args = HarnessArgs::parse();
+    // The backend comparison always includes hub labels.
+    args.labels = true;
     let spec = *args.datasets().last().expect("registry is non-empty");
     let hardware = std::thread::available_parallelism().map_or(1, |p| p.get());
 
@@ -192,9 +203,14 @@ fn main() {
         requests.len()
     );
 
+    let labels = idx
+        .labels
+        .clone()
+        .expect("serve_throughput always obtains labels");
     let ah_backend = AhBackend::new(&ah);
     let ch_backend = ChBackend::new(&ch);
     let dij_backend = DijkstraBackend::new(&ds.graph);
+    let labels_backend = LabelBackend::new(&labels, &ah);
 
     println!(
         "\n{} (n = {n}): serving throughput, {} requests, repeat fraction {REPEAT_FRACTION}",
@@ -218,14 +234,31 @@ fn main() {
     let qps_max = sweep_rows.last().map_or(0.0, |r| r.report.snapshot.qps);
     let speedup = if qps_1 > 0.0 { qps_max / qps_1 } else { 0.0 };
 
-    // Backend comparison at full width.
+    // Backend comparison at full width. Each row also records the
+    // direct single-session per-query cost on the same mix (no pool, no
+    // cache), which is what "label query path vs AH distance path"
+    // means at the engine level.
     let mut backend_rows = Vec::new();
     for backend in [
         &ah_backend as &dyn DistanceBackend,
         &ch_backend,
         &dij_backend,
+        &labels_backend,
     ] {
-        let row = run_one(backend, args.threads, &requests);
+        let mut row = run_one(backend, args.threads, &requests);
+        let mut session = backend.make_session();
+        let query_ns =
+            time_query_set(&stream, |s, t| session.distance(s, t).unwrap_or(0)) * 1e3;
+        row.extra = format!(",\"query_ns\":{query_ns:.1}");
+        if backend.name() == "labels" {
+            let st = labels.stats();
+            row.extra.push_str(&format!(
+                ",\"avg_label_entries\":{:.2},\"bytes_per_node\":{:.1},\"build_secs\":{:.3}",
+                st.avg_label_entries,
+                st.bytes as f64 / st.num_nodes.max(1) as f64,
+                idx.labels_secs
+            ));
+        }
         print_row(&row);
         backend_rows.push(row);
     }

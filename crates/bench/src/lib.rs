@@ -12,6 +12,7 @@ use std::time::Instant;
 use ah_ch::ChIndex;
 use ah_core::AhIndex;
 use ah_graph::Graph;
+use ah_labels::LabelIndex;
 use ah_shard::{ShardConfig, ShardedIndex};
 use ah_store::{Snapshot, SnapshotContents};
 use ah_workload::{QuerySet, SeriesRecord};
@@ -35,6 +36,11 @@ pub struct HarnessArgs {
     /// Region shards for sharded serving (`serve_throughput`); `0`
     /// (the default) disables the sharded run entirely.
     pub shards: usize,
+    /// Also obtain a hub-labeling index (`--labels`; `serve_throughput`
+    /// turns this on unconditionally for its backend comparison, and
+    /// `serve_edge --backend labels` implies it). Off by default so the
+    /// figure binaries never pay a labeling build on the large datasets.
+    pub labels: bool,
     /// Base path to save built indexes to, as an `ah_store` snapshot per
     /// dataset (see [`snapshot_path`]). `None` skips saving.
     pub save_index: Option<String>,
@@ -52,6 +58,7 @@ impl Default for HarnessArgs {
             seed: 0xF16,
             threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
             shards: 0,
+            labels: false,
             save_index: None,
             load_index: None,
         }
@@ -68,7 +75,8 @@ impl HarnessArgs {
             if !args.accept(&a, &mut it) {
                 panic!(
                     "unknown argument {a} (try --through S9 | --pairs N | --seed N | \
-                     --threads N | --shards K | --save-index PATH | --load-index PATH)"
+                     --threads N | --shards K | --labels | --save-index PATH | \
+                     --load-index PATH)"
                 );
             }
         }
@@ -112,6 +120,9 @@ impl HarnessArgs {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .expect("--shards needs a number (0 disables sharding)");
+            }
+            "--labels" => {
+                self.labels = true;
             }
             "--save-index" => {
                 self.save_index = Some(it.next().expect("--save-index needs a path"));
@@ -159,6 +170,10 @@ pub struct ObtainedIndices {
     pub ch: ChIndex,
     /// The region-sharded index, present iff `--shards K` with `K > 0`.
     pub sharded: Option<Arc<ShardedIndex>>,
+    /// The hub-labeling index, present iff `--labels` (or a bin implied
+    /// it). Built over the CH contraction order when not loadable from
+    /// the snapshot.
+    pub labels: Option<Arc<LabelIndex>>,
     /// Seconds spent obtaining the AH index — build time, or (near-zero)
     /// snapshot load time when `--load-index` was given.
     pub ah_secs: f64,
@@ -168,6 +183,9 @@ pub struct ObtainedIndices {
     /// Seconds spent obtaining the sharded index (0 when disabled or
     /// loaded).
     pub sharded_secs: f64,
+    /// Seconds spent obtaining the labeling (0 when disabled or loaded;
+    /// build time when the snapshot predates the labels section).
+    pub labels_secs: f64,
     /// True if the indexes came from a snapshot instead of a build.
     pub loaded: bool,
 }
@@ -247,19 +265,42 @@ pub fn obtain_indices(
         } else {
             None
         };
+        let (labels, labels_secs) = if args.labels {
+            match snapshot.labels {
+                Some(l) => (Some(l), 0.0),
+                None => {
+                    // Older snapshot without a labels section: build from
+                    // the loaded CH order rather than refusing the file.
+                    let (l, secs) =
+                        time_once(|| Arc::new(LabelIndex::build(g, ch.order())));
+                    eprintln!(
+                        "[{tag}] {}: snapshot {} has no labels section — built labels \
+                         from the CH order in {secs:.1}s (re-save with --labels to persist)",
+                        spec.name,
+                        path.display()
+                    );
+                    (Some(l), secs)
+                }
+            }
+        } else {
+            (None, 0.0)
+        };
         eprintln!(
-            "[{tag}] {}: loaded AH + CH{} from {} in {load_secs:.3}s (build skipped)",
+            "[{tag}] {}: loaded AH + CH{}{} from {} in {load_secs:.3}s (build skipped)",
             spec.name,
             if sharded.is_some() { " + shards" } else { "" },
+            if labels.is_some() { " + labels" } else { "" },
             path.display()
         );
         return ObtainedIndices {
             ah,
             ch,
             sharded,
+            labels,
             ah_secs: load_secs,
             ch_secs: 0.0,
             sharded_secs: 0.0,
+            labels_secs,
             loaded: true,
         };
     }
@@ -284,18 +325,36 @@ pub fn obtain_indices(
     } else {
         (None, 0.0)
     };
+    let (labels, labels_secs) = if args.labels {
+        let (l, secs) = time_once(|| Arc::new(LabelIndex::build(g, ch.order())));
+        let stats = l.stats();
+        eprintln!(
+            "[{tag}] {}: labeled over the CH order in {secs:.1}s \
+             ({:.1} entries/node, {:.1} KiB)",
+            spec.name,
+            stats.avg_label_entries,
+            stats.bytes as f64 / 1024.0
+        );
+        (Some(l), secs)
+    } else {
+        (None, 0.0)
+    };
     if let Some(base) = &args.save_index {
         let path = snapshot_path(base, spec.name);
         let mut contents = SnapshotContents::new().graph(g).ah(&ah).ch(&ch);
         if let Some(sh) = &sharded {
             contents = contents.sharded(sh);
         }
+        if let Some(l) = &labels {
+            contents = contents.labels(l);
+        }
         let bytes = Snapshot::write(&path, contents)
             .unwrap_or_else(|e| panic!("--save-index: cannot write {}: {e}", path.display()));
         eprintln!(
-            "[{tag}] {}: saved graph + AH + CH{} snapshot to {} ({:.1} MiB)",
+            "[{tag}] {}: saved graph + AH + CH{}{} snapshot to {} ({:.1} MiB)",
             spec.name,
             if sharded.is_some() { " + shards" } else { "" },
+            if labels.is_some() { " + labels" } else { "" },
             path.display(),
             bytes as f64 / (1024.0 * 1024.0)
         );
@@ -304,9 +363,11 @@ pub fn obtain_indices(
         ah,
         ch,
         sharded,
+        labels,
         ah_secs,
         ch_secs,
         sharded_secs,
+        labels_secs,
         loaded: false,
     }
 }
@@ -441,19 +502,28 @@ mod tests {
 
         let save_args = HarnessArgs {
             save_index: Some(base.clone()),
+            labels: true,
             ..Default::default()
         };
         let built = obtain_indices(&save_args, &spec, &g, "test");
         assert!(!built.loaded);
+        assert!(built.labels.is_some());
 
         let load_args = HarnessArgs {
             load_index: Some(base.clone()),
+            labels: true,
             ..Default::default()
         };
         let loaded = obtain_indices(&load_args, &spec, &g, "test");
         assert!(loaded.loaded);
         assert_eq!(loaded.ah.stats(), built.ah.stats());
         assert_eq!(loaded.ch.num_shortcuts(), built.ch.num_shortcuts());
+        // The labels section round-tripped (loaded, not rebuilt).
+        assert_eq!(loaded.labels_secs, 0.0, "labels should come from the snapshot");
+        assert_eq!(
+            loaded.labels.unwrap().stats(),
+            built.labels.unwrap().stats()
+        );
         std::fs::remove_file(snapshot_path(&base, spec.name)).ok();
     }
 

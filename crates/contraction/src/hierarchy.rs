@@ -138,6 +138,20 @@ impl Hierarchy {
         self.num_shortcuts
     }
 
+    /// The contraction order implied by the ranks: `order[i]` is the node
+    /// with rank `i`, so `order[0]` was contracted first and the last
+    /// element is the most important node. This is the hub order consumed
+    /// by `ah_labels` (processed back to front), exported here so a
+    /// labeling can be built from any hierarchy — AH's or CH's — without
+    /// re-deriving the permutation at each call site.
+    pub fn contraction_order(&self) -> Vec<NodeId> {
+        let mut order = vec![0 as NodeId; self.rank.len()];
+        for (v, &r) in self.rank.iter().enumerate() {
+            order[r as usize] = v as NodeId;
+        }
+        order
+    }
+
     /// Upward out-arcs of `u`: arcs `u → v` with `rank(v) > rank(u)`
     /// (relaxed by the forward search).
     #[inline]

@@ -1,0 +1,128 @@
+//! Structural properties of the labeling, checked over randomized
+//! small road networks:
+//!
+//! 1. every per-node label array is **strictly hub-sorted** (the merge
+//!    query's precondition),
+//! 2. every entry is **dominance-pruned**: no entry is beaten by a
+//!    two-hop combination through a different hub, and each entry's
+//!    distance is exactly what the labeling reports for that
+//!    node-to-hub query,
+//! 3. the reported metric satisfies the **triangle inequality** over
+//!    sampled node triples.
+
+use ah_ch::ChIndex;
+use ah_labels::{LabelEntry, LabelIndex};
+use proptest::prelude::*;
+
+fn build(width: u32, height: u32, seed: u64, one_way: f64) -> (ah_graph::Graph, LabelIndex) {
+    let g = ah_data::hierarchical_grid(&ah_data::HierarchicalGridConfig {
+        width,
+        height,
+        seed,
+        one_way,
+        ..Default::default()
+    });
+    let ch = ChIndex::build(&g);
+    let labels = LabelIndex::build(&g, ch.order());
+    (g, labels)
+}
+
+/// Min over common hubs of `left` × `right`, skipping hub `skip`.
+fn two_hop_excluding(
+    left: &[LabelEntry],
+    right: &[LabelEntry],
+    skip: ah_graph::NodeId,
+) -> Option<ah_graph::Dist> {
+    let (mut i, mut j) = (0, 0);
+    let mut best: Option<ah_graph::Dist> = None;
+    while i < left.len() && j < right.len() {
+        let (a, b) = (&left[i], &right[j]);
+        if a.hub == b.hub {
+            if a.hub != skip {
+                let d = a.dist.concat(b.dist);
+                if best.is_none_or(|cur| d < cur) {
+                    best = Some(d);
+                }
+            }
+            i += 1;
+            j += 1;
+        } else if a.hub < b.hub {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn labels_are_strictly_sorted_and_dominance_pruned(
+        width in 3u32..8,
+        height in 3u32..8,
+        seed in 0u64..1_000,
+        one_way in 0u32..3,
+    ) {
+        let (g, labels) = build(width, height, seed, f64::from(one_way) * 0.1);
+        for v in 0..g.num_nodes() as u32 {
+            for (side, own) in [("out", labels.out_labels(v)), ("in", labels.in_labels(v))] {
+                for pair in own.windows(2) {
+                    prop_assert!(
+                        pair[0].hub < pair[1].hub,
+                        "{side}-labels of {v} not strictly hub-sorted: {pair:?}"
+                    );
+                }
+                for e in own {
+                    // The entry itself must be the exact node↔hub
+                    // distance the labeling reports...
+                    let (s, t) = match side {
+                        "out" => (v, e.hub),
+                        _ => (e.hub, v),
+                    };
+                    prop_assert_eq!(
+                        labels.distance_full(s, t),
+                        Some(e.dist),
+                        "entry ({}, {:?}) in {}-labels of {} is not the query answer",
+                        e.hub, e.dist, side, v
+                    );
+                    // ...and no two-hop path through a *different* hub
+                    // may beat it, else pruning failed to drop it.
+                    let via = two_hop_excluding(
+                        labels.out_labels(s),
+                        labels.in_labels(t),
+                        e.hub,
+                    );
+                    if let Some(d) = via {
+                        prop_assert!(
+                            d >= e.dist,
+                            "entry ({}, {:?}) of {} dominated via another hub: {:?}",
+                            e.hub, e.dist, v, d
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_over_sampled_triples(
+        seed in 0u64..1_000,
+        triples in proptest::collection::vec((0usize..10_000, 0usize..10_000, 0usize..10_000), 40..41),
+    ) {
+        let (g, labels) = build(7, 7, seed, 0.1);
+        let n = g.num_nodes();
+        for (a, b, c) in triples {
+            let (a, b, c) = ((a % n) as u32, (b % n) as u32, (c % n) as u32);
+            if let (Some(ab), Some(bc)) = (labels.distance(a, b), labels.distance(b, c)) {
+                let ac = labels.distance(a, c);
+                prop_assert!(
+                    ac.is_some_and(|d| d <= ab + bc),
+                    "d({a},{c}) = {ac:?} > d({a},{b}) + d({b},{c}) = {}",
+                    ab + bc
+                );
+            }
+        }
+    }
+}

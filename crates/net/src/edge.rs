@@ -423,6 +423,7 @@ impl EdgeServer {
                 failed_tags: std::collections::HashSet::new(),
                 next_req_id: 0,
                 num_nodes: backend.num_nodes(),
+                backend_name: backend.name(),
                 jobs_closed: false,
             };
             let out = ev_loop.run();
@@ -472,6 +473,7 @@ struct EventLoop<'a> {
     failed_tags: std::collections::HashSet<Tag>,
     next_req_id: u64,
     num_nodes: usize,
+    backend_name: &'static str,
     jobs_closed: bool,
 }
 
@@ -1051,6 +1053,10 @@ impl EventLoop<'_> {
         let m = &self.shared.metrics;
         let sm = self.server.metrics();
         let mut out = String::with_capacity(1024);
+        out.push_str(&format!(
+            "ah_edge_backend{{name=\"{}\"}} 1\n",
+            self.backend_name
+        ));
         out.push_str("# TYPE ah_edge_connections_total counter\n");
         out.push_str(&format!("ah_edge_connections_total {}\n", m.connections()));
         out.push_str(&format!("ah_edge_connections_open {}\n", self.conns.len()));

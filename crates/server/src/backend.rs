@@ -11,6 +11,7 @@
 use ah_ch::{ChIndex, ChQuery};
 use ah_core::{AhIndex, AhQuery, QueryConfig};
 use ah_graph::{Graph, NodeId, Path};
+use ah_labels::LabelIndex;
 use ah_search::BidirectionalDijkstra;
 
 /// A query method that can serve concurrent traffic from a shared index.
@@ -179,6 +180,65 @@ impl BackendSession for DijkstraSession<'_> {
     }
 }
 
+/// The hub-labeling backend: distance queries answered from sorted
+/// label arrays (no graph search at all), path queries delegated to the
+/// AH index — labels certify *lengths*, not edge sequences, so the
+/// engine that can unpack an actual route serves `/v1/path`.
+pub struct LabelBackend<'a> {
+    labels: &'a LabelIndex,
+    ah: &'a AhIndex,
+}
+
+impl<'a> LabelBackend<'a> {
+    /// Serves distances from `labels` and paths from `ah`. Both must
+    /// index the same network (same node-id space).
+    ///
+    /// # Panics
+    /// Panics if the two indexes disagree on the node count.
+    pub fn new(labels: &'a LabelIndex, ah: &'a AhIndex) -> Self {
+        assert_eq!(
+            labels.num_nodes(),
+            ah.num_nodes(),
+            "labels and AH index cover different networks"
+        );
+        LabelBackend { labels, ah }
+    }
+}
+
+impl DistanceBackend for LabelBackend<'_> {
+    fn name(&self) -> &'static str {
+        "labels"
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.labels.num_nodes()
+    }
+
+    fn make_session(&self) -> Box<dyn BackendSession + '_> {
+        Box::new(LabelSession {
+            labels: self.labels,
+            ah: self.ah,
+            q: AhQuery::new(),
+        })
+    }
+}
+
+struct LabelSession<'a> {
+    labels: &'a LabelIndex,
+    ah: &'a AhIndex,
+    q: AhQuery,
+}
+
+impl BackendSession for LabelSession<'_> {
+    fn distance(&mut self, s: NodeId, t: NodeId) -> Option<u64> {
+        self.labels.distance(s, t)
+    }
+
+    fn path(&mut self, s: NodeId, t: NodeId) -> Option<Path> {
+        self.q.path(self.ah, s, t)
+    }
+}
+
 /// Wraps any backend and sleeps a fixed delay before each query — a
 /// fault-injection stand-in for heavier backends (bigger networks,
 /// remote shards). The network edge's CI smoke uses it to make
@@ -243,10 +303,12 @@ mod tests {
         let g = ah_data::fixtures::lattice(6, 6, 14);
         let ah = AhIndex::build(&g, &BuildConfig::default());
         let ch = ChIndex::build(&g);
+        let labels = LabelIndex::build(&g, ch.order());
         let backends: Vec<Box<dyn DistanceBackend>> = vec![
             Box::new(AhBackend::new(&ah)),
             Box::new(ChBackend::new(&ch)),
             Box::new(DijkstraBackend::new(&g)),
+            Box::new(LabelBackend::new(&labels, &ah)),
         ];
         for b in &backends {
             assert_eq!(b.num_nodes(), g.num_nodes());

@@ -56,6 +56,7 @@ mod snapshot;
 
 pub use backend::{
     AhBackend, BackendSession, ChBackend, DelayBackend, DijkstraBackend, DistanceBackend,
+    LabelBackend,
 };
 pub use cache::{DistanceCache, NUM_SHARDS};
 pub use metrics::{LatencyHistogram, MetricsSnapshot, ServerMetrics};

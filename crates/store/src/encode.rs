@@ -19,6 +19,7 @@ use ah_contraction::{HArc, Hierarchy};
 use ah_core::{AhIndex, ElevArc, ElevatingSets, ElevatingSide};
 use ah_graph::{Arc, Dist, Graph, NodeId, Point};
 use ah_grid::GridHierarchy;
+use ah_labels::{LabelEntry, LabelIndex};
 use ah_shard::ShardedIndex;
 
 use crate::codec::{FieldReader, FieldWriter};
@@ -322,6 +323,66 @@ pub fn decode_ch(bytes: &[u8]) -> Result<ChIndex, SnapshotError> {
         section: SectionTag::CH,
         reason,
     })
+}
+
+// --------------------------------------------------- labels (format v3)
+
+fn put_label_slice(w: &mut FieldWriter, entries: &[LabelEntry]) {
+    w.put_u64(entries.len() as u64);
+    for e in entries {
+        w.put_u32(e.hub);
+        w.put_u32(0); // reserved / alignment
+        w.put_u64(e.dist.length);
+        w.put_u64(e.dist.nuance);
+    }
+}
+
+fn get_label_vec(r: &mut FieldReader<'_>) -> Result<Vec<LabelEntry>, SnapshotError> {
+    let n = r.get_len(24)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let hub = r.get_u32()?;
+        let _reserved = r.get_u32()?;
+        let length = r.get_u64()?;
+        let nuance = r.get_u64()?;
+        out.push(LabelEntry {
+            hub,
+            dist: Dist::new(length, nuance),
+        });
+    }
+    Ok(out)
+}
+
+/// Encodes a [`LabelIndex`] as the `labels` section payload.
+pub fn encode_labels(idx: &LabelIndex) -> Vec<u8> {
+    let (out_offsets, out_entries, in_offsets, in_entries) = idx.raw_parts();
+    let mut w = FieldWriter::new();
+    w.put_u64(idx.num_nodes() as u64);
+    w.put_u32_slice(out_offsets);
+    put_label_slice(&mut w, out_entries);
+    w.put_u32_slice(in_offsets);
+    put_label_slice(&mut w, in_entries);
+    w.into_bytes()
+}
+
+/// Decodes the `labels` section payload.
+pub fn decode_labels(bytes: &[u8]) -> Result<LabelIndex, SnapshotError> {
+    let mut r = FieldReader::new(SectionTag::LABELS, bytes);
+    let n = r.get_u64()? as usize;
+    let out_offsets = r.get_u32_vec()?;
+    let out_entries = get_label_vec(&mut r)?;
+    let in_offsets = r.get_u32_vec()?;
+    let in_entries = get_label_vec(&mut r)?;
+    r.expect_end()?;
+    if out_offsets.len() != n + 1 {
+        return Err(r.malformed("node count disagrees with the label offsets"));
+    }
+    LabelIndex::from_raw_parts(out_offsets, out_entries, in_offsets, in_entries).map_err(
+        |reason| SnapshotError::Malformed {
+            section: SectionTag::LABELS,
+            reason,
+        },
+    )
 }
 
 // --------------------------------------------------- shards (format v2)

@@ -32,8 +32,11 @@ pub const MAGIC: [u8; 8] = *b"AHSNAP\r\n";
 ///
 /// History: **1** graph/AH/CH sections; **2** adds the sharded-snapshot
 /// sections (`shards` metadata + one `shardNNN` AH payload per
-/// non-empty shard). Version-1 files remain loadable.
-pub const VERSION: u16 = 2;
+/// non-empty shard); **3** adds the hub-labeling section (`labels`) with
+/// its new 24-byte label-entry element encoding and cross-section
+/// semantics (a labels-backed server answers paths from the `ah.index`
+/// section). Version-1 and version-2 files remain loadable.
+pub const VERSION: u16 = 3;
 
 /// Fixed header bytes before the section table.
 pub const HEADER_LEN: usize = 16;
@@ -55,6 +58,8 @@ impl SectionTag {
     /// Sharded-snapshot metadata (`ah_shard::ShardedIndex`): shard
     /// count, certification flag, boundary matrix, reentry pairs.
     pub const SHARDS: SectionTag = SectionTag(*b"shards\0\0");
+    /// The hub-labeling index (`ah_labels::LabelIndex`), format v3.
+    pub const LABELS: SectionTag = SectionTag(*b"labels\0\0");
 
     /// The per-shard AH index section for shard `slot`
     /// (`shard000` … `shard255`; payload encoding identical to

@@ -10,7 +10,9 @@
 //!
 //! * the road network ([`ah_graph::Graph`]),
 //! * the Arterial Hierarchy index ([`ah_core::AhIndex`]),
-//! * the Contraction Hierarchies index ([`ah_ch::ChIndex`]).
+//! * the Contraction Hierarchies index ([`ah_ch::ChIndex`]),
+//! * the hub-labeling index ([`ah_labels::LabelIndex`]),
+//! * the region-sharded index ([`ah_shard::ShardedIndex`]).
 //!
 //! The on-disk layout — magic, version, section table, CRC-64 per
 //! section, flat little-endian arrays — is specified normatively in
@@ -50,6 +52,7 @@ use std::sync::Arc;
 use ah_ch::ChIndex;
 use ah_core::AhIndex;
 use ah_graph::Graph;
+use ah_labels::LabelIndex;
 use ah_shard::ShardedIndex;
 
 pub use crc::crc64;
@@ -59,12 +62,14 @@ pub use format::{Container, ContainerWriter, SectionEntry, SectionTag, MAGIC, VE
 /// Borrowed selection of what one [`Snapshot::write`] call persists.
 ///
 /// All components are optional; sections are written in the fixed order
-/// graph, AH, CH regardless of the order the setters were called in.
+/// graph, AH, CH, labels regardless of the order the setters were called
+/// in.
 #[derive(Default, Clone, Copy)]
 pub struct SnapshotContents<'a> {
     graph: Option<&'a Graph>,
     ah: Option<&'a AhIndex>,
     ch: Option<&'a ChIndex>,
+    labels: Option<&'a LabelIndex>,
     sharded: Option<&'a ShardedIndex>,
 }
 
@@ -89,6 +94,12 @@ impl<'a> SnapshotContents<'a> {
     /// Includes the CH index.
     pub fn ch(mut self, idx: &'a ChIndex) -> Self {
         self.ch = Some(idx);
+        self
+    }
+
+    /// Includes the hub-labeling index (format v3 `labels` section).
+    pub fn labels(mut self, idx: &'a LabelIndex) -> Self {
+        self.labels = Some(idx);
         self
     }
 
@@ -120,6 +131,10 @@ pub struct Snapshot {
     pub ah: Option<Arc<AhIndex>>,
     /// The CH index, if the file has a `ch.index` section.
     pub ch: Option<ChIndex>,
+    /// The hub-labeling index, if the file has a `labels` section.
+    /// Shared (`Arc`) because serving backends hold it across worker
+    /// threads the same way they hold the AH index.
+    pub labels: Option<Arc<LabelIndex>>,
     /// The sharded index, if the file has a `shards` section (which
     /// requires the `graph` and `ah.index` sections to reassemble).
     pub sharded: Option<ShardedIndex>,
@@ -197,6 +212,9 @@ impl Snapshot {
         if let Some(idx) = contents.ch {
             w.add_section(SectionTag::CH, encode::encode_ch(idx));
         }
+        if let Some(idx) = contents.labels {
+            w.add_section(SectionTag::LABELS, encode::encode_labels(idx));
+        }
         if let Some(sh) = contents.sharded {
             assert!(
                 contents.graph.is_some(),
@@ -250,6 +268,11 @@ impl Snapshot {
             .section(SectionTag::CH)
             .map(encode::decode_ch)
             .transpose()?;
+        let labels = container
+            .section(SectionTag::LABELS)
+            .map(encode::decode_labels)
+            .transpose()?
+            .map(Arc::new);
         let sharded = if container.section(SectionTag::SHARDS).is_some() {
             Some(Self::decode_sharded_from(
                 &container,
@@ -263,6 +286,7 @@ impl Snapshot {
             graph,
             ah,
             ch,
+            labels,
             sharded,
         })
     }
@@ -314,6 +338,13 @@ impl Snapshot {
     pub fn require_ch(self) -> Result<ChIndex, SnapshotError> {
         self.ch.ok_or(SnapshotError::MissingSection {
             section: SectionTag::CH,
+        })
+    }
+
+    /// The hub-labeling index, or [`SnapshotError::MissingSection`].
+    pub fn require_labels(self) -> Result<Arc<LabelIndex>, SnapshotError> {
+        self.labels.ok_or(SnapshotError::MissingSection {
+            section: SectionTag::LABELS,
         })
     }
 
@@ -370,6 +401,25 @@ mod tests {
                     c2.distance_full(&ch2, s, t),
                     c1.distance_full(&ch, s, t),
                     "CH ({s},{t})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn labels_roundtrip_with_identical_answers() {
+        let g = ah_data::fixtures::lattice(7, 7, 12);
+        let ch = ah_ch::ChIndex::build(&g);
+        let labels = ah_labels::LabelIndex::build(&g, ch.order());
+        let bytes = Snapshot::to_bytes(SnapshotContents::new().labels(&labels));
+        let loaded = Snapshot::from_bytes(&bytes).unwrap().require_labels().unwrap();
+        assert_eq!(loaded.stats(), labels.stats());
+        for s in (0..49).step_by(3) {
+            for t in (0..49).step_by(5) {
+                assert_eq!(
+                    loaded.distance_full(s, t),
+                    labels.distance_full(s, t),
+                    "({s},{t})"
                 );
             }
         }

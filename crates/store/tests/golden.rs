@@ -40,10 +40,10 @@ fn tiny_fixture_bytes_are_stable() {
     println!("{dump}");
 
     let expected = "\
-00000000  41 48 53 4e 41 50 0d 0a 02 00 01 00 00 00 00 00
+00000000  41 48 53 4e 41 50 0d 0a 03 00 01 00 00 00 00 00
 00000010  67 72 61 70 68 00 00 00 38 00 00 00 00 00 00 00
 00000020  90 00 00 00 00 00 00 00 17 57 bf 83 fb c6 2b ae
-00000030  72 0e d2 8d ee 1f 46 bd 02 00 00 00 00 00 00 00
+00000030  26 0c a1 4e 7f 42 e5 d4 02 00 00 00 00 00 00 00
 00000040  03 00 00 00 00 00 00 00 00 00 00 00 01 00 00 00
 00000050  02 00 00 00 00 00 00 00 02 00 00 00 00 00 00 00
 00000060  01 00 00 00 07 00 00 00 6e a4 d1 00 00 00 00 00
@@ -61,4 +61,28 @@ fn tiny_fixture_bytes_are_stable() {
     assert_eq!(loaded.num_nodes(), 2);
     assert_eq!(loaded.edge_weight(0, 1), Some(7));
     assert_eq!(loaded.edge_weight(1, 0), Some(7));
+}
+
+/// Compatibility floor: the very same payload bytes stamped with the
+/// previous format versions still load. The v3 bump added a section
+/// (`labels`) and its element encoding; it changed nothing about the
+/// sections v1/v2 writers produce, so their files must keep working.
+#[test]
+fn older_version_stamps_still_load() {
+    let g = tiny_graph();
+    let bytes = Snapshot::to_bytes(SnapshotContents::new().graph(&g));
+    for old in [1u16, 2] {
+        let mut img = bytes.clone();
+        img[8..10].copy_from_slice(&old.to_le_bytes());
+        // Re-seal the table CRC the way an old writer would have.
+        let count = u16::from_le_bytes(img[10..12].try_into().unwrap()) as usize;
+        let table_end = 16 + 32 * count;
+        let crc = ah_store::crc64(&img[..table_end]).to_le_bytes();
+        img[table_end..table_end + 8].copy_from_slice(&crc);
+        let loaded = Snapshot::from_bytes(&img)
+            .unwrap_or_else(|e| panic!("v{old} file refused: {e}"))
+            .require_graph()
+            .unwrap();
+        assert_eq!(loaded.num_nodes(), 2, "v{old} graph decoded differently");
+    }
 }

@@ -16,7 +16,7 @@ use std::sync::Arc;
 
 use ah_core::{AhIndex, AhQuery, BuildConfig};
 use ah_net::{EdgeConfig, EdgeServer};
-use ah_server::{AhBackend, DistanceBackend, Server, ServerConfig, ShardedBackend};
+use ah_server::{AhBackend, DistanceBackend, LabelBackend, Server, ServerConfig, ShardedBackend};
 use ah_shard::{ShardConfig, ShardedIndex};
 use ah_workload::{generate_query_sets, TrafficSchedule};
 
@@ -153,6 +153,52 @@ fn sharded_http_distances_bit_equal_ahquery_on_q1_q10_mix() {
                 resp.text()
             );
         }
+    });
+}
+
+/// The hub-labeling backend behind the same HTTP edge: distances over
+/// the socket bit-equal the in-process oracle (`AhQuery` — itself
+/// already proven equal to the raw label merge in `label_identity.rs`),
+/// and `/metrics` names the serving backend.
+#[test]
+fn labels_http_distances_bit_equal_ahquery_on_q1_q10_mix() {
+    let g = network();
+    let ah = AhIndex::build(&g, &BuildConfig::default());
+    let ch = ah_ch::ChIndex::build(&g);
+    let labels = ah_labels::LabelIndex::build(&g, ch.order());
+    let stream = traffic(&g, 400, 0x1AB5);
+    let mut q = AhQuery::new();
+    let want: Vec<Option<u64>> = stream.iter().map(|&(s, t)| q.distance(&ah, s, t)).collect();
+
+    let backend = LabelBackend::new(&labels, &ah);
+    with_edge(&backend, |addr| {
+        let targets: Vec<String> = stream
+            .iter()
+            .map(|(s, t)| format!("/v1/distance?src={s}&dst={t}"))
+            .collect();
+        let responses = fetch_responses(addr, &targets);
+        for (i, resp) in responses.iter().enumerate() {
+            assert_eq!(
+                resp.distance(),
+                want[i],
+                "labels pair {:?} over HTTP diverged: {}",
+                stream[i],
+                resp.text()
+            );
+        }
+        // Path queries still work (delegated to AH) with matching
+        // distances, and the exposition names the backend.
+        let (s, t) = stream[0];
+        let extras = fetch_responses(
+            addr,
+            &[format!("/v1/path?src={s}&dst={t}"), "/metrics".to_string()],
+        );
+        assert_eq!(extras[0].distance(), want[0], "path distance diverged");
+        assert!(
+            extras[1].text().contains("ah_edge_backend{name=\"labels\"} 1"),
+            "/metrics does not name the labels backend:\n{}",
+            extras[1].text()
+        );
     });
 }
 

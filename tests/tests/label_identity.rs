@@ -1,0 +1,135 @@
+//! Hub-labeling exactness: `ah_labels` answers must be **bit-equal** to
+//! `AhQuery` and to a bidirectional Dijkstra ground truth on randomized
+//! Q1–Q10 workloads over several synthetic road networks — including
+//! unreachable pairs on one-way-heavy grids and the s == t diagonal.
+
+use std::sync::Arc;
+
+use ah_ch::ChIndex;
+use ah_core::{AhIndex, AhQuery, BuildConfig};
+use ah_labels::LabelIndex;
+use ah_search::BidirectionalDijkstra;
+use ah_server::{DistanceBackend, LabelBackend};
+use ah_workload::generate_query_sets;
+
+fn networks() -> Vec<(&'static str, ah_graph::Graph)> {
+    let grid = |w, h, seed, one_way| {
+        ah_data::hierarchical_grid(&ah_data::HierarchicalGridConfig {
+            width: w,
+            height: h,
+            seed,
+            one_way,
+            ..Default::default()
+        })
+    };
+    vec![
+        ("grid16", grid(16, 16, 2013, 0.05)),
+        ("grid20_oneway", grid(20, 20, 77, 0.25)),
+        ("grid12_tall", grid(8, 18, 5, 0.0)),
+        ("lattice9", ah_data::fixtures::lattice(9, 9, 100)),
+    ]
+}
+
+/// Q1–Q10 identity across networks: the label backend, the raw label
+/// index, AH, and bidirectional Dijkstra all agree bit-for-bit.
+#[test]
+fn q1_to_q10_labels_equal_ah_and_dijkstra() {
+    for (name, g) in networks() {
+        let ah = Arc::new(AhIndex::build(&g, &BuildConfig::default()));
+        let ch = ChIndex::build(&g);
+        let labels = LabelIndex::build(&g, ch.order());
+        let backend = LabelBackend::new(&labels, &ah);
+        let mut session = backend.make_session();
+        let mut aq = AhQuery::new();
+        let mut bd = BidirectionalDijkstra::new();
+
+        let sets = generate_query_sets(&g, 30, 0xAB5EED);
+        for set in &sets {
+            for &(s, t) in &set.pairs {
+                let want = aq.distance(&ah, s, t);
+                assert_eq!(
+                    labels.distance(s, t),
+                    want,
+                    "{name} Q{} labels vs AH ({s},{t})",
+                    set.index
+                );
+                assert_eq!(
+                    session.distance(s, t),
+                    want,
+                    "{name} Q{} backend vs AH ({s},{t})",
+                    set.index
+                );
+                assert_eq!(
+                    bd.distance(&g, s, t).map(|d| d.length),
+                    want,
+                    "{name} Q{} Dijkstra vs AH ({s},{t})",
+                    set.index
+                );
+            }
+        }
+    }
+}
+
+/// The trivial diagonal: every s == t pair answers `Some(0)`.
+#[test]
+fn self_queries_are_zero() {
+    let (_, g) = networks().remove(1);
+    let ch = ChIndex::build(&g);
+    let labels = LabelIndex::build(&g, ch.order());
+    for v in (0..g.num_nodes() as u32).step_by(7) {
+        assert_eq!(labels.distance(v, v), Some(0), "d({v},{v})");
+    }
+}
+
+/// Unreachable pairs: on a two-component graph the label query returns
+/// `None` exactly where Dijkstra does — and at least one such pair must
+/// exist, or the test is vacuous.
+#[test]
+fn unreachable_pairs_are_none() {
+    // Two disjoint lattices glued into one graph index space: nodes of
+    // the second component are offset by the first's node count.
+    let a = ah_data::fixtures::lattice(5, 5, 100);
+    let mut b = ah_graph::GraphBuilder::new();
+    for &p in a.coords() {
+        b.add_node(p);
+    }
+    for v in 0..a.num_nodes() as u32 {
+        for arc in a.out_edges(v) {
+            b.add_edge(v, arc.head, arc.weight);
+        }
+    }
+    // Second component: a far-away ring, no edges to the first.
+    let off = a.num_nodes() as u32;
+    for i in 0..6u32 {
+        b.add_node(ah_graph::Point::new(10_000 + i as i32, 10_000));
+    }
+    for i in 0..6u32 {
+        b.add_bidirectional_edge(off + i, off + (i + 1) % 6, 3);
+    }
+    let g = b.build();
+
+    let ch = ChIndex::build(&g);
+    let labels = LabelIndex::build(&g, ch.order());
+    let mut bd = BidirectionalDijkstra::new();
+    let mut crossing = 0usize;
+    for s in (0..g.num_nodes() as u32).step_by(3) {
+        for t in (0..g.num_nodes() as u32).step_by(4) {
+            let want = bd.distance(&g, s, t).map(|d| d.length);
+            assert_eq!(labels.distance(s, t), want, "({s},{t})");
+            if want.is_none() {
+                crossing += 1;
+            }
+        }
+    }
+    assert!(crossing > 0, "no unreachable pairs exercised");
+}
+
+/// The ordering export used by the labels build: `Hierarchy::
+/// contraction_order()` is exactly the inverse of the rank array, i.e.
+/// the same permutation `ChIndex::order()` reports.
+#[test]
+fn hierarchy_contraction_order_matches_ch_order() {
+    let (_, g) = networks().remove(0);
+    let ch = ChIndex::build(&g);
+    assert_eq!(ch.order(), &ch.hierarchy().contraction_order()[..]);
+}

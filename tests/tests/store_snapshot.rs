@@ -212,6 +212,126 @@ fn future_version_is_refused_with_found_version() {
     }
 }
 
+/// The format-v3 labels section round-trips through a real file with
+/// bit-identical structure and answers.
+#[test]
+fn labels_section_roundtrips_through_write_and_load() {
+    use ah_labels::LabelIndex;
+
+    let g = road_network();
+    let ch = ChIndex::build(&g);
+    let labels = LabelIndex::build(&g, ch.order());
+
+    let path = tmp("labels_roundtrip");
+    Snapshot::write(&path, SnapshotContents::new().graph(&g).labels(&labels)).unwrap();
+    let loaded = Snapshot::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    let labels2 = loaded.require_labels().unwrap();
+
+    assert_eq!(labels2.stats(), labels.stats());
+    assert_eq!(labels2.raw_parts(), labels.raw_parts());
+    let sets = ah_workload::generate_query_sets(&g, 20, 0x1AB);
+    for set in &sets {
+        for &(s, t) in &set.pairs {
+            assert_eq!(
+                labels2.distance_full(s, t),
+                labels.distance_full(s, t),
+                "Q{} ({s},{t})",
+                set.index
+            );
+        }
+    }
+}
+
+fn labels_snapshot_bytes() -> (Vec<u8>, std::ops::Range<usize>) {
+    use ah_labels::LabelIndex;
+    let g = ah_data::fixtures::lattice(6, 6, 12);
+    let ch = ChIndex::build(&g);
+    let labels = LabelIndex::build(&g, ch.order());
+    let bytes = Snapshot::to_bytes(SnapshotContents::new().labels(&labels));
+    // Locate the labels payload via the section table: entries start at
+    // offset 16, each `tag[8] | offset u64 | len u64 | crc u64`.
+    let count = u16::from_le_bytes(bytes[10..12].try_into().unwrap()) as usize;
+    let payload = (0..count)
+        .map(|i| 16 + 32 * i)
+        .find(|&e| &bytes[e..e + 8] == b"labels\0\0")
+        .map(|e| {
+            let off = u64::from_le_bytes(bytes[e + 8..e + 16].try_into().unwrap()) as usize;
+            let len = u64::from_le_bytes(bytes[e + 16..e + 24].try_into().unwrap()) as usize;
+            off..off + len
+        })
+        .expect("labels section present");
+    (bytes, payload)
+}
+
+/// Corruption inside the labels payload is a typed error, never a panic
+/// or a silently wrong labeling: flips land on the section checksum;
+/// cuts land on truncation/framing errors.
+#[test]
+fn corrupted_labels_payload_is_typed() {
+    let (bytes, payload) = labels_snapshot_bytes();
+    for at in payload.clone().step_by(11) {
+        let mut corrupt = bytes.clone();
+        corrupt[at] ^= 0x40;
+        assert!(
+            matches!(
+                Snapshot::from_bytes(&corrupt),
+                Err(SnapshotError::SectionChecksumMismatch { .. })
+            ),
+            "flip at labels byte {at} not a checksum mismatch"
+        );
+    }
+    for cut in [payload.start + 8, payload.start + payload.len() / 2] {
+        assert!(
+            Snapshot::from_bytes(&bytes[..cut]).is_err(),
+            "cut at {cut} inside the labels payload loaded"
+        );
+    }
+}
+
+/// A structurally forged labels payload — valid checksum, nonsense
+/// contents — is refused as `Malformed`, not trusted. Forgery here:
+/// re-sealing the section CRC and table after scrambling the entry
+/// area, the strongest corruption the container itself cannot catch.
+#[test]
+fn forged_labels_payload_is_malformed() {
+    let (bytes, payload) = labels_snapshot_bytes();
+    let count = u16::from_le_bytes(bytes[10..12].try_into().unwrap()) as usize;
+    // Swap the node count for a lie (payload starts with `u64 n`).
+    let mut forged = bytes.clone();
+    forged[payload.start..payload.start + 8].copy_from_slice(&9999u64.to_le_bytes());
+    // Re-seal: section CRC in the table entry, then the table CRC.
+    let entry = (0..count)
+        .map(|i| 16 + 32 * i)
+        .find(|&e| &forged[e..e + 8] == b"labels\0\0")
+        .unwrap();
+    let crc = crc64(&forged[payload.clone()]).to_le_bytes();
+    forged[entry + 24..entry + 32].copy_from_slice(&crc);
+    let table_end = 16 + 32 * count;
+    let tcrc = crc64(&forged[..table_end]).to_le_bytes();
+    forged[table_end..table_end + 8].copy_from_slice(&tcrc);
+    match Snapshot::from_bytes(&forged) {
+        Err(SnapshotError::Malformed { .. }) => {}
+        Err(e) => panic!("unexpected error kind: {e}"),
+        Ok(_) => panic!("forged labels payload loaded"),
+    }
+}
+
+/// Version floor: a labels-free v2 image (what a pre-labels writer
+/// produced) still loads and decodes under the v3 reader.
+#[test]
+fn v2_image_without_labels_still_loads() {
+    let mut bytes = small_snapshot_bytes();
+    bytes[8..10].copy_from_slice(&2u16.to_le_bytes());
+    let count = u16::from_le_bytes(bytes[10..12].try_into().unwrap()) as usize;
+    let table_end = 16 + 32 * count;
+    let crc = crc64(&bytes[..table_end]).to_le_bytes();
+    bytes[table_end..table_end + 8].copy_from_slice(&crc);
+    let loaded = Snapshot::from_bytes(&bytes).expect("v2 image refused");
+    assert!(loaded.graph.is_some() && loaded.ah.is_some());
+    assert!(loaded.labels.is_none(), "v2 image grew a labels section");
+}
+
 /// End-to-end restart: a server brought up from a snapshot serves the
 /// same answers as one built from source data.
 #[test]

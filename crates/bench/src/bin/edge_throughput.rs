@@ -21,7 +21,9 @@
 //!    still completes. Counts are reported.
 //! 3. **Scrape** — `GET /metrics`, parsing the admission counters so
 //!    the report can cross-check client-observed `429`s against the
-//!    server's own `ah_queue_rejected_total`.
+//!    server's own `ah_queue_rejected_total`, plus the per-stage
+//!    `ah_stage_duration_seconds` sums/counts into the JSON's
+//!    `"server_stages"` key (`null` when the server isn't tracing).
 //! 4. **Shutdown** (`--shutdown`) — `GET /admin/shutdown` (needs
 //!    `serve_edge --allow-shutdown`), proving graceful drain over the
 //!    wire.
@@ -371,6 +373,41 @@ fn main() {
          rejected {server_rejected}"
     );
 
+    // Per-stage breakdown from the tracer's histogram series: the
+    // `_sum`/`_count` of each `ah_stage_duration_seconds{stage=…}`
+    // family, as the server itself exported them.
+    let stage_series = |suffix: &str| -> Vec<(String, f64)> {
+        let prefix = format!("ah_stage_duration_seconds{suffix}{{");
+        metrics_text
+            .lines()
+            .filter(|l| l.starts_with(&prefix))
+            .filter_map(|l| {
+                let stage = l.split("stage=\"").nth(1)?.split('"').next()?.to_string();
+                let value = l.split_whitespace().last()?.parse().ok()?;
+                Some((stage, value))
+            })
+            .collect()
+    };
+    let stage_sums = stage_series("_sum");
+    let stage_counts = stage_series("_count");
+    let server_stages_json = if stage_sums.is_empty() {
+        "null".to_string()
+    } else {
+        let body = stage_sums
+            .iter()
+            .map(|(stage, sum)| {
+                let count = stage_counts
+                    .iter()
+                    .find(|(s, _)| s == stage)
+                    .map_or(0.0, |&(_, c)| c);
+                format!("\"{stage}\":{{\"count\":{count:.0},\"sum_seconds\":{sum:.6}}}")
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        println!("server stage breakdown (sampled spans): {body}");
+        format!("{{{body}}}")
+    };
+
     // --------------------------------------------------------- shutdown
     let mut clean_shutdown = false;
     if args.shutdown {
@@ -411,6 +448,7 @@ fn main() {
             "  \"identity_mismatches\": {},\n",
             "  \"burst\": {},\n",
             "  \"server\": {{\"queries\":{},\"queue_high_water\":{},\"rejected\":{}}},\n",
+            "  \"server_stages\": {},\n",
             "  \"clean_shutdown\": {}\n",
             "}}\n"
         ),
@@ -433,6 +471,7 @@ fn main() {
         server_queries,
         server_high_water,
         server_rejected,
+        server_stages_json,
         clean_shutdown,
     );
     let out = std::env::var("EDGE_BENCH_OUT").unwrap_or_else(|_| "BENCH_edge.json".into());

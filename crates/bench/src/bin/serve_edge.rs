@@ -24,11 +24,16 @@
 //! hint (see `docs/EDGE.md`). `--slow-us N` injects a per-query delay
 //! (fault injection for overload rehearsal — this is what the CI smoke
 //! uses to make 429s deterministic). `--allow-shutdown` exposes
-//! `GET /admin/shutdown` for supervised drains.
+//! `GET /admin/shutdown` for supervised drains. `--trace-sample N`
+//! samples one request in N into the span ring behind
+//! `GET /debug/traces` (default 64; 0 disables tracing), and
+//! `--slow-query-us N` turns on the slow-query log for sampled spans
+//! at or above that total (see `docs/OBSERVABILITY.md`).
 //!
 //! On shutdown the bin prints a JSON report (edge counters, admission
-//! stats, serving latency quantiles) to stdout and, when the
-//! `EDGE_SERVE_OUT` environment variable is set, to that file.
+//! stats, serving latency quantiles, and the tracer's per-stage
+//! latency breakdown) to stdout and, when the `EDGE_SERVE_OUT`
+//! environment variable is set, to that file.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -37,6 +42,7 @@ use ah_bench::{obtain_indices, snapshot_path, HarnessArgs};
 use ah_net::{EdgeConfig, EdgeServer};
 use ah_server::{
     AhBackend, DelayBackend, DistanceBackend, LabelBackend, Server, ServerConfig, ShardedBackend,
+    TraceConfig,
 };
 
 struct EdgeArgs {
@@ -49,6 +55,8 @@ struct EdgeArgs {
     retry_after: u32,
     allow_shutdown: bool,
     backend: String,
+    trace_sample: u64,
+    slow_query_us: u64,
 }
 
 fn parse_args() -> EdgeArgs {
@@ -65,6 +73,8 @@ fn parse_args() -> EdgeArgs {
         retry_after: 1,
         allow_shutdown: false,
         backend: "ah".to_string(),
+        trace_sample: 64,
+        slow_query_us: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -107,6 +117,18 @@ fn parse_args() -> EdgeArgs {
                     .expect("--retry-after needs seconds");
             }
             "--allow-shutdown" => a.allow_shutdown = true,
+            "--trace-sample" => {
+                a.trace_sample = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--trace-sample needs a number (0 disables tracing)");
+            }
+            "--slow-query-us" => {
+                a.slow_query_us = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--slow-query-us needs microseconds");
+            }
             "--backend" => {
                 a.backend = it.next().expect("--backend needs ah|labels");
                 assert!(
@@ -119,7 +141,8 @@ fn parse_args() -> EdgeArgs {
                 "unknown argument {other} (try --through SN | --shards K | \
                  --backend ah|labels | --load-index PATH | --save-index PATH | \
                  --addr HOST:PORT | --workers N | --queue N | --max-conns N | \
-                 --slow-us N | --retry-after N | --allow-shutdown)"
+                 --slow-us N | --retry-after N | --allow-shutdown | \
+                 --trace-sample N | --slow-query-us N)"
             ),
         }
     }
@@ -172,6 +195,11 @@ fn main() {
 
     let server = Server::new(ServerConfig {
         workers: args.workers,
+        trace: TraceConfig {
+            sample_every: args.trace_sample,
+            slow_threshold_ns: args.slow_query_us.saturating_mul(1000),
+            ..Default::default()
+        },
         ..Default::default()
     });
     let edge = EdgeServer::bind(
@@ -233,7 +261,9 @@ fn main() {
             "  \"rejected\": {},\n",
             "  \"queue_high_water\": {},\n",
             "  \"responses\": {{{}}},\n",
-            "  \"serving\": {}\n",
+            "  \"serving\": {},\n",
+            "  \"trace\": {{\"sample_every\":{},\"spans_finished\":{},\"slow\":{}}},\n",
+            "  \"stage_breakdown\": {}\n",
             "}}\n"
         ),
         spec.name,
@@ -252,6 +282,10 @@ fn main() {
         report.queue_high_water,
         responses,
         snapshot.to_json(),
+        args.trace_sample,
+        server.tracer().spans_finished(),
+        server.tracer().slow_finished(),
+        server.tracer().stage_breakdown_json(),
     );
     println!("serve_edge drained cleanly; report:\n{json}");
     if let Ok(path) = std::env::var("EDGE_SERVE_OUT") {

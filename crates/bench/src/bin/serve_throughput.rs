@@ -23,6 +23,15 @@
 //! reloads them and skips the build entirely — the JSON then reports
 //! `index_loaded: true` with a near-zero `ah_build_secs`.
 //!
+//! `--trace-sample N` sets the span sampling rate for every measured
+//! server (default 64; 0 disables tracing). Unless disabled, the bin
+//! also runs a tracing-overhead A/B — the same AH stream with sampling
+//! off versus 1-in-N — and records it under the JSON's
+//! `"trace_overhead"` key together with the traced run's per-stage
+//! latency breakdown (`"stage_breakdown"`). `--assert-trace-overhead`
+//! turns the measurement into a hard gate: the bin panics if tracing
+//! costs 5% QPS or more (see `docs/OBSERVABILITY.md`).
+//!
 //! `--shards K` additionally builds (or loads) a region-sharded index
 //! (`ah_shard`) and serves the same stream through a `ShardedServer` —
 //! per-shard worker pools, cross-shard composition — asserting the
@@ -40,7 +49,7 @@
 use ah_bench::{load_dataset, obtain_indices, time_query_set, HarnessArgs};
 use ah_server::{
     AhBackend, ChBackend, DijkstraBackend, DistanceBackend, LabelBackend, Request, RunReport,
-    Server, ServerConfig, ShardedRunReport, ShardedServer, ShardedServerConfig,
+    Server, ServerConfig, ShardedRunReport, ShardedServer, ShardedServerConfig, TraceConfig,
 };
 use ah_workload::TrafficSchedule;
 
@@ -91,12 +100,17 @@ fn run_one(
     backend: &dyn DistanceBackend,
     threads: usize,
     requests: &[Request],
+    trace_sample: u64,
 ) -> Row {
     let report = (0..REPS)
         .map(|_| {
             // A fresh server per rep: every measurement starts cache-cold.
             let server = Server::new(ServerConfig {
                 workers: threads,
+                trace: TraceConfig {
+                    sample_every: trace_sample,
+                    ..Default::default()
+                },
                 ..Default::default()
             });
             server.run(backend, requests)
@@ -174,7 +188,29 @@ fn print_row(r: &Row) {
 }
 
 fn main() {
-    let mut args = HarnessArgs::parse();
+    let mut args = HarnessArgs::default();
+    let mut trace_sample: u64 = 64;
+    let mut assert_trace_overhead = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        if args.accept(&arg, &mut it) {
+            continue;
+        }
+        match arg.as_str() {
+            "--trace-sample" => {
+                trace_sample = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--trace-sample needs a number (0 disables tracing)");
+            }
+            "--assert-trace-overhead" => assert_trace_overhead = true,
+            other => panic!(
+                "unknown argument {other} (try --through S9 | --pairs N | --seed N | \
+                 --threads N | --shards K | --labels | --save-index PATH | \
+                 --load-index PATH | --trace-sample N | --assert-trace-overhead)"
+            ),
+        }
+    }
     // The backend comparison always includes hub labels.
     args.labels = true;
     let spec = *args.datasets().last().expect("registry is non-empty");
@@ -221,12 +257,12 @@ fn main() {
 
     // Unrecorded warmup so the first sweep point doesn't pay the
     // process's cold caches and allocator.
-    let _ = run_one(&ah_backend, args.threads, &requests);
+    let _ = run_one(&ah_backend, args.threads, &requests, trace_sample);
 
     // Thread sweep on the AH backend, cold cache each time.
     let mut sweep_rows = Vec::new();
     for &t in &thread_sweep(args.threads) {
-        let row = run_one(&ah_backend, t, &requests);
+        let row = run_one(&ah_backend, t, &requests, trace_sample);
         print_row(&row);
         sweep_rows.push(row);
     }
@@ -245,7 +281,7 @@ fn main() {
         &dij_backend,
         &labels_backend,
     ] {
-        let mut row = run_one(backend, args.threads, &requests);
+        let mut row = run_one(backend, args.threads, &requests, trace_sample);
         let mut session = backend.make_session();
         let query_ns =
             time_query_set(&stream, |s, t| session.distance(s, t).unwrap_or(0)) * 1e3;
@@ -285,6 +321,61 @@ fn main() {
     if hardware == 1 {
         eprintln!("[serve] WARNING: single-core machine — thread scaling cannot exceed 1x here");
     }
+
+    // Tracing overhead A/B: the same AH stream at full width with
+    // sampling off versus 1-in-`trace_sample`, best-of-REPS on both
+    // sides. The traced side also yields the per-stage latency
+    // breakdown that goes into the JSON report.
+    let (trace_overhead_json, stage_breakdown_json) = if trace_sample == 0 {
+        ("null".to_string(), "null".to_string())
+    } else {
+        let qps_off = run_one(&ah_backend, args.threads, &requests, 0)
+            .report
+            .snapshot
+            .qps;
+        let (traced_report, traced_server) = (0..REPS)
+            .map(|_| {
+                let server = Server::new(ServerConfig {
+                    workers: args.threads,
+                    trace: TraceConfig {
+                        sample_every: trace_sample,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                });
+                let report = server.run(&ah_backend, &requests);
+                (report, server)
+            })
+            .max_by(|a, b| a.0.snapshot.qps.total_cmp(&b.0.snapshot.qps))
+            .expect("REPS >= 1");
+        let qps_on = traced_report.snapshot.qps;
+        let overhead_pct = if qps_off > 0.0 {
+            100.0 * (qps_off - qps_on) / qps_off
+        } else {
+            0.0
+        };
+        println!(
+            "\ntracing overhead (1-in-{trace_sample}): {:.0} qps off, {:.0} qps on \
+             ({overhead_pct:+.2}%, {} spans)",
+            qps_off,
+            qps_on,
+            traced_server.tracer().spans_finished(),
+        );
+        if assert_trace_overhead {
+            assert!(
+                overhead_pct < 5.0,
+                "tracing at 1-in-{trace_sample} costs {overhead_pct:.2}% QPS (budget: 5%)"
+            );
+        }
+        (
+            format!(
+                "{{\"sample_every\":{trace_sample},\"qps_off\":{qps_off:.1},\
+                 \"qps_on\":{qps_on:.1},\"overhead_pct\":{overhead_pct:.3},\
+                 \"asserted\":{assert_trace_overhead}}}"
+            ),
+            traced_server.tracer().stage_breakdown_json(),
+        )
+    };
 
     // Sharded serving (--shards K): same stream, routed by region key
     // to per-shard pools; answers must stay bit-equal to unsharded AH.
@@ -357,6 +448,8 @@ fn main() {
             "  \"thread_sweep\": [\n    {}\n  ],\n",
             "  \"backend_comparison\": [\n    {}\n  ],\n",
             "  \"speedup_1_to_max_workers\": {:.3},\n",
+            "  \"trace_overhead\": {},\n",
+            "  \"stage_breakdown\": {},\n",
             "  \"sharded\": {}\n",
             "}}\n"
         ),
@@ -380,6 +473,8 @@ fn main() {
             .collect::<Vec<_>>()
             .join(",\n    "),
         speedup,
+        trace_overhead_json,
+        stage_breakdown_json,
         sharded_json,
     );
     let out = std::env::var("SERVE_BENCH_OUT").unwrap_or_else(|_| "BENCH_server.json".into());

@@ -34,11 +34,15 @@ use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read as _, Write as _};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::os::fd::AsRawFd;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use ah_server::{BoundedQueue, DistanceBackend, Request, Response, Server, TryPushError};
+use ah_obs::{Counter, Gauge, Metric, Registry};
+use ah_server::{
+    BoundedQueue, DistanceBackend, Job, Request, Response, Server, Span, Stage, Tracer,
+    TryPushError,
+};
 
 use crate::http::{self, HttpError, HttpLimits, ParseOutcome};
 use crate::sys::{Event, Poller, PollerKind, WakePipe};
@@ -125,23 +129,79 @@ impl Default for EdgeConfig {
 }
 
 /// Edge-level counters (connection and response accounting; query-level
-/// latency lives in [`ah_server::ServerMetrics`]). All relaxed atomics,
-/// readable from any thread via [`EdgeHandle::metrics`].
+/// latency lives in [`ah_server::ServerMetrics`]). Every field is an
+/// `Arc<ah_obs::Counter>` so the identical objects live in the server's
+/// [`Registry`] (see [`EdgeMetrics::register_into`]) while the event
+/// loop keeps bumping them lock-free; readable from any thread via
+/// [`EdgeHandle::metrics`].
 #[derive(Debug, Default)]
 pub struct EdgeMetrics {
-    connections: AtomicU64,
-    connections_closed: AtomicU64,
-    shed_connections: AtomicU64,
-    bytes_in: AtomicU64,
-    bytes_out: AtomicU64,
-    timeouts: AtomicU64,
-    responses: [AtomicU64; STATUSES.len()],
+    connections: Arc<Counter>,
+    connections_closed: Arc<Counter>,
+    shed_connections: Arc<Counter>,
+    bytes_in: Arc<Counter>,
+    bytes_out: Arc<Counter>,
+    timeouts: Arc<Counter>,
+    responses: [Arc<Counter>; STATUSES.len()],
 }
 
 impl EdgeMetrics {
     fn count_response(&self, status: u16) {
         if let Some(i) = STATUSES.iter().position(|&s| s == status) {
-            self.responses[i].fetch_add(1, Ordering::Relaxed);
+            self.responses[i].inc();
+        }
+    }
+
+    /// Registers every edge counter under its stable name (the
+    /// per-status response counters carry a `code` label), so one
+    /// [`Registry::render`] emits the whole edge block alongside the
+    /// serving engine's histograms. Re-registration replaces the
+    /// series, never double-counts.
+    pub fn register_into(&self, reg: &Registry) {
+        reg.register(
+            "ah_edge_connections_total",
+            &[],
+            "Connections accepted over the edge's lifetime",
+            Metric::Counter(Arc::clone(&self.connections)),
+        );
+        reg.register(
+            "ah_edge_connections_closed_total",
+            &[],
+            "Connections closed (any reason)",
+            Metric::Counter(Arc::clone(&self.connections_closed)),
+        );
+        reg.register(
+            "ah_edge_shed_connections_total",
+            &[],
+            "Connections shed at accept time (connection cap)",
+            Metric::Counter(Arc::clone(&self.shed_connections)),
+        );
+        reg.register(
+            "ah_edge_timeouts_total",
+            &[],
+            "Connections reaped by read/write/idle timeout",
+            Metric::Counter(Arc::clone(&self.timeouts)),
+        );
+        reg.register(
+            "ah_edge_bytes_in_total",
+            &[],
+            "Request bytes read off sockets",
+            Metric::Counter(Arc::clone(&self.bytes_in)),
+        );
+        reg.register(
+            "ah_edge_bytes_out_total",
+            &[],
+            "Response bytes written to sockets",
+            Metric::Counter(Arc::clone(&self.bytes_out)),
+        );
+        for (i, &status) in STATUSES.iter().enumerate() {
+            let code = status.to_string();
+            reg.register(
+                "ah_edge_responses_total",
+                &[("code", &code)],
+                "Responses sent, by status code",
+                Metric::Counter(Arc::clone(&self.responses[i])),
+            );
         }
     }
 
@@ -150,42 +210,99 @@ impl EdgeMetrics {
         STATUSES
             .iter()
             .position(|&s| s == status)
-            .map_or(0, |i| self.responses[i].load(Ordering::Relaxed))
+            .map_or(0, |i| self.responses[i].get())
     }
 
     /// Total responses sent, any status.
     pub fn total_responses(&self) -> u64 {
-        self.responses.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+        self.responses.iter().map(|c| c.get()).sum()
     }
 
     /// Connections accepted over the edge's lifetime.
     pub fn connections(&self) -> u64 {
-        self.connections.load(Ordering::Relaxed)
+        self.connections.get()
     }
 
     /// Connections closed (any reason).
     pub fn connections_closed(&self) -> u64 {
-        self.connections_closed.load(Ordering::Relaxed)
+        self.connections_closed.get()
     }
 
     /// Connections shed at accept time (connection cap).
     pub fn shed_connections(&self) -> u64 {
-        self.shed_connections.load(Ordering::Relaxed)
+        self.shed_connections.get()
     }
 
     /// Request bytes read off sockets.
     pub fn bytes_in(&self) -> u64 {
-        self.bytes_in.load(Ordering::Relaxed)
+        self.bytes_in.get()
     }
 
     /// Response bytes written to sockets.
     pub fn bytes_out(&self) -> u64 {
-        self.bytes_out.load(Ordering::Relaxed)
+        self.bytes_out.get()
     }
 
     /// Connections reaped by read/write/idle timeout.
     pub fn timeouts(&self) -> u64 {
-        self.timeouts.load(Ordering::Relaxed)
+        self.timeouts.get()
+    }
+}
+
+/// Gauges and mirror counters the event loop refreshes just before
+/// each [`Registry::render`]: point-in-time state (open connections,
+/// queue depth) plus totals owned by other subsystems (the queue's
+/// rejected count, the serving engine's query count) re-exposed under
+/// their historical `/metrics` names via [`Counter::store`].
+struct EdgeMirrors {
+    backend: Arc<Gauge>,
+    connections_open: Arc<Gauge>,
+    in_flight: Arc<Gauge>,
+    queue_capacity: Arc<Gauge>,
+    queue_depth: Arc<Gauge>,
+    queue_high_water: Arc<Gauge>,
+    queue_rejected: Arc<Counter>,
+    server_queries: Arc<Counter>,
+}
+
+impl EdgeMirrors {
+    fn new(reg: &Registry, backend_name: &str) -> Self {
+        let backend = reg.gauge(
+            "ah_edge_backend",
+            &[("name", backend_name)],
+            "The distance backend serving this edge (always 1)",
+        );
+        backend.set(1);
+        EdgeMirrors {
+            backend,
+            connections_open: reg.gauge("ah_edge_connections_open", &[], "Connections currently open"),
+            in_flight: reg.gauge(
+                "ah_edge_in_flight",
+                &[],
+                "Requests admitted to the queue whose completions are still due",
+            ),
+            queue_capacity: reg.gauge(
+                "ah_queue_capacity",
+                &[],
+                "Bounded admission-queue capacity",
+            ),
+            queue_depth: reg.gauge("ah_queue_depth", &[], "Admission-queue depth at scrape time"),
+            queue_high_water: reg.gauge(
+                "ah_queue_high_water",
+                &[],
+                "Deepest the admission queue has been",
+            ),
+            queue_rejected: reg.counter(
+                "ah_queue_rejected_total",
+                &[],
+                "Requests refused at admission (answered 429)",
+            ),
+            server_queries: reg.counter(
+                "ah_server_queries_total",
+                &[],
+                "Queries served by the engine over its lifetime",
+            ),
+        }
     }
 }
 
@@ -254,6 +371,10 @@ struct Slot {
     id: u64,
     keep_alive: bool,
     state: SlotState,
+    /// Sampled trace span returned by the worker with the completion;
+    /// stamped `Serialize` when the response bytes were rendered, and
+    /// finished (with `Flush`) once those bytes clear the socket.
+    span: Option<Box<Span>>,
 }
 
 enum SlotState {
@@ -291,6 +412,15 @@ struct Conn {
     /// Interest currently registered with the poller.
     reg_read: bool,
     reg_write: bool,
+    /// Lifetime response bytes moved into `wbuf` / confirmed written to
+    /// the socket. `wbuf` itself is compacted after every flush, so
+    /// span flush accounting runs on these absolute counters instead.
+    bytes_queued: u64,
+    bytes_flushed: u64,
+    /// Spans awaiting their flush stamp, each due once `bytes_flushed`
+    /// reaches the recorded mark (responses leave `wbuf` in FIFO order,
+    /// so the front span is always the next due).
+    pending_spans: VecDeque<(u64, Box<Span>)>,
 }
 
 impl Conn {
@@ -310,6 +440,9 @@ impl Conn {
             dead: false,
             reg_read: true,
             reg_write: false,
+            bytes_queued: 0,
+            bytes_flushed: 0,
+            pending_spans: VecDeque::new(),
         }
     }
 
@@ -329,6 +462,7 @@ impl Conn {
             id,
             keep_alive,
             state: SlotState::Ready(bytes),
+            span: None,
         });
     }
 }
@@ -386,8 +520,15 @@ impl EdgeServer {
             shared,
         } = self;
         let workers = cfg.workers.max(1);
-        let jobs: BoundedQueue<(Request, Tag)> = BoundedQueue::new(cfg.queue_capacity);
-        let completions: Mutex<Vec<(Tag, Response)>> = Mutex::new(Vec::new());
+        let jobs: BoundedQueue<Job<Tag>> = BoundedQueue::new(cfg.queue_capacity);
+        // Enqueue→dequeue waits land straight in the engine's lifetime
+        // histogram (`ah_queue_wait_seconds`).
+        jobs.set_wait_histogram(Arc::clone(&server.metrics().queue_wait));
+        // The edge reports into the server's registry: one render is the
+        // whole /metrics document.
+        shared.metrics.register_into(server.registry());
+        let mirrors = EdgeMirrors::new(server.registry(), backend.name());
+        let completions: Mutex<Vec<(Tag, Response, Option<Box<Span>>)>> = Mutex::new(Vec::new());
 
         let result = std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -395,10 +536,10 @@ impl EdgeServer {
                 let completions = &completions;
                 let shared = &shared;
                 scope.spawn(move || {
-                    server.serve_queue(backend, jobs, |tag, resp| {
+                    server.serve_queue(backend, jobs, |tag, resp, span| {
                         let mut done = completions.lock().unwrap();
                         let was_empty = done.is_empty();
-                        done.push((tag, resp));
+                        done.push((tag, resp, span));
                         drop(done);
                         // A non-empty list already has a wake pending;
                         // skipping the syscall batches completions.
@@ -423,8 +564,8 @@ impl EdgeServer {
                 failed_tags: std::collections::HashSet::new(),
                 next_req_id: 0,
                 num_nodes: backend.num_nodes(),
-                backend_name: backend.name(),
                 jobs_closed: false,
+                mirrors,
             };
             let out = ev_loop.run();
             // Whatever happened in the loop, release the workers.
@@ -462,8 +603,8 @@ struct EventLoop<'a> {
     poller: Poller,
     shared: &'a Shared,
     server: &'a Server,
-    jobs: &'a BoundedQueue<(Request, Tag)>,
-    completions: &'a Mutex<Vec<(Tag, Response)>>,
+    jobs: &'a BoundedQueue<Job<Tag>>,
+    completions: &'a Mutex<Vec<(Tag, Response, Option<Box<Span>>)>>,
     conns: HashMap<u64, Conn>,
     next_token: u64,
     /// Requests admitted to the queue whose completions are still due.
@@ -473,8 +614,8 @@ struct EventLoop<'a> {
     failed_tags: std::collections::HashSet<Tag>,
     next_req_id: u64,
     num_nodes: usize,
-    backend_name: &'static str,
     jobs_closed: bool,
+    mirrors: EdgeMirrors,
 }
 
 impl EventLoop<'_> {
@@ -584,10 +725,7 @@ impl EventLoop<'_> {
                 Ok((stream, _peer)) => {
                     if self.conns.len() >= self.cfg.max_connections {
                         // Shed at the door: best-effort 503, then close.
-                        self.shared
-                            .metrics
-                            .shed_connections
-                            .fetch_add(1, Ordering::Relaxed);
+                        self.shared.metrics.shed_connections.inc();
                         self.shared.metrics.count_response(503);
                         let _ = stream.set_nonblocking(true);
                         let body = http::json_error("connection limit reached");
@@ -608,10 +746,7 @@ impl EventLoop<'_> {
                     self.next_token += 1;
                     self.poller.register(stream.as_raw_fd(), token, true, false)?;
                     self.conns.insert(token, Conn::new(stream, now));
-                    self.shared
-                        .metrics
-                        .connections
-                        .fetch_add(1, Ordering::Relaxed);
+                    self.shared.metrics.connections.inc();
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -645,7 +780,13 @@ impl EventLoop<'_> {
             conn.dead = true;
         }
         if ev.writable {
-            pump_write(conn, &self.shared.metrics, now, self.cfg.max_write_backlog);
+            pump_write(
+                conn,
+                &self.shared.metrics,
+                self.server.tracer(),
+                now,
+                self.cfg.max_write_backlog,
+            );
         }
         if ev.readable && !conn.read_shut && !conn.dead {
             read_some(conn, &self.shared.metrics, now, self.cfg);
@@ -758,6 +899,10 @@ impl EventLoop<'_> {
                     );
                 }
             }
+            "/debug/traces" => {
+                let body = self.server.tracer().traces_json().into_bytes();
+                self.respond_now(token, 200, keep, body);
+            }
             "/admin/shutdown" if self.cfg.allow_shutdown => {
                 self.shared.stop.store(true, Ordering::Relaxed);
                 self.respond_now(token, 200, keep, b"{\"status\":\"draining\"}".to_vec());
@@ -790,7 +935,11 @@ impl EventLoop<'_> {
     }
 
     /// Admission control: claim a pipeline slot and try to enqueue; a
-    /// full queue turns the slot into an immediate `429`.
+    /// full queue turns the slot into an immediate `429`. Sampled
+    /// requests get their trace span here — parse and enqueue stamped
+    /// at the edge, the rest by whichever worker pops the job (a
+    /// rejected request's span is finished immediately with its
+    /// rejection status, leaving an honest partial trace).
     fn admit(&mut self, token: u64, src: u32, dst: u32, is_path: bool, keep: bool) {
         let id = self.next_req_id;
         self.next_req_id += 1;
@@ -804,19 +953,31 @@ impl EventLoop<'_> {
         };
         let slot_id = conn.next_slot;
         conn.next_slot += 1;
-        match self.jobs.try_push((request, (token, slot_id))) {
+        let mut span = self.server.tracer().start(u8::from(is_path));
+        if let Some(s) = span.as_deref_mut() {
+            s.stamp(Stage::Enqueue);
+        }
+        match self.jobs.try_push(Job {
+            req: request,
+            span,
+            tag: (token, slot_id),
+        }) {
             Ok(()) => {
                 self.in_flight += 1;
                 conn.slots.push_back(Slot {
                     id: slot_id,
                     keep_alive: keep,
                     state: SlotState::Waiting { src, dst, is_path },
+                    span: None,
                 });
             }
-            Err(TryPushError::Full(_)) => {
+            Err(TryPushError::Full(job)) => {
                 // The admission window is full: shed *this* request,
                 // keep the connection — the client is told when to come
                 // back. (try_push already counted the rejection.)
+                if let Some(s) = job.span {
+                    self.server.tracer().finish(s, 429);
+                }
                 self.shared.metrics.count_response(429);
                 let retry = self.cfg.retry_after_secs.to_string();
                 let body = http::json_error("server overloaded, retry later");
@@ -830,11 +991,15 @@ impl EventLoop<'_> {
                         keep,
                         &[("Retry-After", &retry)],
                     )),
+                    span: None,
                 });
             }
-            Err(TryPushError::Closed(_)) => {
+            Err(TryPushError::Closed(job)) => {
                 // Shutting down: this request arrived after the drain
                 // began.
+                if let Some(s) = job.span {
+                    self.server.tracer().finish(s, 503);
+                }
                 self.shared.metrics.count_response(503);
                 let body = http::json_error("shutting down");
                 conn.slots.push_back(Slot {
@@ -847,6 +1012,7 @@ impl EventLoop<'_> {
                         false,
                         &[],
                     )),
+                    span: None,
                 });
                 conn.read_shut = true;
                 conn.close_after_flush = true;
@@ -873,16 +1039,20 @@ impl EventLoop<'_> {
             return Ok(());
         }
         let mut touched: Vec<u64> = Vec::with_capacity(done.len());
-        for ((token, slot_id), resp) in done {
+        for ((token, slot_id), resp, span) in done {
             if self.failed_tags.remove(&(token, slot_id)) {
                 // fail_waiting_slots already answered this slot (503)
                 // and accounted for it; a surviving worker's late
                 // completion must not decrement in_flight again.
+                if let Some(s) = span {
+                    self.server.tracer().finish(s, 503);
+                }
                 continue;
             }
             self.in_flight = self.in_flight.saturating_sub(1);
             let Some(conn) = self.conns.get_mut(&token) else {
-                continue; // connection died while the query ran
+                continue; // connection died while the query ran (span
+                          // dropped unfinished — nothing was delivered)
             };
             let Some(slot) = conn.slots.iter_mut().find(|s| s.id == slot_id) else {
                 continue;
@@ -896,6 +1066,10 @@ impl EventLoop<'_> {
                     slot.keep_alive,
                     &[],
                 ));
+                if let Some(mut s) = span {
+                    s.stamp(Stage::Serialize);
+                    slot.span = Some(s);
+                }
                 self.shared.metrics.count_response(200);
                 touched.push(token);
             }
@@ -929,7 +1103,13 @@ impl EventLoop<'_> {
                 conn.rbuf.len(),
                 conn.wbuf.len() - conn.wpos,
             );
-            pump_write(conn, &self.shared.metrics, now, self.cfg.max_write_backlog);
+            pump_write(
+                conn,
+                &self.shared.metrics,
+                self.server.tracer(),
+                now,
+                self.cfg.max_write_backlog,
+            );
             self.parse_conn(token, stopping);
             let Some(conn) = self.conns.get_mut(&token) else {
                 return Ok(());
@@ -963,10 +1143,7 @@ impl EventLoop<'_> {
         if conn.dead || finished {
             let conn = self.conns.remove(&token).unwrap();
             self.poller.deregister(conn.stream.as_raw_fd())?;
-            self.shared
-                .metrics
-                .connections_closed
-                .fetch_add(1, Ordering::Relaxed);
+            self.shared.metrics.connections_closed.inc();
             return Ok(());
         }
 
@@ -1013,7 +1190,7 @@ impl EventLoop<'_> {
             }
         }
         for (token, hard) in expired {
-            self.shared.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+            self.shared.metrics.timeouts.inc();
             if hard {
                 if let Some(conn) = self.conns.get_mut(&token) {
                     conn.dead = true;
@@ -1047,64 +1224,22 @@ impl EventLoop<'_> {
         Ok(())
     }
 
-    /// Prometheus-style text exposition: edge counters, admission-queue
-    /// saturation, and the serving engine's lifetime query metrics.
+    /// Prometheus text exposition: refresh the point-in-time gauges and
+    /// mirror counters, then render the server's registry — edge
+    /// counters, admission-queue saturation, the serving engine's
+    /// latency/queue-wait histograms (`_bucket`/`_sum`/`_count`) and
+    /// the tracer's per-stage durations, all in one document.
     fn render_metrics(&self) -> String {
-        let m = &self.shared.metrics;
-        let sm = self.server.metrics();
-        let mut out = String::with_capacity(1024);
-        out.push_str(&format!(
-            "ah_edge_backend{{name=\"{}\"}} 1\n",
-            self.backend_name
-        ));
-        out.push_str("# TYPE ah_edge_connections_total counter\n");
-        out.push_str(&format!("ah_edge_connections_total {}\n", m.connections()));
-        out.push_str(&format!("ah_edge_connections_open {}\n", self.conns.len()));
-        out.push_str(&format!(
-            "ah_edge_shed_connections_total {}\n",
-            m.shed_connections()
-        ));
-        out.push_str(&format!("ah_edge_timeouts_total {}\n", m.timeouts()));
-        out.push_str(&format!("ah_edge_bytes_in_total {}\n", m.bytes_in()));
-        out.push_str(&format!("ah_edge_bytes_out_total {}\n", m.bytes_out()));
-        out.push_str("# TYPE ah_edge_responses_total counter\n");
-        for &status in &STATUSES {
-            out.push_str(&format!(
-                "ah_edge_responses_total{{code=\"{}\"}} {}\n",
-                status,
-                m.responses(status)
-            ));
-        }
-        out.push_str("# Admission queue (the bounded serving queue).\n");
-        out.push_str(&format!("ah_queue_capacity {}\n", self.jobs.capacity()));
-        out.push_str(&format!("ah_queue_depth {}\n", self.jobs.len()));
-        out.push_str(&format!("ah_queue_high_water {}\n", self.jobs.high_water()));
-        out.push_str(&format!(
-            "ah_queue_rejected_total {}\n",
-            self.jobs.rejected()
-        ));
-        out.push_str(&format!("ah_edge_in_flight {}\n", self.in_flight));
-        out.push_str("# Serving engine (lifetime).\n");
-        out.push_str(&format!(
-            "ah_server_queries_total {}\n",
-            sm.latency.count()
-        ));
-        for (q, label) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
-            out.push_str(&format!(
-                "ah_server_query_latency_us{{quantile=\"{}\"}} {:.3}\n",
-                label,
-                sm.latency.quantile_ns(q) / 1e3
-            ));
-        }
-        out.push_str(&format!(
-            "ah_server_cache_hits_total {}\n",
-            sm.cache_hits.load(Ordering::Relaxed)
-        ));
-        out.push_str(&format!(
-            "ah_server_cache_misses_total {}\n",
-            sm.cache_misses.load(Ordering::Relaxed)
-        ));
-        out
+        let mi = &self.mirrors;
+        mi.backend.set(1);
+        mi.connections_open.set(self.conns.len() as u64);
+        mi.in_flight.set(self.in_flight as u64);
+        mi.queue_capacity.set(self.jobs.capacity() as u64);
+        mi.queue_depth.set(self.jobs.len() as u64);
+        mi.queue_high_water.set(self.jobs.high_water() as u64);
+        mi.queue_rejected.store(self.jobs.rejected());
+        mi.server_queries.store(self.server.metrics().latency.count());
+        self.server.registry().render()
     }
 }
 
@@ -1148,7 +1283,7 @@ fn read_some(conn: &mut Conn, metrics: &EdgeMetrics, now: Instant, cfg: &EdgeCon
                 return;
             }
             Ok(n) => {
-                metrics.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
+                metrics.bytes_in.add(n as u64);
                 conn.rbuf.extend_from_slice(&chunk[..n]);
                 conn.last_activity = now;
                 if n < chunk.len() {
@@ -1171,7 +1306,19 @@ fn read_some(conn: &mut Conn, metrics: &EdgeMetrics, now: Instant, cfg: &EdgeCon
 /// peer that never reads cannot turn buffered requests into unbounded
 /// response bytes — parked `Ready` slots count against the pipeline
 /// cap, which in turn halts parsing and (via the settle gate) reading.
-fn pump_write(conn: &mut Conn, metrics: &EdgeMetrics, now: Instant, max_write_backlog: usize) {
+///
+/// Sampled spans ride along: a slot entering the write buffer records
+/// the byte mark its response ends at, and once the socket has
+/// accepted that many lifetime bytes the span is stamped `Flush` and
+/// finished — the trace ends when the *last byte* clears, not when the
+/// response is merely buffered.
+fn pump_write(
+    conn: &mut Conn,
+    metrics: &EdgeMetrics,
+    tracer: &Tracer,
+    now: Instant,
+    max_write_backlog: usize,
+) {
     loop {
         while let Some(front) = conn.slots.front() {
             if !matches!(front.state, SlotState::Ready(_)) {
@@ -1185,10 +1332,15 @@ fn pump_write(conn: &mut Conn, metrics: &EdgeMetrics, now: Instant, max_write_ba
                 unreachable!()
             };
             conn.wbuf.extend_from_slice(&bytes);
+            conn.bytes_queued += bytes.len() as u64;
+            if let Some(span) = slot.span {
+                conn.pending_spans.push_back((conn.bytes_queued, span));
+            }
             if !slot.keep_alive {
                 // This response is the last one this connection will
                 // carry; anything the client pipelined after it is
-                // abandoned by protocol.
+                // abandoned by protocol (dropped slots take their
+                // unfinished spans with them).
                 conn.read_shut = true;
                 conn.close_after_flush = true;
                 conn.slots.clear();
@@ -1207,7 +1359,17 @@ fn pump_write(conn: &mut Conn, metrics: &EdgeMetrics, now: Instant, max_write_ba
             }
             Ok(n) => {
                 conn.wpos += n;
-                metrics.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+                conn.bytes_flushed += n as u64;
+                while conn
+                    .pending_spans
+                    .front()
+                    .is_some_and(|p| p.0 <= conn.bytes_flushed)
+                {
+                    let (_, mut span) = conn.pending_spans.pop_front().unwrap();
+                    span.stamp(Stage::Flush);
+                    tracer.finish(span, 200);
+                }
+                metrics.bytes_out.add(n as u64);
                 conn.last_activity = now;
                 // Any progress restarts the write-stall clock (the
                 // settle pass re-arms it if a backlog remains), so the

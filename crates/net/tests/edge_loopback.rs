@@ -325,6 +325,7 @@ fn overload_sheds_429_and_drains_accepted_requests_through_shutdown() {
         queue_capacity: 2,
         cache_capacity: 0,
         batch_size: 1,
+        ..Default::default()
     };
     let report = with_edge(cfg, server_cfg, &backend, |addr, handle| {
         let mut c = connect(addr);
@@ -529,6 +530,7 @@ fn worker_panic_fails_fast_with_503_instead_of_hanging() {
         queue_capacity: 8,
         cache_capacity: 0,
         batch_size: 1,
+        ..Default::default()
     });
     let edge = EdgeServer::bind(
         "127.0.0.1:0",

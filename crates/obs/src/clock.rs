@@ -1,0 +1,37 @@
+//! Process-wide monotonic clock for stage stamps.
+//!
+//! All span timestamps are nanoseconds since one lazily-initialised
+//! process epoch, so stamps taken on different threads compare
+//! directly and fit in a `u64` (580+ years of range). A raw
+//! `Instant` cannot be stored in a fixed-size lock-free record;
+//! epoch-relative nanoseconds can.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds since the process-wide monotonic epoch (first call
+/// returns 0 and pins the epoch). Span stamps store `now_ns().max(1)`
+/// so that 0 can mean "stage never reached".
+#[inline]
+pub fn now_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic_across_threads() {
+        let t0 = now_ns();
+        let handles: Vec<_> = (0..4)
+            .map(|_| std::thread::spawn(now_ns))
+            .collect();
+        for h in handles {
+            assert!(h.join().unwrap() >= t0);
+        }
+        assert!(now_ns() >= t0);
+    }
+}

@@ -1,0 +1,40 @@
+//! `ah_obs` — the observability substrate for the serving stack.
+//!
+//! Dependency-free tracing + metrics, shared by the HTTP edge
+//! (`ah_net`), the worker pool (`ah_server`), and the sharded lanes:
+//!
+//! - [`Counter`] / [`Gauge`] / [`Histogram`]: lock-free primitives
+//!   (relaxed atomics, no per-observation allocation). The histogram is
+//!   the log₂-bucket latency histogram the serving layer has always
+//!   used, now with *documented, property-tested* bucket boundaries
+//!   ([`Histogram::bucket_of`] / [`Histogram::bucket_le_ns`]) so
+//!   per-lane instances can be merged and rendered without guessing.
+//! - [`Registry`]: named metric families with static labels
+//!   (`backend`, `shard`, `endpoint`, `status`, …), rendered once as
+//!   Prometheus text — including real `_bucket`/`le` series derived
+//!   from the histogram buckets.
+//! - [`Tracer`] / [`Span`]: deterministic 1-in-N sampled request
+//!   traces. Each sampled request carries a fixed-size [`SpanRecord`]
+//!   with monotonic stage timestamps (parse → enqueue → dequeue →
+//!   cache probe → compute → serialize → flush) stamped from one
+//!   process-wide monotonic epoch ([`now_ns`]). Finished spans land in
+//!   a lock-free seqlock ring ([`SpanRing`]) feeding the
+//!   `/debug/traces` endpoint and a threshold-gated slow-query log;
+//!   per-stage durations feed `ah_stage_duration_seconds` histograms
+//!   in the registry.
+//!
+//! See `docs/OBSERVABILITY.md` for the metric-name catalog, label
+//! schema, trace record layout, and sampling/overhead guidance.
+
+mod clock;
+mod metrics;
+mod registry;
+mod trace;
+
+pub use clock::now_ns;
+pub use metrics::{Counter, Gauge, Histogram, BUCKETS};
+pub use registry::{Metric, Registry};
+pub use trace::{
+    Span, SpanRecord, SpanRing, Stage, TraceConfig, Tracer, INTERVAL_NAMES, NUM_STAGES,
+    STAGE_NAMES,
+};

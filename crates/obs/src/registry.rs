@@ -1,0 +1,296 @@
+//! A named-metric registry with one Prometheus-text renderer.
+//!
+//! Every serving layer registers its counters/gauges/histograms here
+//! under stable names with static labels (`backend`, `shard`,
+//! `endpoint`, `status`, …); `/metrics` becomes a single
+//! [`Registry::render`] call instead of each layer hand-formatting its
+//! own block. Histograms render as real cumulative `_bucket{le=…}`
+//! series (boundaries in **seconds**, from
+//! [`Histogram::bucket_le_ns`]) plus `_sum`/`_count`, so quantiles can
+//! be computed server-side by any Prometheus-compatible scraper.
+//!
+//! Registration is rare (startup / run setup) and rendering is
+//! debug-path, so the registry itself is a plain `Mutex<Vec<…>>`;
+//! the *metrics* stay lock-free — the registry only holds `Arc`s to
+//! them.
+
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::{Counter, Gauge, Histogram};
+
+/// A handle to one registered metric.
+#[derive(Debug, Clone)]
+pub enum Metric {
+    /// Monotonic counter.
+    Counter(Arc<Counter>),
+    /// Point-in-time gauge.
+    Gauge(Arc<Gauge>),
+    /// Log₂ nanosecond histogram (rendered in seconds).
+    Histogram(Arc<Histogram>),
+}
+
+#[derive(Debug)]
+struct Family {
+    name: String,
+    help: String,
+    labels: Vec<(String, String)>,
+    metric: Metric,
+}
+
+/// Named metric families, rendered as Prometheus text.
+#[derive(Debug, Default)]
+pub struct Registry {
+    families: Mutex<Vec<Family>>,
+}
+
+fn owned_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter registered under `name` + `labels`,
+    /// creating (and registering) it on first use.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Arc<Counter> {
+        match self.get_or_insert(name, labels, help, || Metric::Counter(Arc::default())) {
+            Metric::Counter(c) => c,
+            other => panic!("metric {name} already registered as {other:?}, wanted counter"),
+        }
+    }
+
+    /// Returns the gauge registered under `name` + `labels`, creating
+    /// it on first use.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Arc<Gauge> {
+        match self.get_or_insert(name, labels, help, || Metric::Gauge(Arc::default())) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric {name} already registered as {other:?}, wanted gauge"),
+        }
+    }
+
+    /// Returns the histogram registered under `name` + `labels`,
+    /// creating it on first use.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Arc<Histogram> {
+        match self.get_or_insert(name, labels, help, || Metric::Histogram(Arc::default())) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric {name} already registered as {other:?}, wanted histogram"),
+        }
+    }
+
+    /// Attaches an *existing* metric under `name` + `labels`,
+    /// replacing any previous registration of the same series. This is
+    /// how a layer that owns its own `Arc<Counter>` (e.g. the edge
+    /// loop's byte counters, or a per-run `ServerMetrics`) exposes it
+    /// without double-counting across re-registrations.
+    pub fn register(&self, name: &str, labels: &[(&str, &str)], help: &str, metric: Metric) {
+        let labels = owned_labels(labels);
+        let mut fams = self.families.lock().unwrap();
+        if let Some(f) = fams
+            .iter_mut()
+            .find(|f| f.name == name && f.labels == labels)
+        {
+            f.metric = metric;
+            f.help = help.to_string();
+        } else {
+            fams.push(Family {
+                name: name.to_string(),
+                help: help.to_string(),
+                labels,
+                metric,
+            });
+        }
+    }
+
+    fn get_or_insert(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        make: impl FnOnce() -> Metric,
+    ) -> Metric {
+        let labels = owned_labels(labels);
+        let mut fams = self.families.lock().unwrap();
+        if let Some(f) = fams
+            .iter()
+            .find(|f| f.name == name && f.labels == labels)
+        {
+            return f.metric.clone();
+        }
+        let metric = make();
+        fams.push(Family {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels,
+            metric: metric.clone(),
+        });
+        metric
+    }
+
+    /// Renders every registered family as Prometheus text exposition:
+    /// `# HELP`/`# TYPE` once per metric name (first-registration
+    /// order), then one series line per label set. Histogram families
+    /// expand into cumulative `_bucket{le="<seconds>"}` lines up to the
+    /// highest occupied bucket, a `+Inf` bucket, `_sum` (seconds) and
+    /// `_count` — an empty histogram still renders its `+Inf` bucket
+    /// so scrapers always see the series.
+    pub fn render(&self) -> String {
+        let fams = self.families.lock().unwrap();
+        let mut out = String::with_capacity(4096);
+        let mut seen: Vec<&str> = Vec::new();
+        for f in fams.iter() {
+            if seen.contains(&f.name.as_str()) {
+                continue;
+            }
+            seen.push(&f.name);
+            let kind = match &f.metric {
+                Metric::Counter(_) => "counter",
+                Metric::Gauge(_) => "gauge",
+                Metric::Histogram(_) => "histogram",
+            };
+            if !f.help.is_empty() {
+                out.push_str(&format!("# HELP {} {}\n", f.name, f.help));
+            }
+            out.push_str(&format!("# TYPE {} {}\n", f.name, kind));
+            for g in fams.iter().filter(|g| g.name == f.name) {
+                render_series(&mut out, g);
+            }
+        }
+        out
+    }
+}
+
+fn fmt_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{v}\""))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+fn render_series(out: &mut String, f: &Family) {
+    match &f.metric {
+        Metric::Counter(c) => {
+            out.push_str(&format!("{}{} {}\n", f.name, fmt_labels(&f.labels, None), c.get()));
+        }
+        Metric::Gauge(g) => {
+            out.push_str(&format!("{}{} {}\n", f.name, fmt_labels(&f.labels, None), g.get()));
+        }
+        Metric::Histogram(h) => {
+            let counts = h.bucket_counts();
+            let last = counts.iter().rposition(|&c| c > 0);
+            let mut cum = 0u64;
+            if let Some(last) = last {
+                for (b, &c) in counts.iter().enumerate().take(last + 1) {
+                    cum += c;
+                    let le = format!("{}", Histogram::bucket_le_ns(b) as f64 / 1e9);
+                    out.push_str(&format!(
+                        "{}_bucket{} {}\n",
+                        f.name,
+                        fmt_labels(&f.labels, Some(("le", &le))),
+                        cum
+                    ));
+                }
+            }
+            out.push_str(&format!(
+                "{}_bucket{} {}\n",
+                f.name,
+                fmt_labels(&f.labels, Some(("le", "+Inf"))),
+                cum
+            ));
+            out.push_str(&format!(
+                "{}_sum{} {}\n",
+                f.name,
+                fmt_labels(&f.labels, None),
+                h.total_ns() as f64 / 1e9
+            ));
+            out.push_str(&format!(
+                "{}_count{} {}\n",
+                f.name,
+                fmt_labels(&f.labels, None),
+                h.count()
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_and_labels_share_one_metric() {
+        let r = Registry::new();
+        let a = r.counter("ah_test_total", &[("shard", "0")], "help");
+        let b = r.counter("ah_test_total", &[("shard", "0")], "help");
+        let c = r.counter("ah_test_total", &[("shard", "1")], "help");
+        a.inc();
+        assert_eq!(b.get(), 1);
+        assert_eq!(c.get(), 0);
+        let text = r.render();
+        assert!(text.contains("ah_test_total{shard=\"0\"} 1"), "{text}");
+        assert!(text.contains("ah_test_total{shard=\"1\"} 0"), "{text}");
+        // HELP/TYPE appear once for the whole family.
+        assert_eq!(text.matches("# TYPE ah_test_total counter").count(), 1);
+    }
+
+    #[test]
+    fn register_replaces_same_series() {
+        let r = Registry::new();
+        let old = Arc::new(Counter::new());
+        old.add(5);
+        r.register("ah_x_total", &[], "x", Metric::Counter(old));
+        let new = Arc::new(Counter::new());
+        new.add(7);
+        r.register("ah_x_total", &[], "x", Metric::Counter(new));
+        let text = r.render();
+        assert!(text.contains("ah_x_total 7"), "{text}");
+        assert!(!text.contains("ah_x_total 5"), "{text}");
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets_in_seconds() {
+        let r = Registry::new();
+        let h = r.histogram("ah_lat_seconds", &[("backend", "AH")], "latency");
+        h.record_ns(1); // bucket 0, le 1e-9
+        h.record_ns(3); // bucket 1, le 3e-9
+        h.record_ns(3);
+        let text = r.render();
+        assert!(text.contains("# TYPE ah_lat_seconds histogram"), "{text}");
+        assert!(
+            text.contains("ah_lat_seconds_bucket{backend=\"AH\",le=\"0.000000001\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("ah_lat_seconds_bucket{backend=\"AH\",le=\"0.000000003\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("ah_lat_seconds_bucket{backend=\"AH\",le=\"+Inf\"} 3"),
+            "{text}"
+        );
+        assert!(text.contains("ah_lat_seconds_count{backend=\"AH\"} 3"), "{text}");
+        assert!(text.contains("ah_lat_seconds_sum{backend=\"AH\"} 0.000000007"), "{text}");
+    }
+
+    #[test]
+    fn empty_histogram_still_renders_inf_bucket() {
+        let r = Registry::new();
+        r.histogram("ah_empty_seconds", &[], "");
+        let text = r.render();
+        assert!(text.contains("ah_empty_seconds_bucket{le=\"+Inf\"} 0"), "{text}");
+        assert!(text.contains("ah_empty_seconds_count 0"), "{text}");
+    }
+}

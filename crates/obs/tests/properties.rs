@@ -1,0 +1,77 @@
+//! Property tests pinning the histogram bucket contract.
+//!
+//! The Prometheus `_bucket` series and lossless cross-lane merges both
+//! rely on every `Histogram` agreeing on the same bucket layout, so
+//! the layout is tested as a *property* of arbitrary observations, not
+//! just spot values: powers of two land in the documented bucket, each
+//! observation falls within its bucket's bounds, and merge equals
+//! replay.
+
+use ah_obs::{Histogram, BUCKETS};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `2^k` lands exactly in bucket `k` — the documented inclusive
+    /// lower edge — and `2^k - 1` in bucket `k-1`.
+    #[test]
+    fn powers_of_two_land_in_their_bucket(k in 0u32..64) {
+        let v = 1u64 << k;
+        prop_assert_eq!(Histogram::bucket_of(v), k as usize);
+        if k >= 2 {
+            prop_assert_eq!(Histogram::bucket_of(v - 1), (k - 1) as usize);
+        }
+    }
+
+    /// Every observation lies within its bucket's documented bounds:
+    /// `le(b-1) < ns <= le(b)` (with 0 ns sharing bucket 0).
+    #[test]
+    fn observations_fall_inside_bucket_bounds(ns in 0u64..=u64::MAX) {
+        let b = Histogram::bucket_of(ns);
+        prop_assert!(b < BUCKETS);
+        prop_assert!(ns <= Histogram::bucket_le_ns(b),
+            "ns {} above le {} of bucket {}", ns, Histogram::bucket_le_ns(b), b);
+        if b > 0 {
+            prop_assert!(ns > Histogram::bucket_le_ns(b - 1),
+                "ns {} not above le {} of bucket {}", ns, Histogram::bucket_le_ns(b - 1), b - 1);
+        }
+    }
+
+    /// Bucket upper bounds are strictly increasing and saturate at
+    /// `u64::MAX` (no `1 << 64` wraparound at the top).
+    #[test]
+    fn bucket_bounds_are_strictly_increasing(b in 1usize..64) {
+        prop_assert!(Histogram::bucket_le_ns(b) > Histogram::bucket_le_ns(b - 1));
+        prop_assert_eq!(Histogram::bucket_le_ns(BUCKETS - 1), u64::MAX);
+    }
+
+    /// Merging per-lane histograms is exactly equivalent to recording
+    /// every observation into one histogram: same per-bucket counts,
+    /// same totals — no fidelity lost by aggregating lanes.
+    #[test]
+    fn merge_equals_replay(
+        lane_a in proptest::collection::vec(0u64..1 << 40, 0..40),
+        lane_b in proptest::collection::vec(0u64..1 << 40, 0..40),
+    ) {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let replay = Histogram::new();
+        for &ns in &lane_a {
+            a.record_ns(ns);
+            replay.record_ns(ns);
+        }
+        for &ns in &lane_b {
+            b.record_ns(ns);
+            replay.record_ns(ns);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), replay.count());
+        prop_assert_eq!(a.total_ns(), replay.total_ns());
+        prop_assert_eq!(a.bucket_counts(), replay.bucket_counts());
+        // And the derived quantiles agree bit-for-bit.
+        for q in [0.5, 0.95, 0.99] {
+            prop_assert_eq!(a.quantile_ns(q), replay.quantile_ns(q));
+        }
+    }
+}

@@ -19,8 +19,13 @@
 //!   a [`BoundedQueue`] in batches, with a sharded LRU [`DistanceCache`]
 //!   consulted before any search runs. The feeder blocks when the bounded
 //!   queue fills, making every run closed-loop.
-//! * [`ServerMetrics`] — lock-free telemetry: log₂-bucket latency
-//!   histograms (p50/p95/p99), cache hit rates, aggregate QPS.
+//! * [`ServerMetrics`] — lock-free telemetry over the `ah_obs`
+//!   substrate: log₂-bucket latency and queue-wait histograms
+//!   (p50/p95/p99), cache hit rates, aggregate QPS — all `Arc`-shared
+//!   metrics registrable in an [`ah_obs::Registry`] for one unified
+//!   Prometheus render, with deterministic 1-in-N request tracing
+//!   ([`ah_obs::Tracer`]) threaded through the queue via [`Job`]
+//!   (see `docs/OBSERVABILITY.md`).
 //! * [`SnapshotServer`] — the lifecycle layer over `ah_store` snapshots:
 //!   [`Server::from_snapshot`] restarts a server from a persisted index
 //!   without paying the build, and an atomic index swap (with cache
@@ -61,7 +66,12 @@ pub use backend::{
 pub use cache::{DistanceCache, NUM_SHARDS};
 pub use metrics::{LatencyHistogram, MetricsSnapshot, ServerMetrics};
 pub use queue::{BoundedQueue, TryPushError};
-pub use server::{QueryKind, Request, Response, RunReport, Server, ServerConfig};
+pub use server::{Job, QueryKind, Request, Response, RunReport, Server, ServerConfig};
+
+// Re-exported so serving-layer callers (the edge, the bench bins) can
+// configure tracing and inspect spans without naming `ah_obs` as a
+// separate dependency.
+pub use ah_obs::{Registry, Span, SpanRecord, Stage, TraceConfig, Tracer};
 pub use sharded::{
     ShardLaneReport, ShardedBackend, ShardedRunReport, ShardedServer, ShardedServerConfig,
 };

@@ -1,128 +1,55 @@
-//! Serving telemetry: latency histograms, cache counters, throughput.
+//! Serving telemetry over the `ah_obs` substrate.
 //!
-//! Workers record each query's wall-clock latency into a fixed set of
-//! log-spaced buckets (`bucket = ⌊log₂ ns⌋`, 64 buckets cover 1 ns … 580
-//! years) using only relaxed atomic increments — no locks on the hot path,
-//! no per-query allocation, and safe to share by reference across the
-//! worker pool. Quantiles (p50/p95/p99) are then read off the cumulative
-//! bucket counts; the log-2 bucketing bounds the relative error of any
-//! reported quantile by 2×, which is plenty to compare backends and thread
-//! counts.
+//! Workers record each query's wall-clock latency into a shared
+//! [`LatencyHistogram`] (the log₂-bucket `ah_obs::Histogram` — relaxed
+//! atomic increments only, no locks on the hot path, bucket layout
+//! property-tested in `ah_obs`), and the queue records each job's
+//! enqueue→dequeue wait into a second one. All fields are `Arc`s so
+//! the same metric objects can live in a [`ah_obs::Registry`] and be
+//! rendered as Prometheus text (`_bucket`/`_sum`/`_count` series) by
+//! the edge while workers keep writing to them lock-free.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-/// Number of log₂ latency buckets.
-const BUCKETS: usize = 64;
+use ah_obs::{Counter, Gauge, Metric, Registry};
 
-/// A fixed-bucket, lock-free latency histogram over nanoseconds.
-#[derive(Debug)]
-pub struct LatencyHistogram {
-    counts: [AtomicU64; BUCKETS],
-    total_ns: AtomicU64,
-    count: AtomicU64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl LatencyHistogram {
-    /// Creates an empty histogram.
-    pub fn new() -> Self {
-        LatencyHistogram {
-            counts: std::array::from_fn(|_| AtomicU64::new(0)),
-            total_ns: AtomicU64::new(0),
-            count: AtomicU64::new(0),
-        }
-    }
-
-    #[inline]
-    fn bucket(ns: u64) -> usize {
-        // ⌊log₂ ns⌋, with 0 and 1 ns in bucket 0.
-        (64 - ns.max(1).leading_zeros() as usize).saturating_sub(1)
-    }
-
-    /// Records one observation (relaxed atomics; callable from any thread).
-    #[inline]
-    pub fn record_ns(&self, ns: u64) {
-        self.counts[Self::bucket(ns)].fetch_add(1, Ordering::Relaxed);
-        self.total_ns.fetch_add(ns, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Number of observations recorded.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// Mean latency in nanoseconds (0 when empty).
-    pub fn mean_ns(&self) -> f64 {
-        let n = self.count();
-        if n == 0 {
-            0.0
-        } else {
-            self.total_ns.load(Ordering::Relaxed) as f64 / n as f64
-        }
-    }
-
-    /// Approximate `q`-quantile (`0.0 ..= 1.0`) in nanoseconds: the
-    /// geometric midpoint of the first bucket whose cumulative count
-    /// reaches `q · total`. Returns 0 when empty.
-    pub fn quantile_ns(&self, q: f64) -> f64 {
-        let total = self.count();
-        if total == 0 {
-            return 0.0;
-        }
-        let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
-        let mut cum = 0u64;
-        for (b, c) in self.counts.iter().enumerate() {
-            cum += c.load(Ordering::Relaxed);
-            if cum >= rank {
-                // Bucket b spans [2^b, 2^(b+1)); report its geometric mean.
-                let lo = (1u64 << b) as f64;
-                return lo * std::f64::consts::SQRT_2;
-            }
-        }
-        (1u64 << (BUCKETS - 1)) as f64
-    }
-
-    /// Merges another histogram's counts into this one.
-    pub fn merge(&self, other: &LatencyHistogram) {
-        for (a, b) in self.counts.iter().zip(other.counts.iter()) {
-            a.fetch_add(b.load(Ordering::Relaxed), Ordering::Relaxed);
-        }
-        self.total_ns
-            .fetch_add(other.total_ns.load(Ordering::Relaxed), Ordering::Relaxed);
-        self.count
-            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
-    }
-}
+/// The serving layer's latency histogram — a re-export of
+/// [`ah_obs::Histogram`], kept under its historical name. Buckets are
+/// `⌊log₂ ns⌋`; see [`ah_obs::Histogram::bucket_of`] for the
+/// documented (and property-tested) boundary contract.
+pub use ah_obs::Histogram as LatencyHistogram;
 
 /// Shared serving counters, updated by all workers.
+///
+/// Every field is an `Arc` so the identical objects can be registered
+/// in an [`ah_obs::Registry`] (shared with the edge and other lanes)
+/// while remaining plain lock-free metrics on the worker hot path.
 #[derive(Debug, Default)]
 pub struct ServerMetrics {
     /// Latency of every query (cache hits included — they are part of the
     /// service-time distribution a client observes).
-    pub latency: LatencyHistogram,
+    pub latency: Arc<LatencyHistogram>,
+    /// Enqueue→dequeue wait of every job that passed through a queue
+    /// with [`crate::BoundedQueue::set_wait_histogram`] attached —
+    /// queue saturation as a *latency*, not just a depth gauge.
+    pub queue_wait: Arc<LatencyHistogram>,
     /// Distance queries answered from the cache. Path requests never
     /// probe the cache and are excluded from both counters, so the
     /// hit-rate here agrees with the cache's own accounting.
-    pub cache_hits: AtomicU64,
+    pub cache_hits: Arc<Counter>,
     /// Distance queries that went to the backend.
-    pub cache_misses: AtomicU64,
+    pub cache_misses: Arc<Counter>,
     /// Requests refused at admission because the bounded queue was full
     /// (the edge answers these with 429). Always 0 for closed-loop runs,
     /// whose feeder blocks instead of rejecting.
-    pub rejected: AtomicU64,
+    pub rejected: Arc<Counter>,
     /// Deepest the request queue has been — saturation headroom. A
     /// high-water mark at the queue's capacity means admission control
     /// engaged (or was one request away from engaging).
-    pub queue_high_water: AtomicU64,
+    pub queue_high_water: Arc<Gauge>,
     /// Queue depth when the metrics were last sampled (a gauge, not a
     /// counter; 0 after a drained run).
-    pub queue_depth: AtomicU64,
+    pub queue_depth: Arc<Gauge>,
 }
 
 impl ServerMetrics {
@@ -133,22 +60,17 @@ impl ServerMetrics {
 
     /// Folds another metrics object's counts into this one (used to roll a
     /// per-run measurement into the server's lifetime totals). Counters
-    /// add; the queue high-water takes the max of the two marks and the
+    /// add, histograms merge bucket-by-bucket (lossless — same layout),
+    /// the queue high-water takes the max of the two marks and the
     /// depth gauge takes the other's (more recent) sample.
     pub fn merge_from(&self, other: &ServerMetrics) {
         self.latency.merge(&other.latency);
-        self.cache_hits
-            .fetch_add(other.cache_hits.load(Ordering::Relaxed), Ordering::Relaxed);
-        self.cache_misses
-            .fetch_add(other.cache_misses.load(Ordering::Relaxed), Ordering::Relaxed);
-        self.rejected
-            .fetch_add(other.rejected.load(Ordering::Relaxed), Ordering::Relaxed);
-        self.queue_high_water.fetch_max(
-            other.queue_high_water.load(Ordering::Relaxed),
-            Ordering::Relaxed,
-        );
-        self.queue_depth
-            .store(other.queue_depth.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.queue_wait.merge(&other.queue_wait);
+        self.cache_hits.add(other.cache_hits.get());
+        self.cache_misses.add(other.cache_misses.get());
+        self.rejected.add(other.rejected.get());
+        self.queue_high_water.set_max(other.queue_high_water.get());
+        self.queue_depth.set(other.queue_depth.get());
     }
 
     /// Folds a queue's saturation state into the metrics: the depth
@@ -158,18 +80,49 @@ impl ServerMetrics {
     /// rather than storing means a server reused across several queues
     /// accumulates rejections instead of forgetting earlier runs'.
     pub fn record_queue<T: Send>(&self, queue: &crate::BoundedQueue<T>) {
-        self.queue_depth
-            .store(queue.len() as u64, Ordering::Relaxed);
-        self.queue_high_water
-            .fetch_max(queue.high_water() as u64, Ordering::Relaxed);
-        self.rejected.fetch_add(queue.rejected(), Ordering::Relaxed);
+        self.queue_depth.set(queue.len() as u64);
+        self.queue_high_water.set_max(queue.high_water() as u64);
+        self.rejected.add(queue.rejected());
+    }
+
+    /// Registers the metrics under their stable names (see
+    /// `docs/OBSERVABILITY.md`) with the given static labels:
+    /// `ah_server_query_latency_seconds` and `ah_queue_wait_seconds`
+    /// as real Prometheus histograms, the cache outcomes as counters.
+    /// Re-registering (e.g. a fresh per-run `ServerMetrics`) replaces
+    /// the previous series instead of double-counting.
+    pub fn register_into(&self, reg: &Registry, labels: &[(&str, &str)]) {
+        reg.register(
+            "ah_server_query_latency_seconds",
+            labels,
+            "Per-query service time (cache hits included)",
+            Metric::Histogram(Arc::clone(&self.latency)),
+        );
+        reg.register(
+            "ah_queue_wait_seconds",
+            labels,
+            "Enqueue-to-dequeue wait in the bounded worker queue",
+            Metric::Histogram(Arc::clone(&self.queue_wait)),
+        );
+        reg.register(
+            "ah_server_cache_hits_total",
+            labels,
+            "Distance queries answered from the cache",
+            Metric::Counter(Arc::clone(&self.cache_hits)),
+        );
+        reg.register(
+            "ah_server_cache_misses_total",
+            labels,
+            "Distance queries computed by the backend",
+            Metric::Counter(Arc::clone(&self.cache_misses)),
+        );
     }
 
     /// Immutable snapshot for reporting.
     pub fn snapshot(&self, wall_secs: f64) -> MetricsSnapshot {
         let count = self.latency.count();
-        let hits = self.cache_hits.load(Ordering::Relaxed);
-        let misses = self.cache_misses.load(Ordering::Relaxed);
+        let hits = self.cache_hits.get();
+        let misses = self.cache_misses.get();
         MetricsSnapshot {
             queries: count,
             wall_secs,
@@ -189,9 +142,11 @@ impl ServerMetrics {
             } else {
                 0.0
             },
-            rejected: self.rejected.load(Ordering::Relaxed),
-            queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
-            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            rejected: self.rejected.get(),
+            queue_high_water: self.queue_high_water.get(),
+            queue_depth: self.queue_depth.get(),
+            queue_wait_mean_us: self.queue_wait.mean_ns() / 1e3,
+            queue_wait_p99_us: self.queue_wait.quantile_ns(0.99) / 1e3,
         }
     }
 }
@@ -227,6 +182,11 @@ pub struct MetricsSnapshot {
     pub queue_high_water: u64,
     /// Queue depth at sampling time (0 after a drained run).
     pub queue_depth: u64,
+    /// Mean enqueue→dequeue wait, microseconds (0 when no wait
+    /// histogram was attached to the queue).
+    pub queue_wait_mean_us: f64,
+    /// 99th-percentile enqueue→dequeue wait, microseconds.
+    pub queue_wait_p99_us: f64,
 }
 
 impl MetricsSnapshot {
@@ -239,7 +199,8 @@ impl MetricsSnapshot {
                 "\"mean_us\":{:.3},\"p50_us\":{:.3},\"p95_us\":{:.3},",
                 "\"p99_us\":{:.3},\"cache_hits\":{},\"cache_misses\":{},",
                 "\"cache_hit_rate\":{:.4},\"rejected\":{},",
-                "\"queue_high_water\":{},\"queue_depth\":{}}}"
+                "\"queue_high_water\":{},\"queue_depth\":{},",
+                "\"queue_wait_mean_us\":{:.3},\"queue_wait_p99_us\":{:.3}}}"
             ),
             self.queries,
             self.wall_secs,
@@ -254,6 +215,8 @@ impl MetricsSnapshot {
             self.rejected,
             self.queue_high_water,
             self.queue_depth,
+            self.queue_wait_mean_us,
+            self.queue_wait_p99_us,
         )
     }
 }
@@ -264,13 +227,11 @@ mod tests {
 
     #[test]
     fn buckets_are_log2() {
-        assert_eq!(LatencyHistogram::bucket(0), 0);
-        assert_eq!(LatencyHistogram::bucket(1), 0);
-        assert_eq!(LatencyHistogram::bucket(2), 1);
-        assert_eq!(LatencyHistogram::bucket(3), 1);
-        assert_eq!(LatencyHistogram::bucket(4), 2);
-        assert_eq!(LatencyHistogram::bucket(1024), 10);
-        assert_eq!(LatencyHistogram::bucket(u64::MAX), 63);
+        assert_eq!(LatencyHistogram::bucket_of(0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(1), 0);
+        assert_eq!(LatencyHistogram::bucket_of(2), 1);
+        assert_eq!(LatencyHistogram::bucket_of(1024), 10);
+        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), 63);
     }
 
     #[test]
@@ -286,13 +247,6 @@ mod tests {
         let p99 = h.quantile_ns(0.99);
         assert!(p99 >= 5_000.0 && p99 <= 20_000.0, "p99 = {p99}");
         assert!((h.mean_ns() - 2200.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn empty_histogram_reports_zero() {
-        let h = LatencyHistogram::new();
-        assert_eq!(h.quantile_ns(0.5), 0.0);
-        assert_eq!(h.mean_ns(), 0.0);
     }
 
     #[test]
@@ -328,18 +282,21 @@ mod tests {
         let m = ServerMetrics::new();
         m.latency.record_ns(1_000);
         m.latency.record_ns(2_000);
-        m.cache_hits.fetch_add(1, Ordering::Relaxed);
-        m.cache_misses.fetch_add(1, Ordering::Relaxed);
+        m.cache_hits.inc();
+        m.cache_misses.inc();
+        m.queue_wait.record_ns(5_000);
         let s = m.snapshot(2.0);
         assert_eq!(s.queries, 2);
         assert!((s.qps - 1.0).abs() < 1e-12);
         assert!((s.cache_hit_rate - 0.5).abs() < 1e-12);
+        assert!((s.queue_wait_mean_us - 5.0).abs() < 1e-12);
         let json = s.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"queries\":2"));
         assert!(json.contains("\"cache_hit_rate\":0.5000"));
         assert!(json.contains("\"rejected\":0"));
         assert!(json.contains("\"queue_high_water\":0"));
+        assert!(json.contains("\"queue_wait_mean_us\":5.000"));
     }
 
     #[test]
@@ -357,9 +314,31 @@ mod tests {
 
         // Merging keeps the deeper high-water mark and adds rejections.
         let total = ServerMetrics::new();
-        total.queue_high_water.store(5, Ordering::Relaxed);
+        total.queue_high_water.set(5);
         total.merge_from(&m);
-        assert_eq!(total.queue_high_water.load(Ordering::Relaxed), 5);
-        assert_eq!(total.rejected.load(Ordering::Relaxed), 1);
+        assert_eq!(total.queue_high_water.get(), 5);
+        assert_eq!(total.rejected.get(), 1);
+    }
+
+    #[test]
+    fn registered_metrics_render_as_histograms() {
+        let m = ServerMetrics::new();
+        m.latency.record_ns(1_500);
+        m.queue_wait.record_ns(800);
+        m.cache_hits.inc();
+        let reg = ah_obs::Registry::new();
+        m.register_into(&reg, &[("backend", "AH")]);
+        let text = reg.render();
+        assert!(
+            text.contains("# TYPE ah_server_query_latency_seconds histogram"),
+            "{text}"
+        );
+        assert!(
+            text.contains("ah_server_query_latency_seconds_bucket{backend=\"AH\",le="),
+            "{text}"
+        );
+        assert!(text.contains("ah_server_query_latency_seconds_count{backend=\"AH\"} 1"), "{text}");
+        assert!(text.contains("ah_queue_wait_seconds_bucket{backend=\"AH\",le="), "{text}");
+        assert!(text.contains("ah_server_cache_hits_total{backend=\"AH\"} 1"), "{text}");
     }
 }

@@ -17,13 +17,22 @@
 //! and is counted in [`BoundedQueue::rejected`]. The queue also tracks
 //! its [`BoundedQueue::high_water`] mark so operators can see how close
 //! to saturation the service ran, not just whether it tipped over.
+//!
+//! Every item is stamped with its enqueue `Instant`; attach a
+//! histogram with [`BoundedQueue::set_wait_histogram`] and each pop
+//! records the item's enqueue→dequeue wait into it — queue saturation
+//! becomes a *latency distribution* (`ah_queue_wait_seconds`), not
+//! just a depth gauge.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
+use ah_obs::Histogram;
 
 struct State<T> {
-    items: VecDeque<T>,
+    items: VecDeque<(Instant, T)>,
     closed: bool,
 }
 
@@ -49,6 +58,9 @@ pub struct BoundedQueue<T: Send> {
     high_water: AtomicUsize,
     /// Items refused by [`BoundedQueue::try_push`] on a full queue.
     rejected: AtomicU64,
+    /// Enqueue→dequeue wait sink, set once via
+    /// [`BoundedQueue::set_wait_histogram`].
+    wait_hist: OnceLock<Arc<Histogram>>,
 }
 
 impl<T: Send> BoundedQueue<T> {
@@ -64,12 +76,21 @@ impl<T: Send> BoundedQueue<T> {
             not_full: Condvar::new(),
             high_water: AtomicUsize::new(0),
             rejected: AtomicU64::new(0),
+            wait_hist: OnceLock::new(),
         }
     }
 
     /// Maximum number of in-flight items.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Attaches the histogram that receives every item's
+    /// enqueue→dequeue wait (nanoseconds). Set-once: later calls are
+    /// ignored, so the queue's owner wires it up before serving starts
+    /// and workers never race a swap.
+    pub fn set_wait_histogram(&self, hist: Arc<Histogram>) {
+        let _ = self.wait_hist.set(hist);
     }
 
     #[inline]
@@ -87,7 +108,7 @@ impl<T: Send> BoundedQueue<T> {
         if st.closed {
             return false;
         }
-        st.items.push_back(item);
+        st.items.push_back((Instant::now(), item));
         self.note_depth(st.items.len());
         drop(st);
         self.not_empty.notify_one();
@@ -109,7 +130,7 @@ impl<T: Send> BoundedQueue<T> {
             self.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(TryPushError::Full(item));
         }
-        st.items.push_back(item);
+        st.items.push_back((Instant::now(), item));
         self.note_depth(st.items.len());
         drop(st);
         self.not_empty.notify_one();
@@ -119,13 +140,22 @@ impl<T: Send> BoundedQueue<T> {
     /// Dequeues up to `max` items into `out`, blocking while the queue is
     /// empty and open. Returns the number of items delivered; `0` means the
     /// queue is closed *and* drained — the consumer's shutdown signal.
+    /// Each delivered item's enqueue→dequeue wait is recorded into the
+    /// attached wait histogram, if any.
     pub fn pop_batch(&self, max: usize, out: &mut Vec<T>) -> usize {
         let mut st = self.state.lock().unwrap();
         while st.items.is_empty() && !st.closed {
             st = self.not_empty.wait(st).unwrap();
         }
         let take = st.items.len().min(max.max(1));
-        out.extend(st.items.drain(..take));
+        let hist = self.wait_hist.get();
+        let now = (hist.is_some() && take > 0).then(Instant::now);
+        for (enqueued_at, item) in st.items.drain(..take) {
+            if let (Some(h), Some(now)) = (hist, now) {
+                h.record_ns(now.saturating_duration_since(enqueued_at).as_nanos() as u64);
+            }
+            out.push(item);
+        }
         drop(st);
         if take > 0 {
             // Producers may be blocked on a full queue; batch removal can
@@ -160,7 +190,7 @@ impl<T: Send> BoundedQueue<T> {
     pub fn abort(&self) -> Vec<T> {
         let mut st = self.state.lock().unwrap();
         st.closed = true;
-        let dropped: Vec<T> = st.items.drain(..).collect();
+        let dropped: Vec<T> = st.items.drain(..).map(|(_, item)| item).collect();
         drop(st);
         self.not_empty.notify_all();
         self.not_full.notify_all();
@@ -313,6 +343,28 @@ mod tests {
         let mut out = Vec::new();
         assert_eq!(q.pop_batch(16, &mut out), 0, "consumers see immediate end");
         assert!(!q.push(9));
+    }
+
+    #[test]
+    fn wait_histogram_records_every_pop() {
+        let q = BoundedQueue::new(8);
+        let h = Arc::new(Histogram::new());
+        q.set_wait_histogram(Arc::clone(&h));
+        q.push(1u32);
+        q.push(2);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(8, &mut out), 2);
+        assert_eq!(out, vec![1, 2]);
+        assert_eq!(h.count(), 2, "one wait observation per popped item");
+        // Both items sat in the queue for the full sleep.
+        assert!(h.quantile_ns(0.0) >= 1_000_000.0, "wait {}", h.mean_ns());
+        // A second attach is ignored (set-once), the original keeps
+        // receiving.
+        q.set_wait_histogram(Arc::new(Histogram::new()));
+        q.push(3);
+        q.pop_batch(1, &mut out);
+        assert_eq!(h.count(), 3);
     }
 
     #[test]

@@ -12,10 +12,11 @@
 //! The cache and metrics persist across [`Server::run`] calls, so repeated
 //! runs model a warmed-up service; [`Server::new`] starts cold.
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use ah_graph::NodeId;
+use ah_obs::{Registry, Span, Stage, TraceConfig, Tracer};
 
 use crate::backend::DistanceBackend;
 use crate::cache::DistanceCache;
@@ -80,6 +81,26 @@ pub struct Response {
     pub cache_hit: bool,
 }
 
+/// One unit of queued work: the request, its (optional) sampled trace
+/// span, and the producer's opaque routing tag.
+///
+/// The span rides *inside* the queue so stage stamps survive the
+/// producer→worker handoff: the edge stamps [`Stage::Enqueue`] before
+/// pushing, the worker stamps [`Stage::Dequeue`] after popping, and
+/// the compute stages in between — one `Box` move per sampled request,
+/// nothing at all for unsampled ones.
+#[derive(Debug)]
+pub struct Job<T> {
+    /// The query to serve.
+    pub req: Request,
+    /// Sampled trace span (`None` for the 1 − 1/N unsampled majority).
+    pub span: Option<Box<Span>>,
+    /// Opaque routing state returned to the producer with the
+    /// response (the edge uses it to find the connection and pipeline
+    /// slot the answer belongs to).
+    pub tag: T,
+}
+
 /// Serving parameters.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -91,6 +112,10 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// Requests a worker claims per queue lock (amortizes contention).
     pub batch_size: usize,
+    /// Request-tracing knobs (deterministic 1-in-N span sampling, the
+    /// recent-trace ring behind `/debug/traces`, and the slow-query
+    /// threshold). `sample_every: 0` disables tracing entirely.
+    pub trace: TraceConfig,
 }
 
 impl Default for ServerConfig {
@@ -100,6 +125,7 @@ impl Default for ServerConfig {
             queue_capacity: 1024,
             cache_capacity: 64 * 1024,
             batch_size: 32,
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -130,16 +156,39 @@ pub struct Server {
     cfg: ServerConfig,
     cache: Option<DistanceCache>,
     metrics: ServerMetrics,
+    registry: Arc<Registry>,
+    tracer: Arc<Tracer>,
 }
 
 impl Server {
-    /// Creates a cold server (empty cache, zeroed metrics).
+    /// Creates a cold server (empty cache, zeroed metrics) with its own
+    /// private metric registry.
     pub fn new(cfg: ServerConfig) -> Self {
+        Self::with_observability(cfg, Arc::new(Registry::new()), &[])
+    }
+
+    /// Creates a cold server wired into a *shared* metric registry
+    /// under the given static labels — how the edge and the sharded
+    /// lanes all land in one `/metrics` document. The server's
+    /// lifetime metrics and its tracer's stage histograms are
+    /// registered immediately; re-registering the same name+labels
+    /// replaces the series (fresh server, fresh counters).
+    pub fn with_observability(
+        cfg: ServerConfig,
+        registry: Arc<Registry>,
+        labels: &[(&str, &str)],
+    ) -> Self {
         let cache = (cfg.cache_capacity > 0).then(|| DistanceCache::new(cfg.cache_capacity));
+        let metrics = ServerMetrics::new();
+        metrics.register_into(&registry, labels);
+        let tracer = Arc::new(Tracer::new(cfg.trace.clone()));
+        tracer.register_into(&registry, labels);
         Server {
             cfg,
             cache,
-            metrics: ServerMetrics::new(),
+            metrics,
+            registry,
+            tracer,
         }
     }
 
@@ -151,6 +200,17 @@ impl Server {
     /// Telemetry accumulated over the server's lifetime (all runs).
     pub fn metrics(&self) -> &ServerMetrics {
         &self.metrics
+    }
+
+    /// The metric registry this server reports into (shared when built
+    /// via [`Server::with_observability`]).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The request tracer (sampling collector + recent-trace ring).
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
     }
 
     /// Lifetime cache hit rate (0 when caching is disabled).
@@ -180,8 +240,11 @@ impl Server {
     pub fn run(&self, backend: &dyn DistanceBackend, requests: &[Request]) -> RunReport {
         let workers = self.cfg.workers.max(1);
         let num_nodes = backend.num_nodes();
-        let queue: BoundedQueue<Request> = BoundedQueue::new(self.cfg.queue_capacity);
+        let queue: BoundedQueue<Job<()>> = BoundedQueue::new(self.cfg.queue_capacity);
         let run_metrics = ServerMetrics::new();
+        // Queue-wait latency flows into this run's own histogram (and is
+        // merged into the lifetime metrics below with everything else).
+        queue.set_wait_histogram(Arc::clone(&run_metrics.queue_wait));
         let results: Mutex<Vec<Response>> = Mutex::new(Vec::with_capacity(requests.len()));
         // Workers build their sessions (O(n) allocations) before this
         // barrier; the clock starts after it, so wall_secs measures
@@ -198,6 +261,7 @@ impl Server {
                 let run_metrics = &run_metrics;
                 let ready = &ready;
                 let cache = self.cache.as_ref();
+                let tracer = self.tracer.as_ref();
                 scope.spawn(move || {
                     let _close = CloseOnDrop(queue);
                     // If make_session panics, this guard still reaches the
@@ -210,21 +274,32 @@ impl Server {
                     let mut session = backend.make_session();
                     ready.wait();
                     at_barrier.armed = false;
-                    let mut batch: Vec<Request> = Vec::with_capacity(self.cfg.batch_size);
+                    let mut batch: Vec<Job<()>> = Vec::with_capacity(self.cfg.batch_size);
                     let mut local: Vec<Response> = Vec::new();
                     loop {
                         batch.clear();
                         if queue.pop_batch(self.cfg.batch_size, &mut batch) == 0 {
                             break;
                         }
-                        for req in &batch {
+                        for job in batch.drain(..) {
+                            let Job { req, mut span, .. } = job;
+                            if let Some(s) = span.as_deref_mut() {
+                                s.stamp(Stage::Dequeue);
+                            }
                             local.push(timed_serve(
-                                req,
+                                &req,
                                 num_nodes,
                                 session.as_mut(),
                                 cache,
                                 run_metrics,
+                                span.as_deref_mut(),
                             ));
+                            // Closed-loop runs have no serialize/flush
+                            // stages — finish the (honest, partial) span
+                            // right after compute.
+                            if let Some(s) = span {
+                                tracer.finish(s, 200);
+                            }
                         }
                     }
                     results.lock().unwrap().append(&mut local);
@@ -236,7 +311,18 @@ impl Server {
             // the bounded queue. If every worker died, push returns false
             // (their guards closed the queue) and feeding stops.
             for req in requests {
-                if !queue.push(*req) {
+                let mut span = self.tracer.start(match req.kind {
+                    QueryKind::Distance => 0,
+                    QueryKind::Path => 1,
+                });
+                if let Some(s) = span.as_deref_mut() {
+                    s.stamp(Stage::Enqueue);
+                }
+                if !queue.push(Job {
+                    req: *req,
+                    span,
+                    tag: (),
+                }) {
                     break;
                 }
             }
@@ -264,11 +350,14 @@ impl Server {
     }
 
     /// Open-loop worker entry: drains `queue` until it is closed *and*
-    /// empty, serving each request against `backend` through this
+    /// empty, serving each [`Job`] against `backend` through this
     /// server's cache and lifetime metrics, and handing every completed
-    /// `(tag, Response)` to `on_done`. The tag is opaque routing state
-    /// (the network edge uses it to find the connection and pipeline
-    /// slot a response belongs to).
+    /// `(tag, Response, span)` to `on_done`. The tag is opaque routing
+    /// state (the network edge uses it to find the connection and
+    /// pipeline slot a response belongs to); the span — present for
+    /// sampled requests — has its dequeue/cache/compute stages stamped
+    /// here and is returned so the producer can stamp serialize/flush
+    /// and finish it once the bytes hit the socket.
     ///
     /// This is the backend-session handoff an open service builds on:
     /// producers admit work with [`BoundedQueue::try_push`] (answering
@@ -300,8 +389,8 @@ impl Server {
     pub fn serve_queue<T: Send>(
         &self,
         backend: &dyn DistanceBackend,
-        queue: &BoundedQueue<(Request, T)>,
-        mut on_done: impl FnMut(T, Response),
+        queue: &BoundedQueue<Job<T>>,
+        mut on_done: impl FnMut(T, Response, Option<Box<Span>>),
     ) {
         struct CloseOnPanic<'a, T: Send>(&'a BoundedQueue<T>);
         impl<T: Send> Drop for CloseOnPanic<'_, T> {
@@ -316,15 +405,26 @@ impl Server {
         let num_nodes = backend.num_nodes();
         let cache = self.cache.as_ref();
         let mut session = backend.make_session();
-        let mut batch: Vec<(Request, T)> = Vec::with_capacity(self.cfg.batch_size);
+        let mut batch: Vec<Job<T>> = Vec::with_capacity(self.cfg.batch_size);
         loop {
             batch.clear();
             if queue.pop_batch(self.cfg.batch_size, &mut batch) == 0 {
                 break;
             }
-            for (req, tag) in batch.drain(..) {
-                let resp = timed_serve(&req, num_nodes, session.as_mut(), cache, &self.metrics);
-                on_done(tag, resp);
+            for job in batch.drain(..) {
+                let Job { req, mut span, tag } = job;
+                if let Some(s) = span.as_deref_mut() {
+                    s.stamp(Stage::Dequeue);
+                }
+                let resp = timed_serve(
+                    &req,
+                    num_nodes,
+                    session.as_mut(),
+                    cache,
+                    &self.metrics,
+                    span.as_deref_mut(),
+                );
+                on_done(tag, resp, span);
             }
         }
     }
@@ -334,9 +434,9 @@ impl Server {
 /// only then), so a dying worker can never leave the feeder blocked on a
 /// full queue or its peers parked on an empty one. On a normal exit this
 /// is a no-op: the feeder closes the queue after the last request.
-struct CloseOnDrop<'a>(&'a BoundedQueue<Request>);
+struct CloseOnDrop<'a, T: Send>(&'a BoundedQueue<T>);
 
-impl Drop for CloseOnDrop<'_> {
+impl<T: Send> Drop for CloseOnDrop<'_, T> {
     fn drop(&mut self) {
         if std::thread::panicking() {
             self.0.close();
@@ -362,42 +462,55 @@ impl Drop for BarrierOnUnwind<'_> {
 
 /// Serves one request and records its latency and cache outcome into
 /// `metrics` — the per-query body shared by the closed-loop worker pool
-/// and the open-loop [`Server::serve_queue`] drain.
+/// and the open-loop [`Server::serve_queue`] drain. A sampled span gets
+/// its cache-probe and compute stages stamped inside [`serve_one`].
 fn timed_serve(
     req: &Request,
     num_nodes: usize,
     session: &mut dyn crate::backend::BackendSession,
     cache: Option<&DistanceCache>,
     metrics: &ServerMetrics,
+    span: Option<&mut Span>,
 ) -> Response {
     let t0 = Instant::now();
-    let resp = serve_one(req, num_nodes, session, cache);
+    let resp = serve_one(req, num_nodes, session, cache, span);
     metrics.latency.record_ns(t0.elapsed().as_nanos() as u64);
     // Only distance queries probe the cache; path requests stay out of
     // the hit/miss ratio so the snapshot agrees with the cache's own
     // counters.
     if req.kind == QueryKind::Distance {
-        let ctr = if resp.cache_hit {
-            &metrics.cache_hits
+        if resp.cache_hit {
+            metrics.cache_hits.inc();
         } else {
-            &metrics.cache_misses
-        };
-        ctr.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            metrics.cache_misses.inc();
+        }
     }
     resp
 }
 
 /// Serves one request on a worker: bounds check, cache probe (distance
-/// queries only), then the backend session.
+/// queries only), then the backend session. Stage stamps: `CacheProbe`
+/// when the probe settles (immediately for path requests, which never
+/// probe) and `Compute` when the answer exists (immediately on a cache
+/// hit — the ~0 ns compute interval *is* the signal the backend was
+/// skipped).
 fn serve_one(
     req: &Request,
     num_nodes: usize,
     session: &mut dyn crate::backend::BackendSession,
     cache: Option<&DistanceCache>,
+    mut span: Option<&mut Span>,
 ) -> Response {
+    let stamp = |stage: Stage, span: &mut Option<&mut Span>| {
+        if let Some(s) = span.as_deref_mut() {
+            s.stamp(stage);
+        }
+    };
     if req.s as usize >= num_nodes || req.t as usize >= num_nodes {
         // Malformed request: answered, never forwarded to the backend
         // (whose index arrays it would overrun).
+        stamp(Stage::CacheProbe, &mut span);
+        stamp(Stage::Compute, &mut span);
         return Response {
             id: req.id,
             distance: None,
@@ -408,7 +521,10 @@ fn serve_one(
     match req.kind {
         QueryKind::Distance => {
             if let Some(c) = cache {
-                if let Some(cached) = c.get(req.s, req.t) {
+                let cached = c.get(req.s, req.t);
+                stamp(Stage::CacheProbe, &mut span);
+                if let Some(cached) = cached {
+                    stamp(Stage::Compute, &mut span);
                     return Response {
                         id: req.id,
                         distance: cached,
@@ -416,8 +532,11 @@ fn serve_one(
                         cache_hit: true,
                     };
                 }
+            } else {
+                stamp(Stage::CacheProbe, &mut span);
             }
             let d = session.distance(req.s, req.t);
+            stamp(Stage::Compute, &mut span);
             if let Some(c) = cache {
                 c.put(req.s, req.t, d);
             }
@@ -429,7 +548,9 @@ fn serve_one(
             }
         }
         QueryKind::Path => {
+            stamp(Stage::CacheProbe, &mut span);
             let p = session.path(req.s, req.t);
+            stamp(Stage::Compute, &mut span);
             let (distance, hops) = match p {
                 Some(p) => (Some(p.dist.length), Some(p.num_edges())),
                 None => (None, None),
@@ -482,6 +603,7 @@ mod tests {
             queue_capacity: 16,
             cache_capacity: 1024,
             batch_size: 8,
+            trace: TraceConfig::default(),
         });
         let report = server.run(&backend, &reqs);
         assert_eq!(report.responses.len(), reqs.len());
@@ -624,6 +746,7 @@ mod tests {
             queue_capacity: 2,
             cache_capacity: 0,
             batch_size: 1,
+            trace: TraceConfig::default(),
         });
         let reqs: Vec<Request> = (0..16).map(|i| Request::distance(i, 0, 1)).collect();
         let _ = server.run(&PanicOnSessionBackend, &reqs);
@@ -640,6 +763,7 @@ mod tests {
             queue_capacity: 4,
             cache_capacity: 0,
             batch_size: 2,
+            trace: TraceConfig::default(),
         });
         let reqs: Vec<Request> = (0..64).map(|i| Request::distance(i, 0, 1)).collect();
         let _ = server.run(&PanicBackend, &reqs);
@@ -658,8 +782,13 @@ mod tests {
             queue_capacity: 64,
             cache_capacity: 256,
             batch_size: 4,
+            trace: TraceConfig {
+                sample_every: 1, // trace every request
+                ..Default::default()
+            },
         });
-        let queue: BoundedQueue<(Request, u64)> = BoundedQueue::new(64);
+        let queue: BoundedQueue<Job<u64>> = BoundedQueue::new(64);
+        queue.set_wait_histogram(Arc::clone(&server.metrics().queue_wait));
         let done = Mutex::new(Vec::new());
 
         std::thread::scope(|scope| {
@@ -669,7 +798,13 @@ mod tests {
                 let server = &server;
                 let backend = &backend;
                 scope.spawn(move || {
-                    server.serve_queue(backend, queue, |tag, resp| {
+                    server.serve_queue(backend, queue, |tag, resp, span| {
+                        // The worker stamped dequeue → compute; the
+                        // producer (us) owns serialize/flush.
+                        let span = span.expect("sample_every=1 traces everything");
+                        assert!(span.record().is_monotonic());
+                        assert_ne!(span.record().stages[Stage::Compute as usize], 0);
+                        server.tracer().finish(span, 200);
                         done.lock().unwrap().push((tag, resp));
                     });
                 });
@@ -678,7 +813,13 @@ mod tests {
             // drained; everything admitted must still complete.
             for id in 0..40u64 {
                 let req = Request::distance(id, (id % 36) as u32, ((id * 7 + 3) % 36) as u32);
-                assert!(queue.push((req, id ^ 0xABCD)));
+                let mut span = server.tracer().start(0).expect("sampled");
+                span.stamp(Stage::Enqueue);
+                assert!(queue.push(Job {
+                    req,
+                    span: Some(span),
+                    tag: id ^ 0xABCD,
+                }));
             }
             queue.close();
         });
@@ -694,10 +835,20 @@ mod tests {
             assert_eq!(resp.distance, want, "req {}", resp.id);
         }
         assert_eq!(server.metrics().latency.count(), 40);
+        assert_eq!(
+            server.metrics().queue_wait.count(),
+            40,
+            "every popped job left a queue-wait observation"
+        );
+        assert_eq!(server.tracer().spans_finished(), 40);
         // try_push on the closed queue is a shutdown refusal, not overload.
         let late = Request::distance(99, 0, 1);
         assert!(matches!(
-            queue.try_push((late, 0)),
+            queue.try_push(Job {
+                req: late,
+                span: None,
+                tag: 0u64,
+            }),
             Err(crate::queue::TryPushError::Closed(_))
         ));
         assert_eq!(queue.rejected(), 0);
@@ -712,6 +863,7 @@ mod tests {
             queue_capacity: 4,
             cache_capacity: 0,
             batch_size: 2,
+            trace: TraceConfig::default(),
         });
         let reqs: Vec<Request> = (0..64)
             .map(|i| Request::distance(i, (i % 16) as u32, ((i * 5 + 1) % 16) as u32))
@@ -721,6 +873,60 @@ mod tests {
         assert!(report.snapshot.queue_high_water <= 4, "bounded by capacity");
         assert_eq!(report.snapshot.queue_depth, 0, "drained at end of run");
         assert_eq!(report.snapshot.rejected, 0, "closed-loop never rejects");
+    }
+
+    #[test]
+    fn run_traces_spans_and_queue_wait_when_sampling_everything() {
+        let g = ah_data::fixtures::ring(16);
+        let backend = DijkstraBackend::new(&g);
+        let server = Server::new(ServerConfig {
+            workers: 2,
+            trace: TraceConfig {
+                sample_every: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let reqs: Vec<Request> = (0..50)
+            .map(|i| Request::distance(i, (i % 16) as u32, ((i * 5 + 1) % 16) as u32))
+            .collect();
+        let report = server.run(&backend, &reqs);
+        assert_eq!(report.responses.len(), 50);
+        assert_eq!(server.tracer().spans_finished(), 50);
+        assert_eq!(server.metrics().queue_wait.count(), 50);
+        for r in server.tracer().recent() {
+            assert!(r.is_monotonic(), "{r:?}");
+            assert_ne!(r.stages[Stage::Enqueue as usize], 0);
+            assert_ne!(r.stages[Stage::Dequeue as usize], 0);
+            assert_ne!(r.stages[Stage::Compute as usize], 0);
+            // Closed-loop runs never touch a socket: no flush stage.
+            assert_eq!(r.stages[Stage::Flush as usize], 0);
+        }
+        // The whole pipeline lands in one registry render.
+        let text = server.registry().render();
+        assert!(text.contains("ah_server_query_latency_seconds_bucket"), "{text}");
+        assert!(text.contains("ah_queue_wait_seconds_bucket"), "{text}");
+        assert!(text.contains("ah_stage_duration_seconds_bucket"), "{text}");
+        assert!(text.contains("ah_trace_spans_total 50"), "{text}");
+    }
+
+    #[test]
+    fn tracing_disabled_runs_without_spans() {
+        let g = ah_data::fixtures::ring(8);
+        let backend = DijkstraBackend::new(&g);
+        let server = Server::new(ServerConfig {
+            workers: 1,
+            trace: TraceConfig {
+                sample_every: 0,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let reqs: Vec<Request> = (0..20).map(|i| Request::distance(i, 0, 4)).collect();
+        let report = server.run(&backend, &reqs);
+        assert_eq!(report.responses.len(), 20);
+        assert_eq!(server.tracer().spans_finished(), 0);
+        assert!(server.tracer().recent().is_empty());
     }
 
     #[test]

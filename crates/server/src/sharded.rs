@@ -21,6 +21,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use ah_graph::{NodeId, Path};
+use ah_obs::Registry;
 use ah_shard::{ShardedIndex, ShardedQuery};
 use ah_store::{Snapshot, SnapshotError};
 
@@ -153,15 +154,31 @@ impl ShardedRunReport {
 pub struct ShardedServer {
     index: Arc<ShardedIndex>,
     pools: Vec<Server>,
+    registry: Arc<Registry>,
 }
 
 impl ShardedServer {
-    /// Builds one pool per shard of `index`.
+    /// Builds one pool per shard of `index`. Every lane reports into
+    /// one shared metric [`Registry`] under its own `shard="k"` label,
+    /// so a single `/metrics` render shows per-lane latency
+    /// histograms, cache counters and stage durations side by side.
     pub fn new(index: Arc<ShardedIndex>, cfg: ShardedServerConfig) -> Self {
+        let registry = Arc::new(Registry::new());
         let pools = (0..index.num_shards())
-            .map(|_| Server::new(cfg.per_shard.clone()))
+            .map(|k| {
+                let shard = k.to_string();
+                Server::with_observability(
+                    cfg.per_shard.clone(),
+                    Arc::clone(&registry),
+                    &[("shard", shard.as_str())],
+                )
+            })
             .collect();
-        ShardedServer { index, pools }
+        ShardedServer {
+            index,
+            pools,
+            registry,
+        }
     }
 
     /// Restarts a sharded server from the snapshot at `path` (written
@@ -187,6 +204,12 @@ impl ShardedServer {
     /// shard.
     pub fn pools(&self) -> &[Server] {
         &self.pools
+    }
+
+    /// The shared registry every lane reports into (series are
+    /// distinguished by their `shard` label).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// Serves every request, routed by source-node region key to the
@@ -356,6 +379,35 @@ mod tests {
         assert_eq!(report.responses[2].distance, None);
         // Only the routable request is counted in the traffic mix.
         assert_eq!(report.same_shard + report.cross_shard, 1);
+    }
+
+    #[test]
+    fn lanes_share_one_registry_with_shard_labels() {
+        let (g, idx) = sharded_fixture();
+        let server = ShardedServer::new(idx, ShardedServerConfig::with_workers_per_shard(1));
+        let reqs = mixed_requests(g.num_nodes() as u32, 100);
+        let report = server.run(&reqs);
+        assert!(report.lanes.len() >= 2);
+        let text = server.registry().render();
+        // Every lane that served traffic rendered its own labelled
+        // histogram series out of the one shared registry…
+        for lane in &report.lanes {
+            let needle = format!(
+                "ah_server_query_latency_seconds_count{{shard=\"{}\"}} {}",
+                lane.shard, lane.snapshot.queries
+            );
+            assert!(text.contains(&needle), "missing {needle} in:\n{text}");
+        }
+        assert!(
+            text.contains("ah_server_query_latency_seconds_bucket{shard=\"0\",le="),
+            "{text}"
+        );
+        // …under a single TYPE header per family.
+        assert_eq!(
+            text.matches("# TYPE ah_server_query_latency_seconds histogram").count(),
+            1,
+            "{text}"
+        );
     }
 
     #[test]

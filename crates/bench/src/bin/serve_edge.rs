@@ -24,7 +24,13 @@
 //! hint (see `docs/EDGE.md`). `--slow-us N` injects a per-query delay
 //! (fault injection for overload rehearsal — this is what the CI smoke
 //! uses to make 429s deterministic). `--allow-shutdown` exposes
-//! `GET /admin/shutdown` for supervised drains. `--trace-sample N`
+//! `GET /admin/shutdown` for supervised drains. `--allow-reload`
+//! (AH backend, unsharded) arms `POST /admin/reload-delta?path=…`: the
+//! delta snapshot at `path` (see `make_delta`) is applied to the live
+//! graph and the rebuilt index is published atomically mid-traffic —
+//! 202 on acceptance, 409 on a stale or concurrent reload, zero
+//! downtime, with `ah_reload_*` metrics in `/metrics` and a `reload`
+//! block in the exit report. `--trace-sample N`
 //! samples one request in N into the span ring behind
 //! `GET /debug/traces` (default 64; 0 disables tracing), and
 //! `--slow-query-us N` turns on the slow-query log for sampled spans
@@ -39,10 +45,10 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use ah_bench::{obtain_indices, snapshot_path, HarnessArgs};
-use ah_net::{EdgeConfig, EdgeServer};
+use ah_net::{EdgeConfig, EdgeServer, ReloadHandler};
 use ah_server::{
-    AhBackend, DelayBackend, DistanceBackend, LabelBackend, Server, ServerConfig, ShardedBackend,
-    TraceConfig,
+    AhBackend, DelayBackend, DeltaReloader, DistanceBackend, LabelBackend, Server, ServerConfig,
+    ShardedBackend, SnapshotBackend, SnapshotServer, TraceConfig,
 };
 
 struct EdgeArgs {
@@ -54,6 +60,7 @@ struct EdgeArgs {
     slow_us: u64,
     retry_after: u32,
     allow_shutdown: bool,
+    allow_reload: bool,
     backend: String,
     trace_sample: u64,
     slow_query_us: u64,
@@ -72,6 +79,7 @@ fn parse_args() -> EdgeArgs {
         slow_us: 0,
         retry_after: 1,
         allow_shutdown: false,
+        allow_reload: false,
         backend: "ah".to_string(),
         trace_sample: 64,
         slow_query_us: 0,
@@ -117,6 +125,7 @@ fn parse_args() -> EdgeArgs {
                     .expect("--retry-after needs seconds");
             }
             "--allow-shutdown" => a.allow_shutdown = true,
+            "--allow-reload" => a.allow_reload = true,
             "--trace-sample" => {
                 a.trace_sample = it
                     .next()
@@ -141,7 +150,7 @@ fn parse_args() -> EdgeArgs {
                 "unknown argument {other} (try --through SN | --shards K | \
                  --backend ah|labels | --load-index PATH | --save-index PATH | \
                  --addr HOST:PORT | --workers N | --queue N | --max-conns N | \
-                 --slow-us N | --retry-after N | --allow-shutdown | \
+                 --slow-us N | --retry-after N | --allow-shutdown | --allow-reload | \
                  --trace-sample N | --slow-query-us N)"
             ),
         }
@@ -149,6 +158,11 @@ fn parse_args() -> EdgeArgs {
     assert!(
         !(a.backend == "labels" && a.harness.shards > 0),
         "--backend labels and --shards are mutually exclusive"
+    );
+    assert!(
+        !(a.allow_reload && (a.backend != "ah" || a.harness.shards > 0)),
+        "--allow-reload rebuilds the plain AH index; combine it with the \
+         default backend (no --backend labels, no --shards)"
     );
     // The labels backend needs the labeling obtained alongside AH.
     a.harness.labels |= a.backend == "labels";
@@ -169,30 +183,6 @@ fn main() {
         );
     }
 
-    // Pick the backend: hub labels under --backend labels, sharded
-    // composition when requested, global AH otherwise; optionally
-    // slowed for overload rehearsal.
-    let ah = Arc::clone(&idx.ah);
-    let ah_backend = AhBackend::new(&ah);
-    let sharded = idx.sharded.clone();
-    let sharded_backend = sharded.as_deref().map(ShardedBackend::new);
-    let labels = idx.labels.clone();
-    let label_backend = (args.backend == "labels").then(|| {
-        LabelBackend::new(labels.as_deref().expect("labels obtained for --backend labels"), &ah)
-    });
-    let inner: &dyn DistanceBackend = match (&label_backend, &sharded_backend) {
-        (Some(b), _) => b,
-        (None, Some(b)) => b,
-        (None, None) => &ah_backend,
-    };
-    let delayed;
-    let backend: &dyn DistanceBackend = if args.slow_us > 0 {
-        delayed = DelayBackend::new(inner, Duration::from_micros(args.slow_us));
-        &delayed
-    } else {
-        inner
-    };
-
     let server = Server::new(ServerConfig {
         workers: args.workers,
         trace: TraceConfig {
@@ -202,6 +192,44 @@ fn main() {
         },
         ..Default::default()
     });
+    // The serving engine and the published index live together in a
+    // SnapshotServer so `--allow-reload` can swap the index under live
+    // traffic; without the flag it is just a holder.
+    let ah = Arc::clone(&idx.ah);
+    let snap = Arc::new(SnapshotServer::with_server(Arc::clone(&ah), server));
+    let server = snap.server();
+    let reloader = args
+        .allow_reload
+        .then(|| Arc::new(DeltaReloader::new(Arc::clone(&snap), g.clone(), Default::default())));
+    if let Some(r) = &reloader {
+        r.register_into(server.registry(), &[]);
+    }
+
+    // Pick the backend: hub labels under --backend labels, sharded
+    // composition when requested, the swap-following snapshot backend
+    // under --allow-reload, global AH otherwise; optionally slowed for
+    // overload rehearsal.
+    let ah_backend = AhBackend::new(&ah);
+    let snapshot_backend = SnapshotBackend::new(&snap);
+    let sharded = idx.sharded.clone();
+    let sharded_backend = sharded.as_deref().map(ShardedBackend::new);
+    let labels = idx.labels.clone();
+    let label_backend = (args.backend == "labels").then(|| {
+        LabelBackend::new(labels.as_deref().expect("labels obtained for --backend labels"), &ah)
+    });
+    let inner: &dyn DistanceBackend = match (&label_backend, &sharded_backend) {
+        (Some(b), _) => b,
+        (None, Some(b)) => b,
+        (None, None) if args.allow_reload => &snapshot_backend,
+        (None, None) => &ah_backend,
+    };
+    let delayed;
+    let backend: &dyn DistanceBackend = if args.slow_us > 0 {
+        delayed = DelayBackend::new(inner, Duration::from_micros(args.slow_us));
+        &delayed
+    } else {
+        inner
+    };
     let edge = EdgeServer::bind(
         args.addr.as_str(),
         EdgeConfig {
@@ -232,8 +260,15 @@ fn main() {
             ""
         },
     );
+    if args.allow_reload {
+        println!("admin reload on: POST /admin/reload-delta?path=DELTA.snap");
+    }
 
-    let report = edge.serve(&server, backend).expect("edge event loop");
+    let handler: Option<&dyn ReloadHandler> =
+        reloader.as_ref().map(|r| r as &dyn ReloadHandler);
+    let report = edge
+        .serve_with_admin(server, backend, handler)
+        .expect("edge event loop");
 
     let snapshot = server.metrics().snapshot(0.0);
     let responses = report
@@ -261,6 +296,7 @@ fn main() {
             "  \"rejected\": {},\n",
             "  \"queue_high_water\": {},\n",
             "  \"responses\": {{{}}},\n",
+            "  \"reload\": {{\"enabled\":{},\"swaps\":{},\"failures\":{},\"generation\":{}}},\n",
             "  \"serving\": {},\n",
             "  \"trace\": {{\"sample_every\":{},\"spans_finished\":{},\"slow\":{}}},\n",
             "  \"stage_breakdown\": {}\n",
@@ -281,6 +317,10 @@ fn main() {
         report.rejected,
         report.queue_high_water,
         responses,
+        args.allow_reload,
+        reloader.as_ref().map_or(0, |r| r.swaps()),
+        reloader.as_ref().map_or(0, |r| r.failures()),
+        snap.generation(),
         snapshot.to_json(),
         args.trace_sample,
         server.tracer().spans_finished(),

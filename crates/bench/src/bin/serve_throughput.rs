@@ -46,12 +46,16 @@
 //!     --through S2 --pairs 100 --threads 4 --load-index idx.snap
 //! ```
 
-use ah_bench::{load_dataset, obtain_indices, time_query_set, HarnessArgs};
+use std::sync::Arc;
+
+use ah_bench::{load_dataset, obtain_indices, time_once, time_query_set, HarnessArgs};
 use ah_server::{
-    AhBackend, ChBackend, DijkstraBackend, DistanceBackend, LabelBackend, Request, RunReport,
-    Server, ServerConfig, ShardedRunReport, ShardedServer, ShardedServerConfig, TraceConfig,
+    AhBackend, ChBackend, DeltaReloader, DijkstraBackend, DistanceBackend, LabelBackend, Request,
+    RunReport, Server, ServerConfig, ShardedRunReport, ShardedServer, ShardedServerConfig,
+    SnapshotServer, TraceConfig,
 };
-use ah_workload::TrafficSchedule;
+use ah_shard::ShardConfig;
+use ah_workload::{TrafficSchedule, WeightChurn};
 
 /// Locality knob for the generated traffic (fraction of repeated pairs).
 const REPEAT_FRACTION: f64 = 0.25;
@@ -191,6 +195,7 @@ fn main() {
     let mut args = HarnessArgs::default();
     let mut trace_sample: u64 = 64;
     let mut assert_trace_overhead = false;
+    let mut churn_rounds: usize = 2;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         if args.accept(&arg, &mut it) {
@@ -204,10 +209,16 @@ fn main() {
                     .expect("--trace-sample needs a number (0 disables tracing)");
             }
             "--assert-trace-overhead" => assert_trace_overhead = true,
+            "--churn" => {
+                churn_rounds = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--churn needs a number of reload rounds (0 disables)");
+            }
             other => panic!(
                 "unknown argument {other} (try --through S9 | --pairs N | --seed N | \
                  --threads N | --shards K | --labels | --save-index PATH | \
-                 --load-index PATH | --trace-sample N | --assert-trace-overhead)"
+                 --load-index PATH | --trace-sample N | --assert-trace-overhead | --churn N)"
             ),
         }
     }
@@ -432,6 +443,111 @@ fn main() {
         }
     };
 
+    // Live-update churn (--churn N): serve the same stream through a
+    // swap-capable SnapshotServer, firing a delta reload at each planned
+    // offset — the closed-loop rehearsal of `serve_edge --allow-reload`.
+    // Mid-churn answers come from whichever generation is live;
+    // post-churn answers are verified bit-equal to Dijkstra on the
+    // plan's final graph.
+    let reload_json = if churn_rounds == 0 {
+        "null".to_string()
+    } else {
+        let plan = WeightChurn::interactive(churn_rounds, 8, args.seed)
+            .plan(&ds.graph, requests.len());
+        let snap = Arc::new(SnapshotServer::with_server(
+            Arc::clone(&ah),
+            Server::new(ServerConfig {
+                workers: args.threads,
+                ..Default::default()
+            }),
+        ));
+        let reloader =
+            DeltaReloader::new(Arc::clone(&snap), ds.graph.clone(), Default::default());
+        let mut swap_secs: Vec<f64> = Vec::new();
+        let mut staleness_secs: Vec<f64> = Vec::new();
+        let mut served = 0usize;
+        for round in &plan.rounds {
+            let _ = snap.run(&requests[served..round.at]);
+            served = round.at;
+            let (out, secs) =
+                time_once(|| reloader.reload(round.delta.clone()).expect("churn delta applies"));
+            swap_secs.push(secs);
+            staleness_secs.push(out.staleness_secs);
+        }
+        let tail_report = snap.run(&requests[served..]);
+        let mut verified = 0usize;
+        for resp in tail_report.responses.iter().take(50) {
+            let (s, t) = stream[resp.id as usize];
+            let want = ah_search::dijkstra_distance(&plan.final_graph, s, t).map(|d| d.length);
+            assert_eq!(
+                resp.distance, want,
+                "post-churn answer for ({s}, {t}) diverges from the final graph"
+            );
+            verified += 1;
+        }
+        println!(
+            "\nlive reload churn: {} rounds × {} changes ({} closures), \
+             swaps {:?} s, {} post-churn answers verified",
+            plan.rounds.len(),
+            plan.rounds.first().map_or(0, |r| r.delta.len()),
+            plan.closures(),
+            swap_secs.iter().map(|s| (s * 1e3).round() / 1e3).collect::<Vec<_>>(),
+            verified,
+        );
+        // Staggered per-shard refresh on the same churn, composed into
+        // one delta: untouched lanes keep their index by pointer.
+        let sharded_refresh = match &sharded {
+            None => "null".to_string(),
+            Some(sh) => {
+                let composed = plan
+                    .rounds
+                    .iter()
+                    .skip(1)
+                    .fold(plan.rounds[0].delta.clone(), |acc, r| acc.compose(&r.delta));
+                let cfg = ShardConfig {
+                    shards: args.shards,
+                    ..Default::default()
+                };
+                let server = ShardedServer::new(
+                    sh.clone(),
+                    ShardedServerConfig::with_workers_per_shard(
+                        (args.threads / args.shards.max(1)).max(1),
+                    ),
+                );
+                let (_, report) = server
+                    .reload_delta(&ds.graph, &composed, &cfg)
+                    .expect("composed churn delta applies to the sharded base");
+                println!(
+                    "sharded refresh: {} lanes rebuilt, {} reused, certified {}, {:.3} s",
+                    report.rebuilt_shards.len(),
+                    report.reused_shards,
+                    report.certified,
+                    report.wall_secs
+                );
+                format!(
+                    "{{\"rebuilt_shards\":{:?},\"reused_shards\":{},\"certified\":{},\
+                     \"wall_secs\":{:.4}}}",
+                    report.rebuilt_shards,
+                    report.reused_shards,
+                    report.certified,
+                    report.wall_secs
+                )
+            }
+        };
+        format!(
+            "{{\"rounds\":{},\"changes_per_round\":8,\"closures\":{},\"generation\":{},\
+             \"swap_secs\":{:?},\"staleness_secs\":{:?},\"verified_post_churn\":{},\
+             \"sharded_refresh\":{}}}",
+            plan.rounds.len(),
+            plan.closures(),
+            snap.generation(),
+            swap_secs,
+            staleness_secs,
+            verified,
+            sharded_refresh,
+        )
+    };
+
     let json = format!(
         concat!(
             "{{\n",
@@ -450,7 +566,8 @@ fn main() {
             "  \"speedup_1_to_max_workers\": {:.3},\n",
             "  \"trace_overhead\": {},\n",
             "  \"stage_breakdown\": {},\n",
-            "  \"sharded\": {}\n",
+            "  \"sharded\": {},\n",
+            "  \"reload\": {}\n",
             "}}\n"
         ),
         spec.name,
@@ -476,6 +593,7 @@ fn main() {
         trace_overhead_json,
         stage_breakdown_json,
         sharded_json,
+        reload_json,
     );
     let out = std::env::var("SERVE_BENCH_OUT").unwrap_or_else(|_| "BENCH_server.json".into());
     std::fs::write(&out, &json).expect("write benchmark JSON");

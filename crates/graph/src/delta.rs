@@ -1,0 +1,545 @@
+//! Incremental edge-weight updates against a frozen base graph.
+//!
+//! Real road networks re-weight continuously (congestion, closures)
+//! while the topology stays put. A [`WeightDelta`] captures exactly
+//! that: a sorted set of `(tail, head) → new weight` changes cut
+//! against a *named* base graph (its [`Graph::content_id`]), with road
+//! closures expressed as [`CLOSED`] (`u32::MAX`) weight so the CSR
+//! shape — and with it every offset array, shard partition and grid
+//! key — is untouched.
+//!
+//! [`WeightDelta::apply`] produces a patched [`Graph`] that is
+//! **bit-identical** to rebuilding from scratch with the new weights:
+//! weights are clamped exactly like [`crate::GraphBuilder::add_edge`]
+//! (`w.max(1)`) and each patched arc's nuance is *recomputed* from the
+//! clamped weight, because the Appendix A tie-break nuance is a
+//! function of `(tail, head, weight)`. Anything less would silently
+//! fork the canonical shortest paths between a delta-refreshed index
+//! and a cold rebuild — the exactness contract `ah_store`'s `delta`
+//! section and the `delta_identity` test campaign pin.
+
+use crate::dist::edge_nuance;
+use crate::graph::Graph;
+use crate::{NodeId, Weight};
+
+/// Weight sentinel for a road closure. The edge stays in the CSR
+/// arrays (topology is immutable under deltas) but at `u32::MAX`
+/// travel time no shortest path uses it unless no alternative exists.
+pub const CLOSED: Weight = Weight::MAX;
+
+/// One edge re-weight: the directed edge `tail → head` takes `weight`
+/// (raw, as [`crate::GraphBuilder::add_edge`] would receive it — apply
+/// clamps zero to 1; [`CLOSED`] marks a closure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeightChange {
+    /// Tail of the re-weighted edge.
+    pub tail: NodeId,
+    /// Head of the re-weighted edge.
+    pub head: NodeId,
+    /// The new weight (raw; 0 is clamped to 1 on apply).
+    pub weight: Weight,
+}
+
+impl WeightChange {
+    /// A re-weight of `tail → head` to `weight`.
+    pub const fn new(tail: NodeId, head: NodeId, weight: Weight) -> Self {
+        WeightChange { tail, head, weight }
+    }
+
+    /// A closure of `tail → head` ([`CLOSED`] weight).
+    pub const fn close(tail: NodeId, head: NodeId) -> Self {
+        WeightChange::new(tail, head, CLOSED)
+    }
+}
+
+/// Why a delta could not be constructed or applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaError {
+    /// The delta names a different base graph than the one offered.
+    BaseMismatch {
+        /// `content_id` the delta was cut against.
+        expected: u64,
+        /// `content_id` of the graph it was applied to.
+        found: u64,
+    },
+    /// A change names an edge the base graph does not have (deltas
+    /// never change topology).
+    UnknownEdge {
+        /// Tail of the missing edge.
+        tail: NodeId,
+        /// Head of the missing edge.
+        head: NodeId,
+    },
+    /// A change names a self-loop, which no built graph contains.
+    SelfLoop {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// Decoded changes are not strictly ascending by `(tail, head)`.
+    Unsorted,
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::BaseMismatch { expected, found } => write!(
+                f,
+                "delta was cut against base {expected:#018x}, applied to {found:#018x}"
+            ),
+            DeltaError::UnknownEdge { tail, head } => {
+                write!(f, "delta names edge ({tail} → {head}) absent from the base graph")
+            }
+            DeltaError::SelfLoop { node } => {
+                write!(f, "delta names a self-loop at node {node}")
+            }
+            DeltaError::Unsorted => {
+                write!(f, "delta changes are not strictly ascending by (tail, head)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// The outcome of [`WeightDelta::apply`]: the patched graph plus the
+/// invalidation set a refresh driver needs.
+#[derive(Debug, Clone)]
+pub struct DeltaApplied {
+    /// The patched graph, bit-identical to a from-scratch rebuild with
+    /// the new weights.
+    pub graph: Graph,
+    /// Every node incident to a changed edge (ascending, deduplicated)
+    /// — the seed set for invalidating caches, shards, and labels.
+    pub touched: Vec<NodeId>,
+    /// Number of edges whose stored weight actually changed (a change
+    /// restating the current weight counts as applied but unchanged).
+    pub changed_edges: usize,
+}
+
+/// A set of edge-weight changes against a named base graph.
+///
+/// Changes are kept strictly ascending by `(tail, head)` — the
+/// canonical form `ah_store` serializes — and each edge appears at
+/// most once (construction keeps the *last* change for an edge, so a
+/// feed of updates collapses naturally).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeightDelta {
+    base_id: u64,
+    changes: Vec<WeightChange>,
+}
+
+impl WeightDelta {
+    /// Cuts a delta against `base`: validates every change (edge must
+    /// exist in `base`; self-loops are refused), sorts by
+    /// `(tail, head)` and keeps the last change per edge.
+    pub fn new(
+        base: &Graph,
+        changes: impl IntoIterator<Item = WeightChange>,
+    ) -> Result<WeightDelta, DeltaError> {
+        let mut changes: Vec<WeightChange> = changes.into_iter().collect();
+        for c in &changes {
+            if c.tail == c.head {
+                return Err(DeltaError::SelfLoop { node: c.tail });
+            }
+            if (c.tail as usize) >= base.num_nodes()
+                || (c.head as usize) >= base.num_nodes()
+                || base.edge_weight(c.tail, c.head).is_none()
+            {
+                return Err(DeltaError::UnknownEdge {
+                    tail: c.tail,
+                    head: c.head,
+                });
+            }
+        }
+        // Stable sort + reverse-dedup keeps the *last* change per edge.
+        changes.sort_by_key(|c| (c.tail, c.head));
+        changes.reverse();
+        changes.dedup_by_key(|c| (c.tail, c.head));
+        changes.reverse();
+        Ok(WeightDelta {
+            base_id: base.content_id(),
+            changes,
+        })
+    }
+
+    /// Reassembles a delta from its persisted parts (the `ah_store`
+    /// decode path). Requires the canonical form: strictly ascending
+    /// by `(tail, head)`, no self-loops. The base id is *not* checked
+    /// here — the store cross-checks it against the snapshot's graph
+    /// section, and [`WeightDelta::apply`] re-checks at apply time.
+    pub fn from_raw_parts(
+        base_id: u64,
+        changes: Vec<WeightChange>,
+    ) -> Result<WeightDelta, DeltaError> {
+        for c in &changes {
+            if c.tail == c.head {
+                return Err(DeltaError::SelfLoop { node: c.tail });
+            }
+        }
+        if changes.windows(2).any(|w| (w[0].tail, w[0].head) >= (w[1].tail, w[1].head)) {
+            return Err(DeltaError::Unsorted);
+        }
+        Ok(WeightDelta { base_id, changes })
+    }
+
+    /// `content_id` of the base graph this delta was cut against.
+    pub fn base_id(&self) -> u64 {
+        self.base_id
+    }
+
+    /// The changes, strictly ascending by `(tail, head)`.
+    pub fn changes(&self) -> &[WeightChange] {
+        &self.changes
+    }
+
+    /// Number of changed edges.
+    pub fn len(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// True if the delta changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+
+    /// Applies the delta to its base graph, producing the patched
+    /// graph and invalidation set.
+    ///
+    /// Fails with [`DeltaError::BaseMismatch`] if `base` is not the
+    /// graph the delta was cut against (by content id) — applying a
+    /// delta to the wrong generation would silently produce answers
+    /// from a network that never existed.
+    pub fn apply(&self, base: &Graph) -> Result<DeltaApplied, DeltaError> {
+        let found = base.content_id();
+        if found != self.base_id {
+            return Err(DeltaError::BaseMismatch {
+                expected: self.base_id,
+                found,
+            });
+        }
+        let (out_offsets, out_arcs, in_offsets, in_arcs, coords) = base.csr_parts();
+        let (out_offsets, in_offsets) = (out_offsets.to_vec(), in_offsets.to_vec());
+        let mut out_arcs = out_arcs.to_vec();
+        let mut in_arcs = in_arcs.to_vec();
+        let mut touched = Vec::with_capacity(self.changes.len() * 2);
+        let mut changed_edges = 0usize;
+        for c in &self.changes {
+            // Identical clamp-then-nuance order as GraphBuilder::build,
+            // so the patched arc is bit-equal to a rebuilt one.
+            let w = c.weight.max(1);
+            let nu = edge_nuance(c.tail, c.head, w) as u32;
+            // Arcs within a node's range are sorted by the opposite
+            // endpoint and unique (builder dedup), so binary search.
+            let (lo, hi) = (out_offsets[c.tail as usize] as usize, out_offsets[c.tail as usize + 1] as usize);
+            let Ok(i) = out_arcs[lo..hi].binary_search_by_key(&c.head, |a| a.head) else {
+                return Err(DeltaError::UnknownEdge {
+                    tail: c.tail,
+                    head: c.head,
+                });
+            };
+            if out_arcs[lo + i].weight != w {
+                changed_edges += 1;
+            }
+            out_arcs[lo + i].weight = w;
+            out_arcs[lo + i].nuance = nu;
+            let (lo, hi) = (in_offsets[c.head as usize] as usize, in_offsets[c.head as usize + 1] as usize);
+            let Ok(i) = in_arcs[lo..hi].binary_search_by_key(&c.tail, |a| a.head) else {
+                return Err(DeltaError::UnknownEdge {
+                    tail: c.tail,
+                    head: c.head,
+                });
+            };
+            in_arcs[lo + i].weight = w;
+            in_arcs[lo + i].nuance = nu;
+            touched.push(c.tail);
+            touched.push(c.head);
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        let graph = Graph::from_parts(out_offsets, out_arcs, in_offsets, in_arcs, coords.to_vec());
+        Ok(DeltaApplied {
+            graph,
+            touched,
+            changed_edges,
+        })
+    }
+
+    /// Merges `later` onto this delta: the result, applied to this
+    /// delta's base, equals applying `self` then `later`. Where both
+    /// re-weight the same edge, `later` wins.
+    ///
+    /// The caller is responsible for chain integrity — `later` must
+    /// have been cut against `self.apply(base)`'s graph (deltas never
+    /// change topology, so the merged changes are valid against the
+    /// original base).
+    pub fn compose(&self, later: &WeightDelta) -> WeightDelta {
+        let mut merged = Vec::with_capacity(self.changes.len() + later.changes.len());
+        let (mut a, mut b) = (self.changes.iter().peekable(), later.changes.iter().peekable());
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&x), Some(&&y)) => {
+                    if (x.tail, x.head) < (y.tail, y.head) {
+                        merged.push(x);
+                        a.next();
+                    } else if (x.tail, x.head) > (y.tail, y.head) {
+                        merged.push(y);
+                        b.next();
+                    } else {
+                        merged.push(y); // later wins
+                        a.next();
+                        b.next();
+                    }
+                }
+                (Some(&&x), None) => {
+                    merged.push(x);
+                    a.next();
+                }
+                (None, Some(&&y)) => {
+                    merged.push(y);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        WeightDelta {
+            base_id: self.base_id,
+            changes: merged,
+        }
+    }
+
+    /// The delta that undoes this one: cut against the *patched*
+    /// graph, restoring every changed edge to its weight in `base`.
+    /// `self.apply(base)` then `invert.apply(patched)` round-trips to
+    /// a graph bit-identical to `base` (this holds because base
+    /// weights are already clamped, and nuance is a pure function of
+    /// the clamped weight).
+    ///
+    /// Applies the delta internally to name the patched base, so this
+    /// costs one full apply.
+    pub fn invert(&self, base: &Graph) -> Result<WeightDelta, DeltaError> {
+        let patched = self.apply(base)?;
+        let changes = self
+            .changes
+            .iter()
+            .map(|c| WeightChange {
+                tail: c.tail,
+                head: c.head,
+                weight: base
+                    .edge_weight(c.tail, c.head)
+                    .expect("apply verified every edge exists"),
+            })
+            .collect();
+        Ok(WeightDelta {
+            base_id: patched.graph.content_id(),
+            changes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GraphBuilder, Point};
+
+    fn grid3() -> Graph {
+        // 3×3 bidirectional grid, weights 1..; nodes row-major.
+        let mut b = GraphBuilder::new();
+        for y in 0..3 {
+            for x in 0..3 {
+                b.add_node(Point::new(x, y));
+            }
+        }
+        for y in 0..3u32 {
+            for x in 0..3u32 {
+                let v = y * 3 + x;
+                if x + 1 < 3 {
+                    b.add_bidirectional_edge(v, v + 1, x + y + 1);
+                }
+                if y + 1 < 3 {
+                    b.add_bidirectional_edge(v, v + 3, x + y + 2);
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// From-scratch rebuild with `delta`'s weights — the ground truth
+    /// `apply` must match bit-for-bit.
+    fn rebuild_with(base: &Graph, delta: &WeightDelta) -> Graph {
+        let mut b = GraphBuilder::new();
+        for v in base.node_ids() {
+            b.add_node(base.coord(v));
+        }
+        for (tail, arc) in base.edges() {
+            let w = delta
+                .changes()
+                .iter()
+                .find(|c| (c.tail, c.head) == (tail, arc.head))
+                .map_or(arc.weight, |c| c.weight);
+            b.add_edge(tail, arc.head, w);
+        }
+        b.build()
+    }
+
+    fn graphs_bit_equal(a: &Graph, b: &Graph) -> bool {
+        a.csr_parts() == b.csr_parts()
+    }
+
+    #[test]
+    fn apply_is_bit_equal_to_rebuild() {
+        let g = grid3();
+        let delta = WeightDelta::new(
+            &g,
+            [
+                WeightChange::new(0, 1, 40),
+                WeightChange::new(1, 0, 0), // clamped to 1 on both paths
+                WeightChange::close(4, 5),
+                WeightChange::new(3, 6, 7),
+            ],
+        )
+        .unwrap();
+        let applied = delta.apply(&g).unwrap();
+        let rebuilt = rebuild_with(&g, &delta);
+        assert!(graphs_bit_equal(&applied.graph, &rebuilt));
+        assert_eq!(applied.graph.content_id(), rebuilt.content_id());
+        assert_eq!(applied.touched, vec![0, 1, 3, 4, 5, 6]);
+        // (1, 0, 0) clamps to the base weight 1, so only three edges
+        // actually change value.
+        assert_eq!(applied.changed_edges, 3);
+        assert_eq!(applied.graph.edge_weight(4, 5), Some(CLOSED));
+        // Untouched reverse direction keeps its base weight.
+        assert_eq!(applied.graph.edge_weight(5, 4), g.edge_weight(5, 4));
+    }
+
+    #[test]
+    fn nuance_is_recomputed_from_the_new_weight() {
+        let g = grid3();
+        let delta = WeightDelta::new(&g, [WeightChange::new(0, 1, 99)]).unwrap();
+        let applied = delta.apply(&g).unwrap();
+        let arc = applied.graph.out_edges(0).iter().find(|a| a.head == 1).unwrap();
+        assert_eq!(arc.nuance, edge_nuance(0, 1, 99) as u32);
+        assert_ne!(arc.nuance, g.out_edges(0).iter().find(|a| a.head == 1).unwrap().nuance);
+        // Forward and backward copies stay in sync.
+        let back = applied.graph.in_edges(1).iter().find(|a| a.head == 0).unwrap();
+        assert_eq!((back.weight, back.nuance), (arc.weight, arc.nuance));
+    }
+
+    #[test]
+    fn last_change_per_edge_wins() {
+        let g = grid3();
+        let delta = WeightDelta::new(
+            &g,
+            [WeightChange::new(0, 1, 10), WeightChange::new(0, 1, 20)],
+        )
+        .unwrap();
+        assert_eq!(delta.len(), 1);
+        assert_eq!(delta.changes()[0].weight, 20);
+    }
+
+    #[test]
+    fn apply_rejects_wrong_base() {
+        let g = grid3();
+        let delta = WeightDelta::new(&g, [WeightChange::new(0, 1, 10)]).unwrap();
+        let other = delta.apply(&g).unwrap().graph;
+        assert!(matches!(
+            delta.apply(&other),
+            Err(DeltaError::BaseMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_edges_and_self_loops_are_refused() {
+        let g = grid3();
+        assert!(matches!(
+            WeightDelta::new(&g, [WeightChange::new(0, 8, 5)]),
+            Err(DeltaError::UnknownEdge { tail: 0, head: 8 })
+        ));
+        assert!(matches!(
+            WeightDelta::new(&g, [WeightChange::new(0, 99, 5)]),
+            Err(DeltaError::UnknownEdge { .. })
+        ));
+        assert!(matches!(
+            WeightDelta::new(&g, [WeightChange::new(2, 2, 5)]),
+            Err(DeltaError::SelfLoop { node: 2 })
+        ));
+    }
+
+    #[test]
+    fn from_raw_parts_requires_canonical_form() {
+        let sorted = vec![WeightChange::new(0, 1, 5), WeightChange::new(1, 0, 6)];
+        assert!(WeightDelta::from_raw_parts(1, sorted).is_ok());
+        let unsorted = vec![WeightChange::new(1, 0, 6), WeightChange::new(0, 1, 5)];
+        assert_eq!(
+            WeightDelta::from_raw_parts(1, unsorted),
+            Err(DeltaError::Unsorted)
+        );
+        let dup = vec![WeightChange::new(0, 1, 5), WeightChange::new(0, 1, 6)];
+        assert_eq!(WeightDelta::from_raw_parts(1, dup), Err(DeltaError::Unsorted));
+        let looped = vec![WeightChange::new(3, 3, 5)];
+        assert_eq!(
+            WeightDelta::from_raw_parts(1, looped),
+            Err(DeltaError::SelfLoop { node: 3 })
+        );
+    }
+
+    #[test]
+    fn compose_equals_sequential_apply() {
+        let g = grid3();
+        let d1 = WeightDelta::new(
+            &g,
+            [WeightChange::new(0, 1, 11), WeightChange::close(1, 2)],
+        )
+        .unwrap();
+        let mid = d1.apply(&g).unwrap().graph;
+        let d2 = WeightDelta::new(
+            &mid,
+            [WeightChange::new(1, 2, 3), WeightChange::new(3, 4, 9)],
+        )
+        .unwrap();
+        let sequential = d2.apply(&mid).unwrap().graph;
+        let composed = d1.compose(&d2).apply(&g).unwrap().graph;
+        assert!(graphs_bit_equal(&sequential, &composed));
+    }
+
+    #[test]
+    fn invert_round_trips_to_base() {
+        let g = grid3();
+        let delta = WeightDelta::new(
+            &g,
+            [
+                WeightChange::new(0, 1, 77),
+                WeightChange::close(4, 5),
+                WeightChange::new(1, 0, 0),
+            ],
+        )
+        .unwrap();
+        let patched = delta.apply(&g).unwrap().graph;
+        let inverse = delta.invert(&g).unwrap();
+        let restored = inverse.apply(&patched).unwrap().graph;
+        assert!(graphs_bit_equal(&restored, &g));
+        assert_eq!(restored.content_id(), g.content_id());
+    }
+
+    #[test]
+    fn empty_delta_applies_to_an_identical_graph() {
+        let g = grid3();
+        let delta = WeightDelta::new(&g, []).unwrap();
+        assert!(delta.is_empty());
+        let applied = delta.apply(&g).unwrap();
+        assert!(graphs_bit_equal(&applied.graph, &g));
+        assert!(applied.touched.is_empty());
+        assert_eq!(applied.changed_edges, 0);
+    }
+
+    #[test]
+    fn content_id_tracks_content() {
+        let g = grid3();
+        assert_eq!(g.content_id(), grid3().content_id());
+        let patched = WeightDelta::new(&g, [WeightChange::new(0, 1, 2)])
+            .unwrap()
+            .apply(&g)
+            .unwrap()
+            .graph;
+        assert_ne!(g.content_id(), patched.content_id());
+    }
+}

@@ -146,6 +146,38 @@ impl Graph {
             + self.coords.len() * std::mem::size_of::<Point>()
     }
 
+    /// A deterministic 64-bit digest of the graph's full content — CSR
+    /// shape, arc weights and nuances, and coordinates.
+    ///
+    /// Two graphs have the same id iff they are bit-identical, up to
+    /// hash collisions (the digest is a SplitMix64-style mixer, not a
+    /// cryptographic hash). [`crate::WeightDelta`] uses this as the
+    /// *base snapshot id* a delta is cut against, and `ah_store`
+    /// cross-checks it when loading a snapshot's `delta` section.
+    pub fn content_id(&self) -> u64 {
+        #[inline]
+        fn mix(h: u64, v: u64) -> u64 {
+            let mut z = h ^ v;
+            z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        let mut h = mix(0x41AE_5EED, self.num_nodes() as u64);
+        h = mix(h, self.num_edges() as u64);
+        for &off in &self.out_offsets {
+            h = mix(h, off as u64);
+        }
+        for a in self.out_arcs.iter().chain(self.in_arcs.iter()) {
+            h = mix(h, (a.head as u64) << 32 | a.weight as u64);
+            h = mix(h, a.nuance as u64);
+        }
+        for p in &self.coords {
+            h = mix(h, (p.x as u32 as u64) << 32 | p.y as u32 as u64);
+        }
+        h
+    }
+
     /// Borrowed view of the five CSR arrays, in the order
     /// `(out_offsets, out_arcs, in_offsets, in_arcs, coords)`.
     ///

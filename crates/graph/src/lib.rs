@@ -29,6 +29,7 @@
 //! ```
 
 mod builder;
+mod delta;
 mod dist;
 mod graph;
 mod path;
@@ -37,6 +38,7 @@ mod scc;
 mod stats;
 
 pub use builder::GraphBuilder;
+pub use delta::{DeltaApplied, DeltaError, WeightChange, WeightDelta, CLOSED};
 pub use dist::{Dist, INFINITY};
 pub use graph::{Arc, Graph};
 pub use path::Path;

@@ -58,7 +58,34 @@ const FIRST_CONN: u64 = 2;
 type Tag = (u64, u64);
 
 /// Statuses the edge emits, in reporting order.
-pub const STATUSES: [u16; 9] = [200, 400, 404, 405, 408, 413, 429, 431, 503];
+pub const STATUSES: [u16; 11] = [200, 202, 400, 404, 405, 408, 409, 413, 429, 431, 503];
+
+/// Admin hook behind `POST /admin/reload-delta`: kick off a delta
+/// reload of the serving index. Implementations must not block — the
+/// event loop calls this inline, so a slow reload belongs on a
+/// background thread (the [`ah_server::DeltaReloader`] impl spawns one
+/// and answers `202 Accepted` immediately).
+pub trait ReloadHandler: Sync {
+    /// Start reloading from the delta snapshot at `path`. `Ok` carries
+    /// a JSON body answered with `202`; `Err` carries the HTTP status
+    /// and a human-readable detail string.
+    fn reload(&self, path: &str) -> Result<String, (u16, String)>;
+}
+
+impl ReloadHandler for Arc<ah_server::DeltaReloader> {
+    fn reload(&self, path: &str) -> Result<String, (u16, String)> {
+        use ah_server::ReloadError;
+        match self.start_from_file(path) {
+            Ok(()) => Ok(format!(
+                "{{\"status\":\"reloading\",\"path\":{}}}",
+                http::json_string(path)
+            )),
+            Err(ReloadError::Busy) => Err((409, "a reload is already in progress".to_string())),
+            Err(ReloadError::Delta(e)) => Err((409, e.to_string())),
+            Err(ReloadError::Snapshot(e)) => Err((400, e.to_string())),
+        }
+    }
+}
 
 /// Tuning knobs for the edge.
 #[derive(Debug, Clone)]
@@ -514,6 +541,19 @@ impl EdgeServer {
         server: &Server,
         backend: &dyn DistanceBackend,
     ) -> io::Result<EdgeReport> {
+        self.serve_with_admin(server, backend, None)
+    }
+
+    /// [`EdgeServer::serve`], additionally exposing
+    /// `POST /admin/reload-delta?path=...` wired to `reload`. Like
+    /// `/admin/shutdown`, the endpoint is for loopback smoke tests and
+    /// supervised deployments — leave it unwired on untrusted networks.
+    pub fn serve_with_admin(
+        self,
+        server: &Server,
+        backend: &dyn DistanceBackend,
+        reload: Option<&dyn ReloadHandler>,
+    ) -> io::Result<EdgeReport> {
         let EdgeServer {
             listener,
             cfg,
@@ -566,6 +606,7 @@ impl EdgeServer {
                 num_nodes: backend.num_nodes(),
                 jobs_closed: false,
                 mirrors,
+                reload,
             };
             let out = ev_loop.run();
             // Whatever happened in the loop, release the workers.
@@ -616,6 +657,7 @@ struct EventLoop<'a> {
     num_nodes: usize,
     jobs_closed: bool,
     mirrors: EdgeMirrors,
+    reload: Option<&'a dyn ReloadHandler>,
 }
 
 impl EventLoop<'_> {
@@ -875,6 +917,29 @@ impl EventLoop<'_> {
         let keep = req.keep_alive;
         let path = http::path_of(&req.target);
 
+        if req.method == "POST" && path == "/admin/reload-delta" {
+            let Some(handler) = self.reload else {
+                self.respond_now(token, 404, keep, http::json_error("unknown path"));
+                return;
+            };
+            let Some(p) = http::query_param(&req.target, "path") else {
+                self.respond_now(
+                    token,
+                    400,
+                    keep,
+                    http::json_error("path query parameter is required"),
+                );
+                return;
+            };
+            match handler.reload(p) {
+                Ok(body) => self.respond_now(token, 202, keep, body.into_bytes()),
+                Err((status, detail)) => {
+                    let body = format!("{{\"error\":{}}}", http::json_string(&detail));
+                    self.respond_now(token, status, keep, body.into_bytes());
+                }
+            }
+            return;
+        }
         if req.method != "GET" {
             self.respond_now(token, 405, keep, http::json_error("only GET is supported"));
             return;

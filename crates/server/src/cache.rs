@@ -138,6 +138,10 @@ pub struct DistanceCache {
     shards: Vec<Mutex<Shard>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Bumped by [`DistanceCache::clear`] *before* the shards are wiped,
+    /// so an epoch captured earlier can never stamp an entry that
+    /// survives the wipe (see [`DistanceCache::put_at`]).
+    epoch: AtomicU64,
 }
 
 impl DistanceCache {
@@ -149,7 +153,16 @@ impl DistanceCache {
             shards: (0..NUM_SHARDS).map(|_| Mutex::new(Shard::new(per_shard))).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
         }
+    }
+
+    /// The current clear-epoch. Capture it *before* computing an answer
+    /// and hand it back to [`DistanceCache::put_at`]: if the cache was
+    /// cleared in between (index swap), the stale answer is dropped
+    /// instead of poisoning the new generation.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
     }
 
     #[inline]
@@ -186,6 +199,27 @@ impl DistanceCache {
         self.shard_for((s, t)).lock().unwrap().insert((s, t), value);
     }
 
+    /// Records the answer for `(s, t)` only if no [`DistanceCache::clear`]
+    /// happened since `epoch` was captured (via [`DistanceCache::epoch`]).
+    ///
+    /// This closes the swap-time race `put` cannot: a worker that read
+    /// the old index, computed, and got descheduled could otherwise
+    /// insert its old-generation answer *after* the swap cleared the
+    /// cache. The epoch is re-checked **under the shard lock**; because
+    /// `clear` bumps the epoch before taking any shard lock, a stale
+    /// writer either inserts before the wipe (entry is wiped) or sees
+    /// the new epoch and drops the answer. Returns whether the entry
+    /// was stored.
+    pub fn put_at(&self, s: NodeId, t: NodeId, distance: Option<u64>, epoch: u64) -> bool {
+        let value = distance.unwrap_or(UNREACHABLE);
+        let mut shard = self.shard_for((s, t)).lock().unwrap();
+        if self.epoch.load(Ordering::SeqCst) != epoch {
+            return false;
+        }
+        shard.insert((s, t), value);
+        true
+    }
+
     /// Lookups that found an entry.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
@@ -211,7 +245,11 @@ impl DistanceCache {
     /// describe traffic, not contents). Used when the index underneath
     /// the cache is swapped: answers computed against the old index must
     /// not leak into the new serving generation.
+    ///
+    /// The epoch is bumped *before* the first shard is wiped — the
+    /// ordering [`DistanceCache::put_at`] relies on.
     pub fn clear(&self) {
+        self.epoch.fetch_add(1, Ordering::SeqCst);
         for shard in &self.shards {
             let mut s = shard.lock().unwrap();
             s.map.clear();
@@ -308,6 +346,36 @@ mod tests {
         shard.insert((1, 1), 12);
         assert_eq!(shard.get((1, 1)), Some(12));
         assert_eq!(shard.map.len(), 1);
+    }
+
+    #[test]
+    fn put_at_with_current_epoch_stores() {
+        let c = DistanceCache::new(64);
+        let e = c.epoch();
+        assert!(c.put_at(1, 2, Some(5), e));
+        assert_eq!(c.get(1, 2), Some(Some(5)));
+    }
+
+    #[test]
+    fn put_at_after_clear_drops_the_stale_answer() {
+        let c = DistanceCache::new(64);
+        let e = c.epoch();
+        // The swap happens between compute and insert:
+        c.clear();
+        assert!(!c.put_at(1, 2, Some(5), e), "stale insert must be refused");
+        assert_eq!(c.get(1, 2), None, "nothing leaked into the new epoch");
+        // A writer that captured the *new* epoch stores fine.
+        assert!(c.put_at(1, 2, Some(7), c.epoch()));
+        assert_eq!(c.get(1, 2), Some(Some(7)));
+    }
+
+    #[test]
+    fn clear_bumps_epoch_monotonically() {
+        let c = DistanceCache::new(16);
+        let e0 = c.epoch();
+        c.clear();
+        c.clear();
+        assert_eq!(c.epoch(), e0 + 2);
     }
 
     #[test]

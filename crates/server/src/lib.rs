@@ -55,6 +55,7 @@ mod backend;
 mod cache;
 mod metrics;
 mod queue;
+mod reload;
 mod server;
 mod sharded;
 mod snapshot;
@@ -75,4 +76,5 @@ pub use ah_obs::{Registry, Span, SpanRecord, Stage, TraceConfig, Tracer};
 pub use sharded::{
     ShardLaneReport, ShardedBackend, ShardedRunReport, ShardedServer, ShardedServerConfig,
 };
-pub use snapshot::SnapshotServer;
+pub use reload::{DeltaReloader, ReloadError, ReloadOutcome};
+pub use snapshot::{SnapshotBackend, SnapshotServer};

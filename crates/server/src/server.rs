@@ -518,6 +518,11 @@ fn serve_one(
             cache_hit: false,
         };
     }
+    // Captured before the probe/compute: if the index is swapped (and
+    // the cache cleared) while this query is in flight, the epoch check
+    // in `put_at` drops the old-generation answer instead of inserting
+    // it into the fresh cache.
+    let epoch = cache.map(DistanceCache::epoch);
     match req.kind {
         QueryKind::Distance => {
             if let Some(c) = cache {
@@ -538,7 +543,7 @@ fn serve_one(
             let d = session.distance(req.s, req.t);
             stamp(Stage::Compute, &mut span);
             if let Some(c) = cache {
-                c.put(req.s, req.t, d);
+                c.put_at(req.s, req.t, d, epoch.unwrap());
             }
             Response {
                 id: req.id,
@@ -558,7 +563,7 @@ fn serve_one(
             // Paths carry the distance too; feed the cache so later
             // distance queries for the pair hit.
             if let Some(c) = cache {
-                c.put(req.s, req.t, distance);
+                c.put_at(req.s, req.t, distance, epoch.unwrap());
             }
             Response {
                 id: req.id,

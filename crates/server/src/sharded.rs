@@ -17,12 +17,12 @@
 //! [`crate::MetricsSnapshot`]s show which regions are hot — all
 //! stepping stones to running each shard on its own machine.
 
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::time::Instant;
 
-use ah_graph::{NodeId, Path};
-use ah_obs::Registry;
-use ah_shard::{ShardedIndex, ShardedQuery};
+use ah_graph::{Graph, NodeId, Path, WeightDelta};
+use ah_obs::{Counter, Registry};
+use ah_shard::{RefreshReport, ShardConfig, ShardedIndex, ShardedQuery};
 use ah_store::{Snapshot, SnapshotError};
 
 use crate::backend::{BackendSession, DistanceBackend};
@@ -152,9 +152,13 @@ impl ShardedRunReport {
 /// [`ShardedServer::run`] calls, modelling a warmed-up service per
 /// region.
 pub struct ShardedServer {
-    index: Arc<ShardedIndex>,
+    index: RwLock<Arc<ShardedIndex>>,
     pools: Vec<Server>,
     registry: Arc<Registry>,
+    /// Published index swaps (whole-generation, all lanes at once).
+    swaps_total: Arc<Counter>,
+    /// Per-lane index rebuilds caused by refreshes, indexed by shard.
+    lane_rebuilds: Vec<Arc<Counter>>,
 }
 
 impl ShardedServer {
@@ -174,10 +178,26 @@ impl ShardedServer {
                 )
             })
             .collect();
+        let swaps_total = registry.counter(
+            "ah_sharded_swaps_total",
+            &[],
+            "Sharded index generations published by refreshes",
+        );
+        let lane_rebuilds = (0..index.num_shards())
+            .map(|k| {
+                registry.counter(
+                    "ah_shard_lane_rebuilds_total",
+                    &[("shard", k.to_string().as_str())],
+                    "Per-lane index rebuilds caused by weight-delta refreshes",
+                )
+            })
+            .collect();
         ShardedServer {
-            index,
+            index: RwLock::new(index),
             pools,
             registry,
+            swaps_total,
+            lane_rebuilds,
         }
     }
 
@@ -195,9 +215,62 @@ impl ShardedServer {
         Ok(ShardedServer::new(Arc::new(index), cfg))
     }
 
-    /// The sharded index being served.
-    pub fn index(&self) -> &Arc<ShardedIndex> {
-        &self.index
+    /// The sharded index generation currently serving.
+    pub fn index(&self) -> Arc<ShardedIndex> {
+        self.index.read().unwrap().clone()
+    }
+
+    /// Atomically replaces the serving sharded index and clears every
+    /// lane's distance cache under the same write lock — answers
+    /// computed against the old generation can never be served from a
+    /// lane cache after the swap (each lane's `serve_one` stamps its
+    /// cache inserts with the pre-compute epoch, so even a mid-flight
+    /// old-generation worker cannot re-poison a cleared cache). Returns
+    /// the previous generation.
+    ///
+    /// The new index must have the same shard count (weight deltas
+    /// preserve topology, so the partition — and the lane layout — is
+    /// stable).
+    pub fn swap_index(&self, new: Arc<ShardedIndex>) -> Arc<ShardedIndex> {
+        assert_eq!(
+            new.num_shards(),
+            self.pools.len(),
+            "lane layout is fixed; the new index must keep the shard count"
+        );
+        let mut slot = self.index.write().unwrap();
+        let old = std::mem::replace(&mut *slot, new);
+        for pool in &self.pools {
+            pool.reset_cache();
+        }
+        self.swaps_total.inc();
+        old
+    }
+
+    /// Staggered zero-downtime refresh after a weight delta: applies
+    /// `delta` to `base` (which must be the graph the serving index was
+    /// built from), rebuilds only the invalidated shards — one at a
+    /// time, off the serving path, every lane still answering from the
+    /// old generation — recomputes the boundary matrix last, and
+    /// publishes the whole new generation atomically via
+    /// [`ShardedServer::swap_index`]. Returns the patched graph (the
+    /// base for the *next* delta) and what was rebuilt.
+    ///
+    /// On a delta error (wrong base generation, unknown edge) nothing
+    /// is rebuilt and the serving index is untouched.
+    pub fn reload_delta(
+        &self,
+        base: &Graph,
+        delta: &WeightDelta,
+        cfg: &ShardConfig,
+    ) -> Result<(Graph, RefreshReport), ah_graph::DeltaError> {
+        let applied = delta.apply(base)?;
+        let old = self.index();
+        let (fresh, report) = old.refresh(&applied.graph, &applied.touched, cfg);
+        for &s in &report.rebuilt_shards {
+            self.lane_rebuilds[s].inc();
+        }
+        self.swap_index(Arc::new(fresh));
+        Ok((applied.graph, report))
     }
 
     /// The per-shard pools (metrics, cache statistics), indexed by
@@ -221,13 +294,16 @@ impl ShardedServer {
     /// region and are handed to lane 0, whose bounds check answers them
     /// with `distance: None` as [`Server::run`] documents.
     pub fn run(&self, requests: &[Request]) -> ShardedRunReport {
-        let n = self.index.num_nodes();
+        // One generation per run: routing and serving read the same
+        // index, and a concurrent swap only affects later runs.
+        let index = self.index();
+        let n = index.num_nodes();
         let mut lanes: Vec<Vec<Request>> = vec![Vec::new(); self.pools.len()];
         let mut same_shard = 0usize;
         let mut cross_shard = 0usize;
         for req in requests {
             let lane = if (req.s as usize) < n {
-                self.index.shard_of(req.s) as usize
+                index.shard_of(req.s) as usize
             } else {
                 0
             };
@@ -235,7 +311,7 @@ impl ShardedServer {
             // counted in neither bucket, so the published cross-shard
             // fraction describes only genuinely routed traffic.
             if (req.s as usize) < n && (req.t as usize) < n {
-                if self.index.shard_of(req.s) != self.index.shard_of(req.t) {
+                if index.shard_of(req.s) != index.shard_of(req.t) {
                     cross_shard += 1;
                 } else {
                     same_shard += 1;
@@ -244,7 +320,7 @@ impl ShardedServer {
             lanes[lane].push(*req);
         }
 
-        let backend = ShardedBackend::new(&self.index);
+        let backend = ShardedBackend::new(&index);
         let start = Instant::now();
         let reports: Vec<Option<crate::server::RunReport>> = std::thread::scope(|scope| {
             let handles: Vec<_> = lanes
@@ -455,6 +531,78 @@ mod tests {
             Err(SnapshotError::MissingSection { .. })
         ));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reload_delta_swaps_all_lanes_and_matches_scratch_build() {
+        use ah_graph::{WeightChange, WeightDelta};
+        let (g, idx) = sharded_fixture();
+        let cfg = ShardConfig {
+            shards: 4,
+            ..Default::default()
+        };
+        let server = ShardedServer::new(idx, ShardedServerConfig::with_workers_per_shard(2));
+        let reqs = mixed_requests(g.num_nodes() as u32, 200);
+        // Warm the lane caches on the old generation so the swap has
+        // something to invalidate.
+        let before = server.run(&reqs);
+
+        // Close the row-3↔row-4 cut except at column 0: every
+        // top↔bottom route must now detour through the west edge, so
+        // plenty of answers move (a unit lattice shrugs off single-edge
+        // changes — Manhattan alternatives everywhere).
+        let id = |x: u32, y: u32| y * 8 + x;
+        let changes: Vec<WeightChange> = (1..8u32)
+            .flat_map(|x| {
+                [
+                    WeightChange::close(id(x, 3), id(x, 4)),
+                    WeightChange::close(id(x, 4), id(x, 3)),
+                ]
+            })
+            .collect();
+        let delta = WeightDelta::new(&g, changes).unwrap();
+        let (patched, report) = server.reload_delta(&g, &delta, &cfg).unwrap();
+        assert!(!report.rebuilt_shards.is_empty());
+        assert!(report.reused_shards + report.rebuilt_shards.len() == 4);
+
+        // Post-swap answers are bit-equal to a scratch sharded build on
+        // the patched graph — across the same warmed pools.
+        let scratch = Arc::new(ShardedIndex::build(&patched, &cfg));
+        let scratch_server =
+            ShardedServer::new(scratch, ShardedServerConfig::with_workers_per_shard(2));
+        let after = server.run(&reqs);
+        let want = scratch_server.run(&reqs);
+        let mut moved = 0;
+        for ((a, b), c) in after.responses.iter().zip(&want.responses).zip(&before.responses) {
+            assert_eq!((a.id, a.distance), (b.id, b.distance), "req {}", a.id);
+            if a.distance != c.distance {
+                moved += 1;
+            }
+        }
+        assert!(moved > 0, "the delta must actually change some answers");
+
+        let text = server.registry().render();
+        assert!(text.contains("ah_sharded_swaps_total 1"), "{text}");
+        assert!(text.contains("ah_shard_lane_rebuilds_total{shard="), "{text}");
+    }
+
+    #[test]
+    fn reload_delta_with_stale_base_leaves_serving_untouched() {
+        use ah_graph::{WeightChange, WeightDelta};
+        let (g, idx) = sharded_fixture();
+        let cfg = ShardConfig {
+            shards: 4,
+            ..Default::default()
+        };
+        let server = ShardedServer::new(idx, ShardedServerConfig::with_workers_per_shard(1));
+        let delta = WeightDelta::new(&g, [WeightChange::new(0, 1, 77)]).unwrap();
+        let (patched, _) = server.reload_delta(&g, &delta, &cfg).unwrap();
+        // Replaying against the pre-delta graph: the serving index was
+        // built from `patched`, so the same delta no longer applies.
+        let err = server.reload_delta(&patched, &delta, &cfg).unwrap_err();
+        assert!(matches!(err, ah_graph::DeltaError::BaseMismatch { .. }));
+        let text = server.registry().render();
+        assert!(text.contains("ah_sharded_swaps_total 1"), "{text}");
     }
 
     #[test]

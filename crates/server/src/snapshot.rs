@@ -23,12 +23,14 @@
 //! pointer exchange plus cache clear.
 
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
-use ah_core::AhIndex;
+use ah_core::{AhIndex, AhQuery};
+use ah_graph::NodeId;
 use ah_store::{Snapshot, SnapshotError};
 
-use crate::backend::AhBackend;
+use crate::backend::{AhBackend, BackendSession, DistanceBackend};
 use crate::server::{Request, RunReport, Server, ServerConfig};
 
 impl Server {
@@ -56,15 +58,30 @@ impl Server {
 pub struct SnapshotServer {
     server: Server,
     index: RwLock<Arc<AhIndex>>,
+    generation: AtomicU64,
 }
 
 impl SnapshotServer {
     /// Serves from `index` with the given configuration.
     pub fn new(index: Arc<AhIndex>, cfg: ServerConfig) -> Self {
+        Self::with_server(index, Server::new(cfg))
+    }
+
+    /// Serves from `index` through an already-built engine — how the
+    /// edge wires a snapshot server into a shared metric registry
+    /// (build the [`Server`] with [`Server::with_observability`] first).
+    pub fn with_server(index: Arc<AhIndex>, server: Server) -> Self {
         SnapshotServer {
-            server: Server::new(cfg),
+            server,
             index: RwLock::new(index),
+            generation: AtomicU64::new(0),
         }
+    }
+
+    /// How many times the serving index has been swapped since startup.
+    /// Generation 0 is the index the server booted with.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
     }
 
     /// The engine underneath (metrics, cache statistics, config).
@@ -92,6 +109,10 @@ impl SnapshotServer {
         let mut slot = self.index.write().unwrap();
         let old = std::mem::replace(&mut *slot, new);
         self.server.reset_cache();
+        // Bumped while the write lock is held, so the generation a
+        // reader observes after taking the read lock is never behind
+        // the index it got.
+        self.generation.fetch_add(1, Ordering::SeqCst);
         old
     }
 
@@ -117,6 +138,66 @@ impl SnapshotServer {
         let index = self.index.read().unwrap();
         let backend = AhBackend::new(&index);
         self.server.run(&backend, requests)
+    }
+}
+
+/// A [`DistanceBackend`] view over a [`SnapshotServer`] that follows
+/// index swaps *between queries* instead of pinning one generation.
+///
+/// [`AhBackend`] borrows a fixed index, so open-loop workers created
+/// over it before a swap would keep serving the old generation forever.
+/// A `SnapshotBackend` session instead re-reads the swappable handle on
+/// every query: each answer is computed against whatever generation is
+/// current when the query starts, and a long-running worker picks up a
+/// published swap on its very next query — the piece that makes
+/// `/admin/reload-delta` visible to workers that never restart. Each
+/// query clones an `Arc` under the read lock (uncontended outside the
+/// microseconds of an actual swap), so a swap never waits on an
+/// open-loop worker and vice versa.
+pub struct SnapshotBackend<'a> {
+    server: &'a SnapshotServer,
+}
+
+impl<'a> SnapshotBackend<'a> {
+    /// Serves queries against `server`'s *current* index generation.
+    pub fn new(server: &'a SnapshotServer) -> Self {
+        SnapshotBackend { server }
+    }
+}
+
+impl DistanceBackend for SnapshotBackend<'_> {
+    fn name(&self) -> &'static str {
+        "AH"
+    }
+
+    fn num_nodes(&self) -> usize {
+        // Weight deltas keep the topology, so the node count is stable
+        // across the swaps this backend is built to follow.
+        self.server.index().num_nodes()
+    }
+
+    fn make_session(&self) -> Box<dyn BackendSession + '_> {
+        Box::new(SnapshotSession {
+            server: self.server,
+            q: AhQuery::new(),
+        })
+    }
+}
+
+struct SnapshotSession<'a> {
+    server: &'a SnapshotServer,
+    q: AhQuery,
+}
+
+impl BackendSession for SnapshotSession<'_> {
+    fn distance(&mut self, s: NodeId, t: NodeId) -> Option<u64> {
+        let idx = self.server.index();
+        self.q.distance(&idx, s, t)
+    }
+
+    fn path(&mut self, s: NodeId, t: NodeId) -> Option<ah_graph::Path> {
+        let idx = self.server.index();
+        self.q.path(&idx, s, t)
     }
 }
 
@@ -205,6 +286,49 @@ mod tests {
             report.responses[0].distance,
             dijkstra_distance(&g, 0, 15).map(|d| d.length)
         );
+    }
+
+    #[test]
+    fn generation_counts_swaps() {
+        let g = ah_data::fixtures::ring(8);
+        let idx = Arc::new(AhIndex::build(&g, &BuildConfig::default()));
+        let server = SnapshotServer::new(idx.clone(), ServerConfig::with_workers(1));
+        assert_eq!(server.generation(), 0);
+        server.swap_index(idx.clone());
+        server.swap_index(idx);
+        assert_eq!(server.generation(), 2);
+    }
+
+    #[test]
+    fn snapshot_backend_follows_swaps_without_new_sessions() {
+        let g1 = ah_data::fixtures::lattice(5, 5, 10);
+        // Second generation: the same lattice with both arcs *out of*
+        // node 0 re-weighted, so every route from 0 — including 0 → 24
+        // — answers differently.
+        let changes = [
+            ah_graph::WeightChange::new(0, 1, 9),
+            ah_graph::WeightChange::new(0, 5, 9),
+        ];
+        let g2 = ah_graph::WeightDelta::new(&g1, changes).unwrap().apply(&g1).unwrap().graph;
+        let idx1 = Arc::new(AhIndex::build(&g1, &BuildConfig::default()));
+        let idx2 = Arc::new(AhIndex::build(&g2, &BuildConfig::default()));
+        let server = SnapshotServer::new(idx1, ServerConfig::with_workers(1));
+
+        let backend = SnapshotBackend::new(&server);
+        let mut session = backend.make_session();
+        let want1 = dijkstra_distance(&g1, 0, 24).map(|d| d.length);
+        assert_eq!(session.distance(0, 24), want1);
+
+        // Swap while the session lives: the *same* session must answer
+        // from the new generation on its next query.
+        server.swap_index(idx2);
+        let want2 = dijkstra_distance(&g2, 0, 24).map(|d| d.length);
+        assert_ne!(want1, want2, "fixture weights must differ for this test");
+        assert_eq!(session.distance(0, 24), want2);
+        if let Some(p) = session.path(0, 24) {
+            assert_eq!(p.dist.length, want2.unwrap());
+            p.verify(&g2).unwrap();
+        }
     }
 
     #[test]

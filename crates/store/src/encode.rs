@@ -17,7 +17,7 @@
 use ah_ch::ChIndex;
 use ah_contraction::{HArc, Hierarchy};
 use ah_core::{AhIndex, ElevArc, ElevatingSets, ElevatingSide};
-use ah_graph::{Arc, Dist, Graph, NodeId, Point};
+use ah_graph::{Arc, Dist, Graph, NodeId, Point, WeightChange, WeightDelta};
 use ah_grid::GridHierarchy;
 use ah_labels::{LabelEntry, LabelIndex};
 use ah_shard::ShardedIndex;
@@ -383,6 +383,52 @@ pub fn decode_labels(bytes: &[u8]) -> Result<LabelIndex, SnapshotError> {
             reason,
         },
     )
+}
+
+// ---------------------------------------------------- delta (format v4)
+
+/// Encodes a [`WeightDelta`] as the `delta` section payload. Weights
+/// are stored raw (0 stays 0; clamping happens at apply time), so the
+/// codec is lossless for every boundary weight including `0`,
+/// `u32::MAX - 1` and the `u32::MAX` closure sentinel.
+pub fn encode_delta(delta: &WeightDelta) -> Vec<u8> {
+    let mut w = FieldWriter::new();
+    w.put_u64(delta.base_id());
+    w.put_u64(delta.len() as u64);
+    for c in delta.changes() {
+        w.put_u32(c.tail);
+        w.put_u32(c.head);
+        w.put_u32(c.weight);
+        w.put_u32(0); // reserved / alignment
+    }
+    w.into_bytes()
+}
+
+/// Decodes the `delta` section payload. Canonical form (strictly
+/// ascending `(tail, head)`, no self-loops) is re-validated through
+/// [`WeightDelta::from_raw_parts`]; the base id is cross-checked
+/// against the snapshot's graph section by the caller.
+pub fn decode_delta(bytes: &[u8]) -> Result<WeightDelta, SnapshotError> {
+    let mut r = FieldReader::new(SectionTag::DELTA, bytes);
+    let base_id = r.get_u64()?;
+    let n = r.get_len(16)?;
+    let mut changes = Vec::with_capacity(n);
+    for _ in 0..n {
+        let tail = r.get_u32()?;
+        let head = r.get_u32()?;
+        let weight = r.get_u32()?;
+        let _reserved = r.get_u32()?;
+        changes.push(WeightChange { tail, head, weight });
+    }
+    r.expect_end()?;
+    WeightDelta::from_raw_parts(base_id, changes).map_err(|e| SnapshotError::Malformed {
+        section: SectionTag::DELTA,
+        reason: match e {
+            ah_graph::DeltaError::Unsorted => "delta changes are not strictly ascending",
+            ah_graph::DeltaError::SelfLoop { .. } => "delta names a self-loop",
+            _ => "delta changes are not in canonical form",
+        },
+    })
 }
 
 // --------------------------------------------------- shards (format v2)

@@ -56,6 +56,16 @@ pub enum SnapshotError {
         /// The repeated section.
         section: SectionTag,
     },
+    /// The `delta` section names a different base graph than the
+    /// snapshot's `graph` section (by `ah_graph::Graph::content_id`):
+    /// the changes were cut against another generation of the network
+    /// and applying them would produce weights that never coexisted.
+    DeltaBaseMismatch {
+        /// Base graph content id the delta was cut against.
+        expected: u64,
+        /// Content id of the graph actually in the snapshot.
+        found: u64,
+    },
     /// A section passed its checksum but its payload violates a structural
     /// invariant (CSR shape, index bounds, …) — an encoder bug or a
     /// deliberately forged file.
@@ -95,6 +105,10 @@ impl std::fmt::Display for SnapshotError {
             SnapshotError::DuplicateSection { section } => {
                 write!(f, "section `{section}` appears twice")
             }
+            SnapshotError::DeltaBaseMismatch { expected, found } => write!(
+                f,
+                "delta section was cut against base graph {expected:#018x}, but the snapshot's graph is {found:#018x}"
+            ),
             SnapshotError::Malformed { section, reason } => {
                 write!(f, "malformed `{section}` section: {reason}")
             }

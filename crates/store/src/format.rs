@@ -35,8 +35,11 @@ pub const MAGIC: [u8; 8] = *b"AHSNAP\r\n";
 /// non-empty shard); **3** adds the hub-labeling section (`labels`) with
 /// its new 24-byte label-entry element encoding and cross-section
 /// semantics (a labels-backed server answers paths from the `ah.index`
-/// section). Version-1 and version-2 files remain loadable.
-pub const VERSION: u16 = 3;
+/// section); **4** adds the weight-delta section (`delta`): incremental
+/// edge re-weights (closures as `u32::MAX` weight) against a named base
+/// graph, cross-checked on load against the `graph` section's content
+/// id. Files of versions 1–3 remain loadable.
+pub const VERSION: u16 = 4;
 
 /// Fixed header bytes before the section table.
 pub const HEADER_LEN: usize = 16;
@@ -60,6 +63,9 @@ impl SectionTag {
     pub const SHARDS: SectionTag = SectionTag(*b"shards\0\0");
     /// The hub-labeling index (`ah_labels::LabelIndex`), format v3.
     pub const LABELS: SectionTag = SectionTag(*b"labels\0\0");
+    /// The incremental weight delta (`ah_graph::WeightDelta`), format
+    /// v4: edge re-weights against a named base graph.
+    pub const DELTA: SectionTag = SectionTag(*b"delta\0\0\0");
 
     /// The per-shard AH index section for shard `slot`
     /// (`shard000` … `shard255`; payload encoding identical to

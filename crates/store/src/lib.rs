@@ -51,7 +51,7 @@ use std::sync::Arc;
 
 use ah_ch::ChIndex;
 use ah_core::AhIndex;
-use ah_graph::Graph;
+use ah_graph::{Graph, WeightDelta};
 use ah_labels::LabelIndex;
 use ah_shard::ShardedIndex;
 
@@ -71,6 +71,7 @@ pub struct SnapshotContents<'a> {
     ch: Option<&'a ChIndex>,
     labels: Option<&'a LabelIndex>,
     sharded: Option<&'a ShardedIndex>,
+    delta: Option<&'a WeightDelta>,
 }
 
 impl<'a> SnapshotContents<'a> {
@@ -117,6 +118,16 @@ impl<'a> SnapshotContents<'a> {
         self.sharded = Some(idx);
         self
     }
+
+    /// Includes an incremental weight delta (format v4 `delta`
+    /// section). When the graph section is also written,
+    /// [`Snapshot::write`] refuses a delta whose base id does not name
+    /// that graph ([`SnapshotError::DeltaBaseMismatch`]), and loaders
+    /// re-check the same invariant.
+    pub fn delta(mut self, delta: &'a WeightDelta) -> Self {
+        self.delta = Some(delta);
+        self
+    }
 }
 
 /// A loaded snapshot: whichever of the three persistable objects the file
@@ -138,6 +149,10 @@ pub struct Snapshot {
     /// The sharded index, if the file has a `shards` section (which
     /// requires the `graph` and `ah.index` sections to reassemble).
     pub sharded: Option<ShardedIndex>,
+    /// The incremental weight delta, if the file has a `delta` section
+    /// (format v4). When a graph section is present too, the delta's
+    /// base id has been verified to name exactly that graph.
+    pub delta: Option<WeightDelta>,
 }
 
 impl Snapshot {
@@ -154,6 +169,15 @@ impl Snapshot {
             return Err(SnapshotError::MissingSection {
                 section: SectionTag::GRAPH,
             });
+        }
+        if let (Some(delta), Some(graph)) = (contents.delta, contents.graph) {
+            let found = graph.content_id();
+            if delta.base_id() != found {
+                return Err(SnapshotError::DeltaBaseMismatch {
+                    expected: delta.base_id(),
+                    found,
+                });
+            }
         }
         let bytes = Self::to_bytes(contents);
         // Append ".tmp" to the *full* file name (never replace the
@@ -215,6 +239,9 @@ impl Snapshot {
         if let Some(idx) = contents.labels {
             w.add_section(SectionTag::LABELS, encode::encode_labels(idx));
         }
+        if let Some(delta) = contents.delta {
+            w.add_section(SectionTag::DELTA, encode::encode_delta(delta));
+        }
         if let Some(sh) = contents.sharded {
             assert!(
                 contents.graph.is_some(),
@@ -273,6 +300,19 @@ impl Snapshot {
             .map(encode::decode_labels)
             .transpose()?
             .map(Arc::new);
+        let delta = container
+            .section(SectionTag::DELTA)
+            .map(encode::decode_delta)
+            .transpose()?;
+        if let (Some(d), Some(g)) = (&delta, &graph) {
+            let found = g.content_id();
+            if d.base_id() != found {
+                return Err(SnapshotError::DeltaBaseMismatch {
+                    expected: d.base_id(),
+                    found,
+                });
+            }
+        }
         let sharded = if container.section(SectionTag::SHARDS).is_some() {
             Some(Self::decode_sharded_from(
                 &container,
@@ -288,7 +328,24 @@ impl Snapshot {
             ch,
             labels,
             sharded,
+            delta,
         })
+    }
+
+    /// Loads *only* the weight delta from the snapshot at `path`
+    /// (checksums of every section still verify; other payloads are not
+    /// decoded). The base-graph cross-check is *not* run here — the
+    /// caller applies the delta against its live graph, and
+    /// `ah_graph::WeightDelta::apply` re-checks the base id there.
+    pub fn load_delta(path: impl AsRef<Path>) -> Result<WeightDelta, SnapshotError> {
+        let bytes = std::fs::read(path)?;
+        let container = format::Container::parse(&bytes)?;
+        let section = container
+            .section(SectionTag::DELTA)
+            .ok_or(SnapshotError::MissingSection {
+                section: SectionTag::DELTA,
+            })?;
+        encode::decode_delta(section)
     }
 
     /// Loads *only* the sharded index (graph + global AH + shard

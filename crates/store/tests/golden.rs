@@ -40,10 +40,10 @@ fn tiny_fixture_bytes_are_stable() {
     println!("{dump}");
 
     let expected = "\
-00000000  41 48 53 4e 41 50 0d 0a 03 00 01 00 00 00 00 00
+00000000  41 48 53 4e 41 50 0d 0a 04 00 01 00 00 00 00 00
 00000010  67 72 61 70 68 00 00 00 38 00 00 00 00 00 00 00
 00000020  90 00 00 00 00 00 00 00 17 57 bf 83 fb c6 2b ae
-00000030  26 0c a1 4e 7f 42 e5 d4 02 00 00 00 00 00 00 00
+00000030  0f 1d f6 a9 a1 7d 55 5a 02 00 00 00 00 00 00 00
 00000040  03 00 00 00 00 00 00 00 00 00 00 00 01 00 00 00
 00000050  02 00 00 00 00 00 00 00 02 00 00 00 00 00 00 00
 00000060  01 00 00 00 07 00 00 00 6e a4 d1 00 00 00 00 00
@@ -63,15 +63,133 @@ fn tiny_fixture_bytes_are_stable() {
     assert_eq!(loaded.edge_weight(1, 0), Some(7));
 }
 
+/// The `delta` section of the same fixture, re-weighting the 0 → 1 arc
+/// to 9 and closing 1 → 0: base content id, change count, then one
+/// 16-byte record per change. This is the worked delta example in
+/// `docs/FORMAT.md`.
+#[test]
+fn tiny_delta_bytes_are_stable() {
+    use ah_graph::{WeightChange, WeightDelta};
+    let g = tiny_graph();
+    let delta = WeightDelta::new(
+        &g,
+        [WeightChange::new(0, 1, 9), WeightChange::close(1, 0)],
+    )
+    .unwrap();
+    let bytes = Snapshot::to_bytes(SnapshotContents::new().graph(&g).delta(&delta));
+    let dump = hexdump(&bytes);
+    println!("{dump}");
+
+    let expected = "\
+00000000  41 48 53 4e 41 50 0d 0a 04 00 02 00 00 00 00 00
+00000010  67 72 61 70 68 00 00 00 58 00 00 00 00 00 00 00
+00000020  90 00 00 00 00 00 00 00 17 57 bf 83 fb c6 2b ae
+00000030  64 65 6c 74 61 00 00 00 e8 00 00 00 00 00 00 00
+00000040  30 00 00 00 00 00 00 00 5b 45 6f 91 8c 85 65 3f
+00000050  f5 4a 76 f5 cb dd 9e ff 02 00 00 00 00 00 00 00
+00000060  03 00 00 00 00 00 00 00 00 00 00 00 01 00 00 00
+00000070  02 00 00 00 00 00 00 00 02 00 00 00 00 00 00 00
+00000080  01 00 00 00 07 00 00 00 6e a4 d1 00 00 00 00 00
+00000090  07 00 00 00 cc 3b ef 00 03 00 00 00 00 00 00 00
+000000a0  00 00 00 00 01 00 00 00 02 00 00 00 00 00 00 00
+000000b0  02 00 00 00 00 00 00 00 01 00 00 00 07 00 00 00
+000000c0  cc 3b ef 00 00 00 00 00 07 00 00 00 6e a4 d1 00
+000000d0  02 00 00 00 00 00 00 00 00 00 00 00 00 00 00 00
+000000e0  03 00 00 00 04 00 00 00 35 e4 96 d1 ce c2 17 35
+000000f0  02 00 00 00 00 00 00 00 00 00 00 00 01 00 00 00
+00000100  09 00 00 00 00 00 00 00 01 00 00 00 00 00 00 00
+00000110  ff ff ff ff 00 00 00 00
+";
+    assert_eq!(dump, expected, "delta encoding changed — see module docs");
+
+    let loaded = Snapshot::from_bytes(&bytes).unwrap();
+    assert_eq!(loaded.delta.unwrap(), delta);
+}
+
+/// A single flipped bit anywhere in the delta payload is caught by the
+/// section checksum and attributed to the `delta` section — a damaged
+/// update feed can never patch live weights.
+#[test]
+fn delta_payload_bit_flip_is_detected() {
+    use ah_graph::{WeightChange, WeightDelta};
+    use ah_store::{SectionTag, SnapshotError};
+    let g = tiny_graph();
+    let delta = WeightDelta::new(&g, [WeightChange::close(0, 1)]).unwrap();
+    let bytes = Snapshot::to_bytes(SnapshotContents::new().graph(&g).delta(&delta));
+
+    // The delta is the last section written, so the file's final byte
+    // (a change record's nuance-free weight bytes) is inside it.
+    let mut img = bytes.clone();
+    *img.last_mut().unwrap() ^= 0x01;
+    match Snapshot::from_bytes(&img).err() {
+        Some(SnapshotError::SectionChecksumMismatch { section }) => {
+            assert_eq!(section, SectionTag::DELTA, "damage must name the delta section");
+        }
+        other => panic!("corrupt delta accepted or mistyped: {other:?}"),
+    }
+}
+
+/// A delta whose base id names a *different* graph than the snapshot's
+/// own graph section is refused typed — by the writer up front, and by
+/// the loader even when the payload checksums are deliberately
+/// re-sealed (a forged file, not line noise).
+#[test]
+fn forged_delta_base_id_is_rejected_typed() {
+    use ah_graph::{WeightChange, WeightDelta};
+    use ah_store::{crc64, SnapshotError};
+    let g = tiny_graph();
+    let delta = WeightDelta::new(&g, [WeightChange::new(0, 1, 9)]).unwrap();
+
+    // Writer: a delta cut against some other graph never hits disk.
+    let mut other = GraphBuilder::new();
+    let a = other.add_node(Point::new(0, 0));
+    let c = other.add_node(Point::new(3, 4));
+    other.add_bidirectional_edge(a, c, 8); // different weight → different id
+    let other = other.build();
+    let stale = WeightDelta::new(&other, [WeightChange::new(0, 1, 9)]).unwrap();
+    let path = std::env::temp_dir().join(format!("ah_forged_base_{}.snap", std::process::id()));
+    match Snapshot::write(&path, SnapshotContents::new().graph(&g).delta(&stale)) {
+        Err(SnapshotError::DeltaBaseMismatch { expected, found }) => {
+            assert_eq!(expected, other.content_id());
+            assert_eq!(found, g.content_id());
+        }
+        other => panic!("mismatched base written or mistyped: {other:?}"),
+    }
+    std::fs::remove_file(&path).ok();
+
+    // Loader: forge the base id in valid bytes and re-seal both the
+    // section CRC and the table CRC, so only the cross-check can object.
+    let mut img = Snapshot::to_bytes(SnapshotContents::new().graph(&g).delta(&delta));
+    let count = u16::from_le_bytes(img[10..12].try_into().unwrap()) as usize;
+    assert_eq!(count, 2, "fixture writes graph + delta");
+    let entry = 16 + 32; // second table entry: the delta section
+    let off = u64::from_le_bytes(img[entry + 8..entry + 16].try_into().unwrap()) as usize;
+    let len = u64::from_le_bytes(img[entry + 16..entry + 24].try_into().unwrap()) as usize;
+    let forged_id = 0xDEAD_BEEF_u64;
+    img[off..off + 8].copy_from_slice(&forged_id.to_le_bytes());
+    let section_crc = crc64(&img[off..off + len]).to_le_bytes();
+    img[entry + 24..entry + 32].copy_from_slice(&section_crc);
+    let table_end = 16 + 32 * count;
+    let table_crc = crc64(&img[..table_end]).to_le_bytes();
+    img[table_end..table_end + 8].copy_from_slice(&table_crc);
+    match Snapshot::from_bytes(&img).err() {
+        Some(SnapshotError::DeltaBaseMismatch { expected, found }) => {
+            assert_eq!(expected, forged_id);
+            assert_eq!(found, g.content_id());
+        }
+        other => panic!("forged base id accepted or mistyped: {other:?}"),
+    }
+}
+
 /// Compatibility floor: the very same payload bytes stamped with the
-/// previous format versions still load. The v3 bump added a section
-/// (`labels`) and its element encoding; it changed nothing about the
-/// sections v1/v2 writers produce, so their files must keep working.
+/// previous format versions still load. The v4 bump added a section
+/// (`delta`); it changed nothing about the sections v1–v3 writers
+/// produce, so their files must keep working.
 #[test]
 fn older_version_stamps_still_load() {
     let g = tiny_graph();
     let bytes = Snapshot::to_bytes(SnapshotContents::new().graph(&g));
-    for old in [1u16, 2] {
+    for old in [1u16, 2, 3] {
         let mut img = bytes.clone();
         img[8..10].copy_from_slice(&old.to_le_bytes());
         // Re-seal the table CRC the way an old writer would have.

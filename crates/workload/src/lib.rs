@@ -8,8 +8,10 @@
 //! ([`generate_query_sets`]), estimates `lmax` ([`estimate_lmax`]), and
 //! provides the timing/record plumbing the figure binaries share.
 
+mod churn;
 mod traffic;
 
+pub use churn::{ChurnPlan, ChurnRound, WeightChurn};
 pub use traffic::TrafficSchedule;
 
 use ah_graph::{Graph, NodeId};

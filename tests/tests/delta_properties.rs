@@ -1,0 +1,138 @@
+//! Property-based tests (proptest) on [`ah_graph::WeightDelta`]: the
+//! algebra (compose, invert) and the `ah_store` codec must hold for
+//! arbitrary graphs and change sets — including the boundary weights
+//! `0` (clamped to 1 on apply), `1`, the largest finite weight, and
+//! the [`CLOSED`] closure sentinel.
+
+use ah_graph::{Graph, GraphBuilder, NodeId, Point, WeightChange, WeightDelta, CLOSED};
+use ah_store::{Snapshot, SnapshotContents};
+use proptest::prelude::*;
+
+/// Strategy: a random strongly connected directed graph — a
+/// bidirectional ring plus random extra edges, same shape as the oracle
+/// property tests in `properties.rs`.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..=24, proptest::collection::vec((0i32..400, 0i32..400, 1u32..50), 0..80)).prop_map(
+        |(n, extra)| {
+            let mut b = GraphBuilder::new();
+            for i in 0..n {
+                let x = ((i * 73) % 19) as i32 * 20;
+                let y = ((i * 31) % 17) as i32 * 20;
+                b.add_node(Point::new(x, y));
+            }
+            for i in 0..n as u32 {
+                b.add_bidirectional_edge(i, (i + 1) % n as u32, 7);
+            }
+            for (xi, yi, w) in extra {
+                let u = (xi as u32) % n as u32;
+                let v = (yi as u32) % n as u32;
+                if u != v {
+                    b.add_edge(u, v, w);
+                }
+            }
+            b.build()
+        },
+    )
+}
+
+/// Strategy: a new weight, biased hard toward the boundaries — zero
+/// (raw, clamped on apply), the unit floor, the closure sentinel, and
+/// the largest weight that is still an open road.
+fn arb_weight() -> impl Strategy<Value = u32> {
+    prop_oneof![
+        2 => Just(0u32),
+        2 => Just(1u32),
+        2 => Just(CLOSED),
+        1 => Just(CLOSED - 1),
+        5 => 1u32..5_000,
+    ]
+}
+
+/// Strategy: raw `(edge index, weight)` picks; `cut` maps the indices
+/// onto whatever edges the generated graph actually has.
+fn arb_raw_changes() -> impl Strategy<Value = Vec<(usize, u32)>> {
+    proptest::collection::vec((0usize..10_000, arb_weight()), 1..12)
+}
+
+/// Cuts a delta against `g` from raw picks, resolving each index to a
+/// real edge (duplicates collapse to the last change, per contract).
+fn cut(g: &Graph, raw: &[(usize, u32)]) -> WeightDelta {
+    let edges: Vec<(NodeId, NodeId)> = g.edges().map(|(tail, a)| (tail, a.head)).collect();
+    let changes = raw.iter().map(|&(i, w)| {
+        let (tail, head) = edges[i % edges.len()];
+        WeightChange::new(tail, head, w)
+    });
+    WeightDelta::new(g, changes).expect("edges come from the graph itself")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Applying `d1 ∘ d2` in one shot equals applying `d1` then `d2` —
+    /// bit-identical CSR arrays and content id — even when both rounds
+    /// touch the same edge (later wins).
+    #[test]
+    fn compose_equals_sequential_application(
+        g in arb_graph(),
+        r1 in arb_raw_changes(),
+        r2 in arb_raw_changes(),
+    ) {
+        let d1 = cut(&g, &r1);
+        let mid = d1.apply(&g).unwrap().graph;
+        let d2 = cut(&mid, &r2);
+        let sequential = d2.apply(&mid).unwrap().graph;
+
+        let composed = d1.compose(&d2);
+        prop_assert_eq!(composed.base_id(), d1.base_id(), "compose keeps the first base");
+        let at_once = composed.apply(&g).unwrap().graph;
+        prop_assert_eq!(at_once.csr_parts(), sequential.csr_parts());
+        prop_assert_eq!(at_once.content_id(), sequential.content_id());
+    }
+
+    /// `invert` undoes `apply` exactly: patching the patched graph with
+    /// the inverse restores the base bit-for-bit, closures included.
+    #[test]
+    fn invert_round_trips_to_base(g in arb_graph(), r in arb_raw_changes()) {
+        let d = cut(&g, &r);
+        let patched = d.apply(&g).unwrap().graph;
+        let inv = d.invert(&g).unwrap();
+        prop_assert_eq!(inv.base_id(), patched.content_id(), "inverse is cut against the patched graph");
+        let back = inv.apply(&patched).unwrap().graph;
+        prop_assert_eq!(back.csr_parts(), g.csr_parts());
+        prop_assert_eq!(back.content_id(), g.content_id());
+    }
+
+    /// The store codec is lossless: a delta written into snapshot bytes
+    /// and decoded back compares equal — base id and every raw weight
+    /// preserved unclamped, `0` and `CLOSED` included.
+    #[test]
+    fn store_codec_round_trips_boundary_weights(g in arb_graph(), r in arb_raw_changes()) {
+        let d = cut(&g, &r);
+        let bytes = Snapshot::to_bytes(SnapshotContents::new().graph(&g).delta(&d));
+        let snap = Snapshot::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(snap.delta.as_ref(), Some(&d));
+    }
+}
+
+/// Each boundary weight individually survives the codec raw — `0` is
+/// *not* clamped in storage (clamping belongs to apply), and `CLOSED`
+/// is an ordinary `u32::MAX` on the wire.
+#[test]
+fn every_boundary_weight_is_stored_raw() {
+    let mut b = GraphBuilder::new();
+    for i in 0..4 {
+        b.add_node(Point::new(i * 10, 0));
+    }
+    for i in 0..4u32 {
+        b.add_bidirectional_edge(i, (i + 1) % 4, 9);
+    }
+    let g = b.build();
+
+    for w in [0u32, 1, CLOSED - 1, CLOSED] {
+        let d = WeightDelta::new(&g, [WeightChange::new(0, 1, w)]).unwrap();
+        let bytes = Snapshot::to_bytes(SnapshotContents::new().graph(&g).delta(&d));
+        let got = Snapshot::from_bytes(&bytes).unwrap().delta.unwrap();
+        assert_eq!(got.changes()[0].weight, w, "weight {w} must round-trip untouched");
+        assert_eq!(got, d);
+    }
+}

@@ -163,6 +163,117 @@ fn served_paths_are_valid_shortest_paths() {
     }
 }
 
+/// Delta swaps racing a 4-worker query load: every answer served while
+/// generations roll must equal Dijkstra on *some* published generation
+/// (a batch pins exactly one), and once the last swap lands a fresh
+/// batch answers only from the final graph — no stale cache entry
+/// survives the swap.
+#[test]
+fn reloads_under_concurrent_load_never_serve_stale_answers() {
+    use std::collections::{HashMap, HashSet};
+    use std::sync::Arc;
+
+    use ah_search::dijkstra_distance;
+    use ah_server::{DeltaReloader, SnapshotServer};
+    use ah_workload::WeightChurn;
+
+    let g = test_graph();
+    let plan = WeightChurn {
+        rounds: 3,
+        changes_per_round: 10,
+        closure_fraction: 0.2,
+        seed: 77,
+    }
+    .plan(&g, 0);
+
+    // Every graph the server may legitimately answer from: the base and
+    // the state after each churn round.
+    let mut versions = vec![g.clone()];
+    for round in &plan.rounds {
+        versions.push(round.delta.apply(versions.last().unwrap()).unwrap().graph);
+    }
+
+    let sets = generate_query_sets(&g, 15, 3);
+    let pairs: Vec<(NodeId, NodeId)> =
+        sets.iter().flat_map(|s| s.pairs.iter().copied()).collect();
+    let admissible: HashMap<(NodeId, NodeId), HashSet<Option<u64>>> = pairs
+        .iter()
+        .map(|&(s, t)| {
+            let answers = versions
+                .iter()
+                .map(|v| dijkstra_distance(v, s, t).map(|d| d.length))
+                .collect();
+            ((s, t), answers)
+        })
+        .collect();
+
+    let ah = Arc::new(AhIndex::build(&g, &BuildConfig::default()));
+    let snap = Arc::new(SnapshotServer::new(ah, ServerConfig::with_workers(4)));
+    let reloader = Arc::new(DeltaReloader::new(
+        Arc::clone(&snap),
+        g.clone(),
+        BuildConfig::default(),
+    ));
+
+    std::thread::scope(|scope| {
+        for c in 0..4u64 {
+            let snap = Arc::clone(&snap);
+            let pairs = &pairs;
+            let admissible = &admissible;
+            scope.spawn(move || {
+                for iter in 0..6u64 {
+                    let requests: Vec<Request> = pairs
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &(s, t))| {
+                            Request::distance(c * 100_000 + iter * 1_000 + i as u64, s, t)
+                        })
+                        .collect();
+                    let report = snap.run(&requests);
+                    for (req, resp) in requests.iter().zip(&report.responses) {
+                        assert!(
+                            admissible[&(req.s, req.t)].contains(&resp.distance),
+                            "({}, {}) answered {:?} — not any published generation",
+                            req.s,
+                            req.t,
+                            resp.distance
+                        );
+                    }
+                }
+            });
+        }
+        // Roll the three rounds out while the clients hammer.
+        let rel = Arc::clone(&reloader);
+        let rounds = &plan.rounds;
+        scope.spawn(move || {
+            for round in rounds {
+                std::thread::sleep(std::time::Duration::from_millis(3));
+                rel.reload(round.delta.clone()).expect("chained delta applies");
+            }
+        });
+    });
+
+    assert_eq!(snap.generation(), plan.rounds.len() as u64);
+    assert_eq!(reloader.swaps(), plan.rounds.len() as u64);
+
+    // Post-swap strictness: only the final graph may answer now.
+    let requests: Vec<Request> = pairs
+        .iter()
+        .enumerate()
+        .map(|(i, &(s, t))| Request::distance(i as u64, s, t))
+        .collect();
+    let report = snap.run(&requests);
+    for (req, resp) in requests.iter().zip(&report.responses) {
+        assert_eq!(
+            resp.distance,
+            dijkstra_distance(&plan.final_graph, req.s, req.t).map(|d| d.length),
+            "({}, {}) still answers from a retired generation",
+            req.s,
+            req.t
+        );
+    }
+}
+
 #[test]
 fn mixed_distance_and_path_traffic_stays_consistent() {
     let g = test_graph();

@@ -86,6 +86,86 @@ pub trait Strategy {
     }
 }
 
+/// Mirrors `proptest::strategy::Just`: always yields a clone of the
+/// wrapped value. The building block `prop_oneof!` arms use for
+/// boundary constants.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub mod strategy {
+    //! Combinator strategies that need runtime dispatch.
+
+    use super::*;
+
+    /// Weighted union over same-valued strategies, produced by
+    /// [`prop_oneof!`](crate::prop_oneof). Each case picks one arm with
+    /// probability proportional to its weight.
+    pub struct Union<V> {
+        arms: Vec<(u32, Box<dyn Fn(&mut StdRng) -> V>)>,
+        total: u32,
+    }
+
+    impl<V> Union<V> {
+        #[doc(hidden)]
+        pub fn new(arms: Vec<(u32, Box<dyn Fn(&mut StdRng) -> V>)>) -> Self {
+            let total = arms.iter().map(|(w, _)| *w).sum();
+            assert!(total > 0, "prop_oneof! needs at least one positive weight");
+            Union { arms, total }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut StdRng) -> V {
+            let mut pick = rand::Rng::random_range(rng, 0..self.total);
+            for (w, arm) in &self.arms {
+                if pick < *w {
+                    return arm(rng);
+                }
+                pick -= *w;
+            }
+            unreachable!("pick is bounded by the weight total")
+        }
+    }
+}
+
+#[doc(hidden)]
+pub mod __rng {
+    pub use rand::rngs::StdRng;
+}
+
+/// Mirrors `prop_oneof!`: picks one of several strategies per case,
+/// uniformly (`prop_oneof![a, b]`) or by weight
+/// (`prop_oneof![3 => a, 1 => b]`). All arms must share a value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((
+                $weight as u32,
+                {
+                    let s = $strat;
+                    Box::new(move |rng: &mut $crate::__rng::StdRng| {
+                        $crate::Strategy::generate(&s, rng)
+                    }) as Box<dyn Fn(&mut $crate::__rng::StdRng) -> _>
+                },
+            )),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}
+
 /// Strategy adapter produced by [`Strategy::prop_map`].
 pub struct Map<S, F> {
     inner: S,
@@ -169,7 +249,7 @@ pub mod collection {
 
 pub mod prelude {
     pub use crate::test_runner::Config as ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, proptest, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest, Just, Strategy};
 }
 
 /// Mirrors `prop_assert!`: plain assertion (no shrink-and-replay).
@@ -250,6 +330,27 @@ mod tests {
             prop_assert!(v.len() < 20);
             prop_assert!(v.iter().all(|&x| x < 400));
         }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn oneof_draws_only_from_its_arms(x in prop_oneof![Just(0u32), Just(7u32), 100u32..200]) {
+            prop_assert!(x == 0u32 || x == 7 || (100u32..200).contains(&x));
+        }
+    }
+
+    #[test]
+    fn weighted_oneof_respects_weights() {
+        use crate::test_runner::{Config, TestRunner};
+        use crate::Strategy;
+        let s = prop_oneof![9 => Just(true), 1 => Just(false)];
+        let mut runner = TestRunner::new(Config::default());
+        runner.begin_case();
+        let hits = (0..1000).filter(|_| s.generate(runner.rng())).count();
+        // 9:1 odds; anything near-uniform would sit around 500.
+        assert!(hits > 750, "weighted arm drawn only {hits}/1000 times");
     }
 
     #[test]

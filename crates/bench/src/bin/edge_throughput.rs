@@ -24,7 +24,13 @@
 //!    server's own `ah_queue_rejected_total`, plus the per-stage
 //!    `ah_stage_duration_seconds` sums/counts into the JSON's
 //!    `"server_stages"` key (`null` when the server isn't tracing).
-//! 4. **Shutdown** (`--shutdown`) — `GET /admin/shutdown` (needs
+//! 4. **Scenarios** (`--scenarios N`) — N mixed scenario requests
+//!    (`/v1/via`, `/v1/knn`, `POST /v1/matrix`) on one synchronous
+//!    connection, drawn from `TrafficSchedule::mixed`. With
+//!    `--check-index` every scenario answer is asserted **bit-equal**
+//!    to a direct `ScenarioEngine` run on the snapshot's graph over
+//!    the POI wire contract (see `docs/SCENARIOS.md`).
+//! 5. **Shutdown** (`--shutdown`) — `GET /admin/shutdown` (needs
 //!    `serve_edge --allow-shutdown`), proving graceful drain over the
 //!    wire.
 //!
@@ -44,9 +50,10 @@ use std::time::{Duration, Instant};
 
 use ah_core::AhQuery;
 use ah_net::blocking;
-use ah_server::LatencyHistogram;
+use ah_search::ScenarioEngine;
+use ah_server::{LatencyHistogram, PoiSet, POI_CATEGORIES};
 use ah_store::Snapshot;
-use ah_workload::TrafficSchedule;
+use ah_workload::{ScenarioOp, TrafficSchedule};
 
 struct Args {
     addr: String,
@@ -57,6 +64,7 @@ struct Args {
     check_index: Option<String>,
     pairs: usize,
     seed: u64,
+    scenarios: usize,
     shutdown: bool,
 }
 
@@ -70,6 +78,7 @@ fn parse_args() -> Args {
         check_index: None,
         pairs: 200,
         seed: 0xF16,
+        scenarios: 0,
         shutdown: false,
     };
     let mut it = std::env::args().skip(1);
@@ -114,11 +123,17 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .expect("--seed needs a number")
             }
+            "--scenarios" => {
+                a.scenarios = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scenarios needs a number of mixed scenario requests (0 disables)")
+            }
             "--shutdown" => a.shutdown = true,
             other => panic!(
                 "unknown argument {other} (try --addr HOST:PORT | --connections N | \
                  --requests N | --qps N | --burst N | --check-index PATH | --pairs N | \
-                 --seed N | --shutdown)"
+                 --seed N | --scenarios N | --shutdown)"
             ),
         }
     }
@@ -157,6 +172,7 @@ fn main() {
     // identity-checking against a snapshot, uniform random pairs
     // otherwise.
     let mut expected: Option<Vec<Option<u64>>> = None;
+    let mut checked_graph: Option<ah_graph::Graph> = None;
     let stream: Vec<(u32, u32)> = match &args.check_index {
         Some(path) => {
             eprintln!("[edge_throughput] loading {path} for identity checking …");
@@ -174,6 +190,7 @@ fn main() {
                     .map(|&(s, t)| q.distance(&ah, s, t))
                     .collect(),
             );
+            checked_graph = Some(g);
             stream
         }
         None => {
@@ -319,6 +336,175 @@ fn main() {
         hist.quantile_ns(0.99) / 1e3,
     );
 
+    // --------------------------------------------------------- scenarios
+    // Mixed via/knn/matrix traffic on one synchronous connection; with
+    // a checked index every answer is asserted bit-equal to a direct
+    // ScenarioEngine run over the POI wire contract.
+    let scenarios_json = if args.scenarios == 0 {
+        "null".to_string()
+    } else {
+        let pois = PoiSet::default_for(nodes as usize);
+        let mut engine = ScenarioEngine::new();
+        let ops: Vec<ScenarioOp> = match &checked_graph {
+            Some(g) => {
+                let sets = ah_workload::generate_query_sets(g, args.pairs, args.seed);
+                let ops = TrafficSchedule::mixed(args.scenarios, 0.25, args.seed)
+                    .generate_mixed(&sets, POI_CATEGORIES, 8);
+                assert!(!ops.is_empty(), "scenario stream generation produced no ops");
+                ops
+            }
+            None => {
+                // No snapshot: deterministic uniform scenario ops, the
+                // LCG counterpart of the unchecked main run.
+                let mut x = (args.seed ^ 0x5CE) | 1;
+                let mut next = move || {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    ((x >> 33) % nodes.max(1)) as u32
+                };
+                (0..args.scenarios)
+                    .map(|i| {
+                        let (s, t) = (next(), next());
+                        let cat = (i as u32) % POI_CATEGORIES;
+                        match i % 3 {
+                            0 => ScenarioOp::Via { s, t, cat },
+                            1 => ScenarioOp::Knn { s, cat, k: 1 + (i as u32 % 6) },
+                            _ => ScenarioOp::Matrix {
+                                sources: vec![s],
+                                targets: vec![t],
+                            },
+                        }
+                    })
+                    .collect()
+            }
+        };
+        let mut c = blocking::Client::connect(args.addr.as_str()).expect("connect");
+        let (mut n_point, mut n_via, mut n_knn, mut n_matrix) = (0u64, 0u64, 0u64, 0u64);
+        let mut scen_mismatches = 0u64;
+        let mut check = |ok: bool, what: &str, body: &str| {
+            if !ok {
+                scen_mismatches += 1;
+                eprintln!("[edge_throughput] SCENARIO MISMATCH ({what}): {body}");
+            }
+        };
+        let t0 = Instant::now();
+        for op in &ops {
+            match op {
+                ScenarioOp::Distance { s, t } | ScenarioOp::Path { s, t } => {
+                    let endpoint = if matches!(op, ScenarioOp::Path { .. }) {
+                        "path"
+                    } else {
+                        "distance"
+                    };
+                    let resp = c
+                        .get(&format!("/v1/{endpoint}?src={s}&dst={t}"))
+                        .expect("scenario response");
+                    assert_eq!(resp.status, 200, "{}", resp.text());
+                    n_point += 1;
+                    if let Some(g) = &checked_graph {
+                        let want = engine.one_to_many(g, *s, &[*t])[0];
+                        check(resp.distance() == want, endpoint, &resp.text());
+                    }
+                }
+                ScenarioOp::Via { s, t, cat } => {
+                    let resp = c
+                        .get(&format!("/v1/via?src={s}&dst={t}&cat={cat}"))
+                        .expect("scenario response");
+                    assert_eq!(resp.status, 200, "{}", resp.text());
+                    n_via += 1;
+                    if let Some(g) = &checked_graph {
+                        // Everything but the cache_hit flag (repeats of
+                        // a pair legitimately flip it).
+                        let prefix = match engine.via(g, *s, *t, pois.category(*cat)) {
+                            Some(a) => format!(
+                                "{{\"src\":{s},\"dst\":{t},\"cat\":{cat},\"poi\":{},\"total\":{},\"to_poi\":{},\"from_poi\":{},",
+                                a.poi, a.total, a.to_poi, a.from_poi
+                            ),
+                            None => format!(
+                                "{{\"src\":{s},\"dst\":{t},\"cat\":{cat},\"poi\":null,\"total\":null,\"to_poi\":null,\"from_poi\":null,"
+                            ),
+                        };
+                        check(resp.text().starts_with(&prefix), "via", &resp.text());
+                    }
+                }
+                ScenarioOp::Knn { s, cat, k } => {
+                    let resp = c
+                        .get(&format!("/v1/knn?src={s}&cat={cat}&k={k}"))
+                        .expect("scenario response");
+                    assert_eq!(resp.status, 200, "{}", resp.text());
+                    n_knn += 1;
+                    if let Some(g) = &checked_graph {
+                        let results: Vec<String> = engine
+                            .knn(g, *s, pois.category(*cat), *k as usize)
+                            .iter()
+                            .map(|&(p, d)| format!("{{\"poi\":{p},\"distance\":{d}}}"))
+                            .collect();
+                        let want = format!(
+                            "{{\"src\":{s},\"cat\":{cat},\"k\":{k},\"results\":[{}]}}",
+                            results.join(",")
+                        );
+                        check(resp.text() == want, "knn", &resp.text());
+                    }
+                }
+                ScenarioOp::Matrix { sources, targets } => {
+                    let body = format!(
+                        "{{\"sources\":[{}],\"targets\":[{}]}}",
+                        sources.iter().map(u32::to_string).collect::<Vec<_>>().join(","),
+                        targets.iter().map(u32::to_string).collect::<Vec<_>>().join(",")
+                    );
+                    let resp = c
+                        .post_json("/v1/matrix", body.as_bytes())
+                        .expect("scenario response");
+                    assert_eq!(resp.status, 200, "{}", resp.text());
+                    n_matrix += 1;
+                    if let Some(g) = &checked_graph {
+                        let rows: Vec<String> = engine
+                            .matrix(g, sources, targets)
+                            .iter()
+                            .map(|row| {
+                                let cells: Vec<String> = row
+                                    .iter()
+                                    .map(|c| c.map_or("null".to_string(), |d| d.to_string()))
+                                    .collect();
+                                format!("[{}]", cells.join(","))
+                            })
+                            .collect();
+                        let want = format!(
+                            "{{\"rows\":{},\"cols\":{},\"distances\":[{}]}}",
+                            sources.len(),
+                            targets.len(),
+                            rows.join(",")
+                        );
+                        check(resp.text() == want, "matrix", &resp.text());
+                    }
+                }
+            }
+        }
+        let scen_wall = t0.elapsed().as_secs_f64();
+        if checked_graph.is_some() {
+            assert_eq!(
+                scen_mismatches, 0,
+                "scenario answers diverged from the ScenarioEngine oracle"
+            );
+        }
+        println!(
+            "scenarios: {} ops ({n_point} point, {n_via} via, {n_knn} knn, {n_matrix} matrix) \
+             in {scen_wall:.3}s{}",
+            ops.len(),
+            if checked_graph.is_some() {
+                ", oracle verified"
+            } else {
+                ""
+            },
+        );
+        format!(
+            "{{\"ops\":{},\"point\":{n_point},\"via\":{n_via},\"knn\":{n_knn},\
+             \"matrix\":{n_matrix},\"qps\":{:.1},\"verified\":{},\"mismatches\":{scen_mismatches}}}",
+            ops.len(),
+            ops.len() as f64 / scen_wall.max(1e-9),
+            checked_graph.is_some(),
+        )
+    };
+
     // ------------------------------------------------------------- burst
     let burst_json = if args.burst > 0 {
         let mut c = blocking::Client::connect(args.addr.as_str()).expect("connect");
@@ -446,6 +632,7 @@ fn main() {
             "  \"responses\": {{\"200\":{},\"429\":{},\"other\":{}}},\n",
             "  \"identity_checked\": {},\n",
             "  \"identity_mismatches\": {},\n",
+            "  \"scenarios\": {},\n",
             "  \"burst\": {},\n",
             "  \"server\": {{\"queries\":{},\"queue_high_water\":{},\"rejected\":{}}},\n",
             "  \"server_stages\": {},\n",
@@ -467,6 +654,7 @@ fn main() {
         other,
         expected.is_some(),
         mismatches,
+        scenarios_json,
         burst_json,
         server_queries,
         server_high_water,

@@ -9,9 +9,11 @@
 //!   each from a cold cache, same stream), and
 //! * a *backend comparison* (AH vs CH vs bidirectional Dijkstra vs hub
 //!   labels) at the full thread count. Every comparison row carries the
-//!   backend's direct single-session `query_ns` on the same mix, and the
-//!   `labels` row additionally reports label shape and build cost
-//!   (`avg_label_entries`, `bytes_per_node`, `build_secs`).
+//!   backend's direct single-session `query_ns` on the same mix plus
+//!   per-scenario costs on the POI wire contract's default set —
+//!   `via_ns`, `knn_ns` and `matrix8x8_ns` (see `docs/SCENARIOS.md`) —
+//!   and the `labels` row additionally reports label shape and build
+//!   cost (`avg_label_entries`, `bytes_per_node`, `build_secs`).
 //!
 //! Results go to stdout and, machine-readably, to `BENCH_server.json`
 //! (override the path with the `SERVE_BENCH_OUT` environment variable) so
@@ -50,9 +52,9 @@ use std::sync::Arc;
 
 use ah_bench::{load_dataset, obtain_indices, time_once, time_query_set, HarnessArgs};
 use ah_server::{
-    AhBackend, ChBackend, DeltaReloader, DijkstraBackend, DistanceBackend, LabelBackend, Request,
-    RunReport, Server, ServerConfig, ShardedRunReport, ShardedServer, ShardedServerConfig,
-    SnapshotServer, TraceConfig,
+    AhBackend, ChBackend, DeltaReloader, DijkstraBackend, DistanceBackend, LabelBackend, PoiSet,
+    Request, RunReport, Server, ServerConfig, ShardedRunReport, ShardedServer,
+    ShardedServerConfig, SnapshotServer, TraceConfig, POI_CATEGORIES,
 };
 use ah_shard::ShardConfig;
 use ah_workload::{TrafficSchedule, WeightChurn};
@@ -99,6 +101,44 @@ fn thread_sweep(max: usize) -> Vec<usize> {
 /// Measured runs per configuration; the fastest is reported (the standard
 /// way to strip scheduler noise from a throughput measurement).
 const REPS: usize = 3;
+
+/// Direct single-session per-query cost of the three scenario kernels
+/// (via, knn, matrix) on the backend, in nanoseconds — the
+/// scenario-level counterpart of the comparison rows' `query_ns`. Via
+/// and knn are timed per query over `sample`; matrix per 8×8 table
+/// over windows of it.
+fn scenario_times(
+    backend: &dyn DistanceBackend,
+    pois: &PoiSet,
+    sample: &[(u32, u32)],
+) -> (f64, f64, f64) {
+    let mut session = backend.make_session();
+    let per_call = |elapsed: std::time::Duration, calls: usize| {
+        elapsed.as_nanos() as f64 / calls.max(1) as f64
+    };
+    let t0 = std::time::Instant::now();
+    for (i, &(s, t)) in sample.iter().enumerate() {
+        let cat = (i as u32) % POI_CATEGORIES;
+        std::hint::black_box(session.via(s, t, pois.category(cat)));
+    }
+    let via_ns = per_call(t0.elapsed(), sample.len());
+    let t0 = std::time::Instant::now();
+    for (i, &(s, _)) in sample.iter().enumerate() {
+        let cat = (i as u32) % POI_CATEGORIES;
+        std::hint::black_box(session.knn(s, pois.category(cat), 1 + i % 8));
+    }
+    let knn_ns = per_call(t0.elapsed(), sample.len());
+    let windows: Vec<(Vec<u32>, Vec<u32>)> = sample
+        .chunks(8)
+        .map(|w| (w.iter().map(|p| p.0).collect(), w.iter().map(|p| p.1).collect()))
+        .collect();
+    let t0 = std::time::Instant::now();
+    for (sources, targets) in &windows {
+        std::hint::black_box(session.matrix(sources, targets));
+    }
+    let matrix_ns = per_call(t0.elapsed(), windows.len());
+    (via_ns, knn_ns, matrix_ns)
+}
 
 fn run_one(
     backend: &dyn DistanceBackend,
@@ -239,6 +279,16 @@ fn main() {
         .enumerate()
         .map(|(i, &(s, t))| Request::distance(i as u64, s, t))
         .collect();
+    // Scenario kernels are timed on a small distinct-pair sample of the
+    // same mix, against the POI wire contract's default set.
+    let pois = PoiSet::default_for(n);
+    let scenario_sample: Vec<(u32, u32)> = {
+        let mut sample = stream.clone();
+        sample.sort_unstable();
+        sample.dedup();
+        sample.truncate(48);
+        sample
+    };
 
     eprintln!("[serve] {}: obtaining AH + CH indices …", spec.name);
     let idx = obtain_indices(&args, &spec, &ds.graph, "serve");
@@ -296,7 +346,12 @@ fn main() {
         let mut session = backend.make_session();
         let query_ns =
             time_query_set(&stream, |s, t| session.distance(s, t).unwrap_or(0)) * 1e3;
-        row.extra = format!(",\"query_ns\":{query_ns:.1}");
+        drop(session);
+        let (via_ns, knn_ns, matrix_ns) = scenario_times(backend, &pois, &scenario_sample);
+        row.extra = format!(
+            ",\"query_ns\":{query_ns:.1},\"via_ns\":{via_ns:.1},\"knn_ns\":{knn_ns:.1},\
+             \"matrix8x8_ns\":{matrix_ns:.1}"
+        );
         if backend.name() == "labels" {
             let st = labels.stats();
             row.extra.push_str(&format!(

@@ -61,6 +61,8 @@ use std::collections::BinaryHeap;
 
 use ah_graph::{Dist, Graph, NodeId, INFINITY};
 
+pub mod scenario;
+
 /// One hub label: the exact [`Dist`] between a node and `hub` (direction
 /// depends on which side the entry lives in).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -93,6 +93,18 @@ impl Client {
         self.recv()
     }
 
+    /// Sends `POST <target>` with a JSON body and reads one response.
+    pub fn post_json(&mut self, target: &str, body: &[u8]) -> io::Result<Response> {
+        let mut raw = format!(
+            "POST {target} HTTP/1.1\r\nHost: c\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        raw.extend_from_slice(body);
+        self.send(&raw)?;
+        self.recv()
+    }
+
     /// Reads one response (head + `Content-Length` body), carrying any
     /// extra bytes over to the next call. EOF mid-response yields
     /// `ErrorKind::UnexpectedEof`.

@@ -40,8 +40,8 @@ use std::time::{Duration, Instant};
 
 use ah_obs::{Counter, Gauge, Metric, Registry};
 use ah_server::{
-    BoundedQueue, DistanceBackend, Job, Request, Response, Server, Span, Stage, Tracer,
-    TryPushError,
+    trace_kind, BoundedQueue, DistanceBackend, Job, MatrixRequest, Request, Response,
+    ScenarioResult, Server, Span, Stage, Tracer, TryPushError,
 };
 
 use crate::http::{self, HttpError, HttpLimits, ParseOutcome};
@@ -56,6 +56,19 @@ const FIRST_CONN: u64 = 2;
 
 /// Routing tag carried through the job queue: (connection token, slot id).
 type Tag = (u64, u64);
+
+/// Worker → event-loop handoff: the response headline, the optional
+/// scenario payload (via/knn/matrix bodies), and the sampled span.
+type Completions = Vec<(Tag, Response, Option<Box<ScenarioResult>>, Option<Box<Span>>)>;
+
+/// Upper bound on `k` for `/v1/knn` — bounds the response body the
+/// same way `max_write_backlog` bounds everything else.
+const MAX_KNN_K: u32 = 256;
+
+/// Per-side cap on `/v1/matrix` dimensions. A table beyond it is
+/// refused `413` (same class as an oversized body): 64×64 is already
+/// 4096 point answers in one response.
+pub const MAX_MATRIX_DIM: usize = 64;
 
 /// Statuses the edge emits, in reporting order.
 pub const STATUSES: [u16; 11] = [200, 202, 400, 404, 405, 408, 409, 413, 429, 431, 503];
@@ -406,9 +419,22 @@ struct Slot {
 
 enum SlotState {
     /// Admitted to the backend; context to render the eventual response.
-    Waiting { src: u32, dst: u32, is_path: bool },
+    Waiting(PendingQuery),
     /// Response bytes ready to enter the write buffer.
     Ready(Vec<u8>),
+}
+
+/// What an admitted request asked for — everything the event loop
+/// needs to render its response body once the worker's completion
+/// arrives. The matrix dimensions are kept so the renderer can emit a
+/// fully-masked table even if the worker returned no payload.
+#[derive(Clone, Copy)]
+enum PendingQuery {
+    Distance { src: u32, dst: u32 },
+    Path { src: u32, dst: u32 },
+    Via { src: u32, dst: u32, cat: u32 },
+    Knn { src: u32, cat: u32, k: u32 },
+    Matrix { rows: usize, cols: usize },
 }
 
 /// Per-connection state machine.
@@ -568,7 +594,7 @@ impl EdgeServer {
         // whole /metrics document.
         shared.metrics.register_into(server.registry());
         let mirrors = EdgeMirrors::new(server.registry(), backend.name());
-        let completions: Mutex<Vec<(Tag, Response, Option<Box<Span>>)>> = Mutex::new(Vec::new());
+        let completions: Mutex<Completions> = Mutex::new(Vec::new());
 
         let result = std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -576,10 +602,10 @@ impl EdgeServer {
                 let completions = &completions;
                 let shared = &shared;
                 scope.spawn(move || {
-                    server.serve_queue(backend, jobs, |tag, resp, span| {
+                    server.serve_queue(backend, jobs, |tag, resp, payload, span| {
                         let mut done = completions.lock().unwrap();
                         let was_empty = done.is_empty();
-                        done.push((tag, resp, span));
+                        done.push((tag, resp, payload, span));
                         drop(done);
                         // A non-empty list already has a wake pending;
                         // skipping the syscall batches completions.
@@ -645,7 +671,7 @@ struct EventLoop<'a> {
     shared: &'a Shared,
     server: &'a Server,
     jobs: &'a BoundedQueue<Job<Tag>>,
-    completions: &'a Mutex<Vec<(Tag, Response, Option<Box<Span>>)>>,
+    completions: &'a Mutex<Completions>,
     conns: HashMap<u64, Conn>,
     next_token: u64,
     /// Requests admitted to the queue whose completions are still due.
@@ -940,8 +966,30 @@ impl EventLoop<'_> {
             }
             return;
         }
+        if req.method == "POST" && path == "/v1/matrix" {
+            match parse_matrix_body(&req.body) {
+                Ok(m) => self.admit(
+                    token,
+                    PendingQuery::Matrix {
+                        rows: m.sources.len(),
+                        cols: m.targets.len(),
+                    },
+                    Some(Box::new(m)),
+                    keep,
+                ),
+                Err((status, detail)) => {
+                    self.respond_now(token, status, keep, http::json_error(detail));
+                }
+            }
+            return;
+        }
         if req.method != "GET" {
-            self.respond_now(token, 405, keep, http::json_error("only GET is supported"));
+            self.respond_now(
+                token,
+                405,
+                keep,
+                http::json_error("only GET (and POST /v1/matrix) is supported"),
+            );
             return;
         }
         match path {
@@ -991,7 +1039,55 @@ impl EventLoop<'_> {
                         return;
                     }
                 };
-                self.admit(token, src, dst, is_path, keep);
+                let pending = if is_path {
+                    PendingQuery::Path { src, dst }
+                } else {
+                    PendingQuery::Distance { src, dst }
+                };
+                self.admit(token, pending, None, keep);
+            }
+            "/v1/via" => {
+                let parsed = (
+                    http::query_param(&req.target, "src").and_then(|v| v.parse::<u32>().ok()),
+                    http::query_param(&req.target, "dst").and_then(|v| v.parse::<u32>().ok()),
+                    http::query_param(&req.target, "cat").and_then(|v| v.parse::<u32>().ok()),
+                );
+                let (Some(src), Some(dst), Some(cat)) = parsed else {
+                    self.respond_now(
+                        token,
+                        400,
+                        keep,
+                        http::json_error("src, dst and cat must be u32 query parameters"),
+                    );
+                    return;
+                };
+                self.admit(token, PendingQuery::Via { src, dst, cat }, None, keep);
+            }
+            "/v1/knn" => {
+                let parsed = (
+                    http::query_param(&req.target, "src").and_then(|v| v.parse::<u32>().ok()),
+                    http::query_param(&req.target, "cat").and_then(|v| v.parse::<u32>().ok()),
+                    http::query_param(&req.target, "k").and_then(|v| v.parse::<u32>().ok()),
+                );
+                let (Some(src), Some(cat), Some(k)) = parsed else {
+                    self.respond_now(
+                        token,
+                        400,
+                        keep,
+                        http::json_error("src, cat and k must be u32 query parameters"),
+                    );
+                    return;
+                };
+                if k == 0 || k > MAX_KNN_K {
+                    self.respond_now(
+                        token,
+                        400,
+                        keep,
+                        http::json_error("k must be between 1 and 256"),
+                    );
+                    return;
+                }
+                self.admit(token, PendingQuery::Knn { src, cat, k }, None, keep);
             }
             _ => {
                 self.respond_now(token, 404, keep, http::json_error("unknown path"));
@@ -1005,25 +1101,34 @@ impl EventLoop<'_> {
     /// at the edge, the rest by whichever worker pops the job (a
     /// rejected request's span is finished immediately with its
     /// rejection status, leaving an honest partial trace).
-    fn admit(&mut self, token: u64, src: u32, dst: u32, is_path: bool, keep: bool) {
+    fn admit(
+        &mut self,
+        token: u64,
+        pending: PendingQuery,
+        batch: Option<Box<MatrixRequest>>,
+        keep: bool,
+    ) {
         let id = self.next_req_id;
         self.next_req_id += 1;
-        let request = if is_path {
-            Request::path(id, src, dst)
-        } else {
-            Request::distance(id, src, dst)
+        let request = match pending {
+            PendingQuery::Distance { src, dst } => Request::distance(id, src, dst),
+            PendingQuery::Path { src, dst } => Request::path(id, src, dst),
+            PendingQuery::Via { src, dst, cat } => Request::via(id, src, dst, cat),
+            PendingQuery::Knn { src, cat, k } => Request::knn(id, src, cat, k),
+            PendingQuery::Matrix { .. } => Request::matrix(id),
         };
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
         };
         let slot_id = conn.next_slot;
         conn.next_slot += 1;
-        let mut span = self.server.tracer().start(u8::from(is_path));
+        let mut span = self.server.tracer().start(trace_kind(request.kind));
         if let Some(s) = span.as_deref_mut() {
             s.stamp(Stage::Enqueue);
         }
         match self.jobs.try_push(Job {
             req: request,
+            batch,
             span,
             tag: (token, slot_id),
         }) {
@@ -1032,7 +1137,7 @@ impl EventLoop<'_> {
                 conn.slots.push_back(Slot {
                     id: slot_id,
                     keep_alive: keep,
-                    state: SlotState::Waiting { src, dst, is_path },
+                    state: SlotState::Waiting(pending),
                     span: None,
                 });
             }
@@ -1104,7 +1209,7 @@ impl EventLoop<'_> {
             return Ok(());
         }
         let mut touched: Vec<u64> = Vec::with_capacity(done.len());
-        for ((token, slot_id), resp, span) in done {
+        for ((token, slot_id), resp, payload, span) in done {
             if self.failed_tags.remove(&(token, slot_id)) {
                 // fail_waiting_slots already answered this slot (503)
                 // and accounted for it; a surviving worker's late
@@ -1122,8 +1227,22 @@ impl EventLoop<'_> {
             let Some(slot) = conn.slots.iter_mut().find(|s| s.id == slot_id) else {
                 continue;
             };
-            if let SlotState::Waiting { src, dst, is_path } = slot.state {
-                let body = render_query_json(src, dst, is_path, &resp);
+            if let SlotState::Waiting(pending) = slot.state {
+                let body = match pending {
+                    PendingQuery::Distance { src, dst } => {
+                        render_query_json(src, dst, false, &resp)
+                    }
+                    PendingQuery::Path { src, dst } => render_query_json(src, dst, true, &resp),
+                    PendingQuery::Via { src, dst, cat } => {
+                        render_via_json(src, dst, cat, &resp, payload.as_deref())
+                    }
+                    PendingQuery::Knn { src, cat, k } => {
+                        render_knn_json(src, cat, k, payload.as_deref())
+                    }
+                    PendingQuery::Matrix { rows, cols } => {
+                        render_matrix_json(rows, cols, payload.as_deref())
+                    }
+                };
                 slot.state = SlotState::Ready(http::response(
                     200,
                     "application/json",
@@ -1330,6 +1449,131 @@ fn render_query_json(src: u32, dst: u32, is_path: bool, resp: &Response) -> Vec<
         )
         .into_bytes()
     }
+}
+
+/// Renders the JSON body of a completed `/v1/via` response. No payload
+/// means no POI of the category was reachable: every answer field is
+/// `null`, mirroring an unreachable `/v1/distance`.
+fn render_via_json(
+    src: u32,
+    dst: u32,
+    cat: u32,
+    resp: &Response,
+    payload: Option<&ScenarioResult>,
+) -> Vec<u8> {
+    let mut out = format!("{{\"src\":{src},\"dst\":{dst},\"cat\":{cat},");
+    match payload {
+        Some(ScenarioResult::Via(a)) => {
+            out.push_str(&format!(
+                "\"poi\":{},\"total\":{},\"to_poi\":{},\"from_poi\":{},",
+                a.poi, a.total, a.to_poi, a.from_poi
+            ));
+        }
+        _ => out.push_str("\"poi\":null,\"total\":null,\"to_poi\":null,\"from_poi\":null,"),
+    }
+    out.push_str(&format!("\"cache_hit\":{}}}", resp.cache_hit));
+    out.into_bytes()
+}
+
+/// Renders the JSON body of a completed `/v1/knn` response. The
+/// results array is already sorted by `(distance, poi)` and truncated
+/// to `k` by the engine; fewer than `k` entries means the category ran
+/// out of reachable POIs.
+fn render_knn_json(src: u32, cat: u32, k: u32, payload: Option<&ScenarioResult>) -> Vec<u8> {
+    let mut out = format!("{{\"src\":{src},\"cat\":{cat},\"k\":{k},\"results\":[");
+    if let Some(ScenarioResult::Knn(results)) = payload {
+        for (i, &(poi, d)) in results.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"poi\":{poi},\"distance\":{d}}}"));
+        }
+    }
+    out.push_str("]}");
+    out.into_bytes()
+}
+
+/// Renders the JSON body of a completed `/v1/matrix` response:
+/// row-major `distances`, one row per source, `null` cells for
+/// unreachable or out-of-range pairs. A missing payload (worker could
+/// not produce a table) renders as a fully-masked `rows`×`cols` table
+/// so the body shape always matches the request.
+fn render_matrix_json(rows: usize, cols: usize, payload: Option<&ScenarioResult>) -> Vec<u8> {
+    let mut out = format!("{{\"rows\":{rows},\"cols\":{cols},\"distances\":[");
+    let table: Option<&Vec<Vec<Option<u64>>>> = match payload {
+        Some(ScenarioResult::Matrix(t)) => Some(t),
+        _ => None,
+    };
+    for r in 0..rows {
+        if r > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for c in 0..cols {
+            if c > 0 {
+                out.push(',');
+            }
+            match table.and_then(|t| t.get(r)).and_then(|row| row.get(c)) {
+                Some(Some(d)) => out.push_str(&d.to_string()),
+                _ => out.push_str("null"),
+            }
+        }
+        out.push(']');
+    }
+    out.push_str("]}");
+    out.into_bytes()
+}
+
+/// Parses the `POST /v1/matrix` body:
+/// `{"sources":[u32,...],"targets":[u32,...]}` (key order free,
+/// whitespace tolerated, no other JSON accepted). Malformed bodies are
+/// `400`; tables over [`MAX_MATRIX_DIM`] per side are `413`, the same
+/// class as an oversized body. Hand-rolled like every other JSON
+/// surface in this workspace — no serde.
+fn parse_matrix_body(body: &[u8]) -> Result<MatrixRequest, (u16, &'static str)> {
+    let text = std::str::from_utf8(body).map_err(|_| (400u16, "body must be UTF-8 JSON"))?;
+    let trimmed = text.trim();
+    if !trimmed.starts_with('{') || !trimmed.ends_with('}') {
+        return Err((400, "body must be a JSON object"));
+    }
+    let sources = extract_u32_array(trimmed, "sources")?;
+    let targets = extract_u32_array(trimmed, "targets")?;
+    if sources.is_empty() || targets.is_empty() {
+        return Err((400, "sources and targets must be non-empty"));
+    }
+    if sources.len() > MAX_MATRIX_DIM || targets.len() > MAX_MATRIX_DIM {
+        return Err((413, "matrix dimensions exceed the per-side cap"));
+    }
+    Ok(MatrixRequest { sources, targets })
+}
+
+/// Pulls `"key": [u32, ...]` out of a JSON object body.
+fn extract_u32_array(text: &str, key: &str) -> Result<Vec<u32>, (u16, &'static str)> {
+    let needle = format!("\"{key}\"");
+    let at = text
+        .find(&needle)
+        .ok_or((400u16, "sources and targets arrays are required"))?;
+    let rest = text[at + needle.len()..].trim_start();
+    let rest = rest
+        .strip_prefix(':')
+        .ok_or((400u16, "expected ':' after key"))?
+        .trim_start();
+    let rest = rest
+        .strip_prefix('[')
+        .ok_or((400u16, "sources and targets must be arrays"))?;
+    let end = rest.find(']').ok_or((400u16, "unterminated array"))?;
+    let inner = rest[..end].trim();
+    if inner.is_empty() {
+        return Ok(Vec::new());
+    }
+    inner
+        .split(',')
+        .map(|part| {
+            part.trim()
+                .parse::<u32>()
+                .map_err(|_| (400u16, "array elements must be u32 node ids"))
+        })
+        .collect()
 }
 
 /// Reads whatever the socket has (until `WouldBlock`, EOF, or a

@@ -2,7 +2,8 @@
 //!
 //! The edge speaks just enough HTTP for query traffic: `GET` requests
 //! with keep-alive and pipelining, no chunked encoding, bodies only
-//! tolerated up to a small cap (and discarded). The parser is
+//! tolerated up to a small cap (captured for the handful of POST
+//! endpoints, e.g. `/v1/matrix`). The parser is
 //! *incremental*: it is handed whatever bytes have arrived so far and
 //! either returns a complete request (with how many bytes it consumed),
 //! asks for more ([`ParseOutcome::Incomplete`]), or classifies the input
@@ -38,13 +39,17 @@ impl Default for HttpLimits {
     }
 }
 
-/// A complete parsed request head (the body, if any, is discarded).
+/// A complete parsed request: head plus the (cap-bounded) body bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParsedRequest {
     /// Request method, upper-cased as received (`GET`, `POST`, …).
     pub method: String,
     /// Request target as received: path plus optional `?query`.
     pub target: String,
+    /// The request body, complete up to `Content-Length` (which the
+    /// limits cap at [`HttpLimits::max_body_bytes`]); empty for the
+    /// GET traffic that dominates the edge.
+    pub body: Vec<u8>,
     /// Whether the connection persists after this exchange
     /// (HTTP/1.1 default yes, HTTP/1.0 default no, `Connection` header
     /// overrides either way).
@@ -224,12 +229,13 @@ pub fn parse_request(buf: &[u8], limits: &HttpLimits) -> ParseOutcome {
     }
     let total = head_end + content_length;
     if buf.len() < total {
-        return ParseOutcome::Incomplete; // body still arriving (it will be discarded)
+        return ParseOutcome::Incomplete; // body still arriving
     }
 
     ParseOutcome::Request(ParsedRequest {
         method: method.to_ascii_uppercase(),
         target: target.to_string(),
+        body: buf[head_end..total].to_vec(),
         keep_alive,
         consumed: total,
     })
@@ -465,15 +471,21 @@ mod tests {
     }
 
     #[test]
-    fn bodies_are_discarded_up_to_cap_and_413_beyond() {
-        // A POST with a small body parses (router will answer 405) and
+    fn bodies_are_captured_up_to_cap_and_413_beyond() {
+        // A POST with a small body parses (and keeps the body bytes) and
         // consumes head + body so the next pipelined request aligns.
         let with_body = b"POST /v1/distance HTTP/1.1\r\nContent-Length: 5\r\n\r\nhelloGET";
         let ParseOutcome::Request(req) = parse(with_body) else {
             panic!()
         };
         assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"hello");
         assert_eq!(&with_body[req.consumed..], b"GET");
+        // GETs carry no body.
+        let ParseOutcome::Request(get) = parse(b"GET / HTTP/1.1\r\n\r\n") else {
+            panic!()
+        };
+        assert!(get.body.is_empty());
         // Body still in flight → Incomplete.
         assert_eq!(
             parse(b"POST / HTTP/1.1\r\nContent-Length: 5\r\n\r\nhel"),

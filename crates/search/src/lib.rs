@@ -38,12 +38,14 @@
 mod bidirectional;
 mod driver;
 mod oneshot;
+pub mod scenario;
 mod search_graph;
 mod stamped;
 
 pub use bidirectional::BidirectionalDijkstra;
 pub use driver::{DijkstraDriver, Direction, SearchOptions, SearchOutcome};
 pub use oneshot::{dijkstra_distance, dijkstra_path, shortest_path_tree, ShortestPathTree};
+pub use scenario::{PoiSet, ScenarioEngine, ViaAnswer, POI_CATEGORIES, POI_SEED};
 pub use search_graph::SearchGraph;
 pub use stamped::StampedVec;
 

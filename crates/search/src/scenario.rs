@@ -1,0 +1,422 @@
+//! Scenario query kernels: synthetic POI sets, optimal via-POI detours,
+//! k-nearest-POI queries, and batched one-to-many distance tables.
+//!
+//! The serving layer opens three workloads beyond point-to-point
+//! distance/path traffic (`/v1/via`, `/v1/knn`, `/v1/matrix` — see
+//! `docs/SCENARIOS.md`). All three reduce to plain Dijkstra runs over
+//! the original graph, which makes this module the *reference kernel*:
+//! every faster engine (hub labels, repeated index point queries) must
+//! produce bit-identical answers, and the shared test oracle
+//! (`tests/support/oracle.rs`) re-derives the same results from first
+//! principles.
+//!
+//! # Determinism contract
+//!
+//! Scenario answers are ordered by **(path length, node id)** — the
+//! nuance tie-break component (paper Appendix A) canonicalizes *which*
+//! shortest path is reported per pair, but scenario *ranking* uses the
+//! plain length so that engines exposing only lengths (the
+//! `BackendSession` point-query interface) agree bit-for-bit with the
+//! kernels here:
+//!
+//! * k-NN results are sorted ascending by `(distance, poi id)` and
+//!   truncated to `k`; unreachable POIs are dropped.
+//! * The via answer minimizes `(d(s,p) + d(p,t), p)` over the candidate
+//!   set; candidates missing either leg are skipped.
+//! * Matrix cells are independent point distances (`None` = unreachable).
+
+use ah_graph::NodeId;
+
+use crate::driver::{DijkstraDriver, Direction, SearchOptions};
+use crate::search_graph::SearchGraph;
+
+/// Default seed of the synthetic POI assignment. Servers, benchmark
+/// drivers and test oracles that agree on `(num_nodes, categories,
+/// seed)` reconstruct the identical [`PoiSet`] with no wire exchange.
+pub const POI_SEED: u64 = 0x90AD_51DE_0DE7_0042;
+
+/// Default number of POI categories.
+pub const POI_CATEGORIES: u32 = 8;
+
+/// SplitMix64 — the stateless mixing function behind the synthetic POI
+/// assignment. Public so independent reimplementations (oracle, wire
+/// clients) can cite one definition.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A deterministic assignment of POIs (points of interest) to graph
+/// nodes, partitioned into categories.
+///
+/// Membership is a pure function of `(seed, node id)`: node `v` is a POI
+/// iff `splitmix64(seed ^ v) & 3 == 0` (≈ 25 % of nodes), and its
+/// category is `(h >> 2) % categories`. Category slices are sorted by
+/// node id and duplicate-free by construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoiSet {
+    categories: u32,
+    seed: u64,
+    by_category: Vec<Vec<NodeId>>,
+}
+
+impl PoiSet {
+    /// Builds the synthetic POI assignment for a graph of `num_nodes`
+    /// nodes.
+    ///
+    /// # Panics
+    /// Panics if `categories` is zero.
+    pub fn synthetic(num_nodes: usize, categories: u32, seed: u64) -> PoiSet {
+        assert!(categories > 0, "a POI set needs at least one category");
+        let mut by_category = vec![Vec::new(); categories as usize];
+        for v in 0..num_nodes as NodeId {
+            let h = splitmix64(seed ^ u64::from(v));
+            if h & 3 == 0 {
+                by_category[((h >> 2) % u64::from(categories)) as usize].push(v);
+            }
+        }
+        PoiSet {
+            categories,
+            seed,
+            by_category,
+        }
+    }
+
+    /// The POI set every component reconstructs by default:
+    /// [`POI_CATEGORIES`] categories under [`POI_SEED`].
+    pub fn default_for(num_nodes: usize) -> PoiSet {
+        PoiSet::synthetic(num_nodes, POI_CATEGORIES, POI_SEED)
+    }
+
+    /// Number of categories.
+    pub fn categories(&self) -> u32 {
+        self.categories
+    }
+
+    /// The seed the assignment was derived from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// POIs of one category, sorted by node id. Out-of-range categories
+    /// yield an empty slice (the serving layer treats them as "no
+    /// reachable POI", not an error).
+    pub fn category(&self, cat: u32) -> &[NodeId] {
+        self.by_category
+            .get(cat as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Total POIs across all categories.
+    pub fn len(&self) -> usize {
+        self.by_category.iter().map(Vec::len).sum()
+    }
+
+    /// True when no node is a POI (tiny graphs).
+    pub fn is_empty(&self) -> bool {
+        self.by_category.iter().all(Vec::is_empty)
+    }
+}
+
+/// The optimal detour through a POI: the `p` minimizing
+/// `(d(s,p) + d(p,t), p)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ViaAnswer {
+    /// The chosen POI node.
+    pub poi: NodeId,
+    /// Total detour length `d(s, poi) + d(poi, t)`.
+    pub total: u64,
+    /// First leg `d(s, poi)`.
+    pub to_poi: u64,
+    /// Second leg `d(poi, t)`.
+    pub from_poi: u64,
+}
+
+/// Reusable scenario-query state: one forward and one backward
+/// [`DijkstraDriver`], reset in O(1) between runs. Construct once per
+/// worker, call many times.
+#[derive(Debug, Default)]
+pub struct ScenarioEngine {
+    fwd: DijkstraDriver,
+    bwd: DijkstraDriver,
+}
+
+impl ScenarioEngine {
+    /// Creates an engine; buffers grow to fit the first graph it runs on.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Distances from `source` to each of `targets` (`None` =
+    /// unreachable), from one forward Dijkstra run.
+    pub fn one_to_many<G: SearchGraph>(
+        &mut self,
+        g: &G,
+        source: NodeId,
+        targets: &[NodeId],
+    ) -> Vec<Option<u64>> {
+        self.fwd.run(g, source, &SearchOptions::default(), |_| true);
+        targets
+            .iter()
+            .map(|&t| {
+                let d = self.fwd.dist(t);
+                (!d.is_infinite()).then_some(d.length)
+            })
+            .collect()
+    }
+
+    /// Full distance table `sources × targets`: one forward Dijkstra per
+    /// source. Row `i` equals [`Self::one_to_many`] from `sources[i]`.
+    pub fn matrix<G: SearchGraph>(
+        &mut self,
+        g: &G,
+        sources: &[NodeId],
+        targets: &[NodeId],
+    ) -> Vec<Vec<Option<u64>>> {
+        sources
+            .iter()
+            .map(|&s| self.one_to_many(g, s, targets))
+            .collect()
+    }
+
+    /// The `k` nearest `candidates` from `source` by network distance,
+    /// sorted ascending by `(distance, node id)`; unreachable candidates
+    /// are dropped.
+    pub fn knn<G: SearchGraph>(
+        &mut self,
+        g: &G,
+        source: NodeId,
+        candidates: &[NodeId],
+        k: usize,
+    ) -> Vec<(NodeId, u64)> {
+        self.fwd.run(g, source, &SearchOptions::default(), |_| true);
+        let mut found: Vec<(u64, NodeId)> = candidates
+            .iter()
+            .filter_map(|&p| {
+                let d = self.fwd.dist(p);
+                (!d.is_infinite()).then_some((d.length, p))
+            })
+            .collect();
+        found.sort_unstable();
+        found.truncate(k);
+        found.into_iter().map(|(d, p)| (p, d)).collect()
+    }
+
+    /// The optimal detour `s → p → t` over `candidates`, or `None` when
+    /// no candidate has both legs reachable.
+    ///
+    /// One forward run from `s` and one backward run from `t` price every
+    /// candidate; candidates are then scanned in ascending `d(s,p)`
+    /// order, and since `d(s,p)` alone lower-bounds the total, the scan
+    /// stops as soon as it exceeds the best total found — distant
+    /// candidates are never combined.
+    pub fn via<G: SearchGraph>(
+        &mut self,
+        g: &G,
+        s: NodeId,
+        t: NodeId,
+        candidates: &[NodeId],
+    ) -> Option<ViaAnswer> {
+        self.fwd.run(g, s, &SearchOptions::default(), |_| true);
+        self.bwd.run(
+            g,
+            t,
+            &SearchOptions {
+                direction: Direction::Backward,
+                ..Default::default()
+            },
+            |_| true,
+        );
+        let mut order: Vec<(u64, NodeId)> = candidates
+            .iter()
+            .filter_map(|&p| {
+                let d = self.fwd.dist(p);
+                (!d.is_infinite()).then_some((d.length, p))
+            })
+            .collect();
+        order.sort_unstable();
+        let mut best: Option<ViaAnswer> = None;
+        for &(to_poi, p) in &order {
+            if let Some(b) = best {
+                // `to_poi` lower-bounds the total; a strictly larger
+                // first leg cannot improve on (or tie) the incumbent.
+                if to_poi > b.total {
+                    break;
+                }
+            }
+            let back = self.bwd.dist(p);
+            if back.is_infinite() {
+                continue;
+            }
+            let total = to_poi.saturating_add(back.length);
+            let better = match best {
+                None => true,
+                Some(b) => total < b.total || (total == b.total && p < b.poi),
+            };
+            if better {
+                best = Some(ViaAnswer {
+                    poi: p,
+                    total,
+                    to_poi,
+                    from_poi: back.length,
+                });
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oneshot::dijkstra_distance;
+    use ah_graph::Graph;
+
+    fn grid() -> Graph {
+        ah_data::hierarchical_grid(&ah_data::HierarchicalGridConfig {
+            width: 9,
+            height: 9,
+            one_way: 0.2,
+            seed: 1234,
+            ..Default::default()
+        })
+    }
+
+    fn naive_dist(g: &Graph, s: NodeId, t: NodeId) -> Option<u64> {
+        dijkstra_distance(g, s, t).map(|d| d.length)
+    }
+
+    #[test]
+    fn poi_set_is_deterministic_and_partitioned() {
+        let a = PoiSet::synthetic(500, 8, 42);
+        let b = PoiSet::synthetic(500, 8, 42);
+        assert_eq!(a, b);
+        let c = PoiSet::synthetic(500, 8, 43);
+        assert_ne!(a, c, "different seeds must shuffle the assignment");
+
+        let mut seen = std::collections::HashSet::new();
+        for cat in 0..a.categories() {
+            let slice = a.category(cat);
+            assert!(slice.windows(2).all(|w| w[0] < w[1]), "sorted, unique");
+            for &p in slice {
+                assert!((p as usize) < 500);
+                assert!(seen.insert(p), "categories must not overlap");
+            }
+        }
+        assert_eq!(seen.len(), a.len());
+        // ≈ 25 % membership on a sample this size.
+        assert!(a.len() > 60 && a.len() < 190, "got {}", a.len());
+        assert!(a.category(999).is_empty(), "out-of-range category is empty");
+    }
+
+    #[test]
+    fn one_to_many_matches_point_queries() {
+        let g = grid();
+        let mut eng = ScenarioEngine::new();
+        let targets: Vec<NodeId> = (0..g.num_nodes() as NodeId).step_by(7).collect();
+        let got = eng.one_to_many(&g, 3, &targets);
+        for (i, &t) in targets.iter().enumerate() {
+            assert_eq!(got[i], naive_dist(&g, 3, t), "target {t}");
+        }
+    }
+
+    #[test]
+    fn matrix_rows_equal_one_to_many() {
+        let g = grid();
+        let mut eng = ScenarioEngine::new();
+        let last = g.num_nodes() as NodeId - 1;
+        let sources = [0, 5, 17, 40];
+        let targets = [2, 9, 33, last, 11];
+        let m = eng.matrix(&g, &sources, &targets);
+        assert_eq!(m.len(), sources.len());
+        for (i, &s) in sources.iter().enumerate() {
+            assert_eq!(m[i], eng.one_to_many(&g, s, &targets), "row {i}");
+        }
+    }
+
+    #[test]
+    fn knn_is_sorted_truncated_and_exact() {
+        let g = grid();
+        let pois = PoiSet::synthetic(g.num_nodes(), 4, 7);
+        let mut eng = ScenarioEngine::new();
+        for cat in 0..4 {
+            let cands = pois.category(cat);
+            let got = eng.knn(&g, 10, cands, 3);
+            assert!(got.len() <= 3);
+            assert!(got.windows(2).all(|w| (w[0].1, w[0].0) < (w[1].1, w[1].0)));
+            // Every reported pair is the true distance, and nothing
+            // closer was skipped.
+            let mut all: Vec<(u64, NodeId)> = cands
+                .iter()
+                .filter_map(|&p| naive_dist(&g, 10, p).map(|d| (d, p)))
+                .collect();
+            all.sort_unstable();
+            all.truncate(3);
+            let want: Vec<(NodeId, u64)> = all.into_iter().map(|(d, p)| (p, d)).collect();
+            assert_eq!(got, want, "category {cat}");
+        }
+    }
+
+    #[test]
+    fn via_matches_exhaustive_scan() {
+        let g = grid();
+        let pois = PoiSet::synthetic(g.num_nodes(), 4, 9);
+        let mut eng = ScenarioEngine::new();
+        let last = g.num_nodes() as NodeId - 1;
+        for (s, t, cat) in [(0, last, 0), (5, last - 3, 1), (33, 2, 2), (60, 60, 3)] {
+            let got = eng.via(&g, s, t, pois.category(cat));
+            let want = pois
+                .category(cat)
+                .iter()
+                .filter_map(|&p| {
+                    let a = naive_dist(&g, s, p)?;
+                    let b = naive_dist(&g, p, t)?;
+                    Some((a + b, p, a, b))
+                })
+                .min();
+            let want = want.map(|(total, poi, to_poi, from_poi)| ViaAnswer {
+                poi,
+                total,
+                to_poi,
+                from_poi,
+            });
+            assert_eq!(got, want, "({s},{t}) cat {cat}");
+        }
+    }
+
+    #[test]
+    fn via_handles_unreachable_candidates() {
+        // Two-component graph: candidates in the far component are
+        // skipped, not reported.
+        let mut b = ah_graph::GraphBuilder::new();
+        for i in 0..6 {
+            b.add_node(ah_graph::Point::new(i, 0));
+        }
+        b.add_bidirectional_edge(0, 1, 3);
+        b.add_bidirectional_edge(1, 2, 4);
+        b.add_bidirectional_edge(3, 4, 1);
+        b.add_bidirectional_edge(4, 5, 1);
+        let g = b.build();
+        let mut eng = ScenarioEngine::new();
+        assert_eq!(
+            eng.via(&g, 0, 2, &[4, 5]),
+            None,
+            "detour through the far component is impossible"
+        );
+        let got = eng.via(&g, 0, 2, &[1, 4]).unwrap();
+        assert_eq!(
+            got,
+            ViaAnswer {
+                poi: 1,
+                total: 7,
+                to_poi: 3,
+                from_poi: 4
+            }
+        );
+        assert_eq!(eng.knn(&g, 0, &[1, 4, 5], 5), vec![(1, 3)]);
+    }
+}

@@ -12,7 +12,7 @@ use ah_ch::{ChIndex, ChQuery};
 use ah_core::{AhIndex, AhQuery, QueryConfig};
 use ah_graph::{Graph, NodeId, Path};
 use ah_labels::LabelIndex;
-use ah_search::BidirectionalDijkstra;
+use ah_search::{BidirectionalDijkstra, ScenarioEngine, ViaAnswer};
 
 /// A query method that can serve concurrent traffic from a shared index.
 ///
@@ -32,12 +32,91 @@ pub trait DistanceBackend: Sync {
 }
 
 /// Per-worker mutable query state tied to one backend instance.
+///
+/// The scenario methods ([`one_to_many`](Self::one_to_many),
+/// [`matrix`](Self::matrix), [`knn`](Self::knn), [`via`](Self::via))
+/// have default implementations built from repeated point queries —
+/// exact on every backend, since each point answer is. Backends with a
+/// cheaper batched shape override them (Dijkstra runs one search per
+/// source; hub labels run bucket sweeps). All follow the scenario
+/// determinism contract (`ah_search::scenario`): ranking by
+/// `(length, node id)`, unreachable candidates dropped — so every
+/// backend's scenario answers are bit-identical.
 pub trait BackendSession {
     /// Network distance from `s` to `t`, or `None` if unreachable.
     fn distance(&mut self, s: NodeId, t: NodeId) -> Option<u64>;
 
     /// Shortest path from `s` to `t` in the original network.
     fn path(&mut self, s: NodeId, t: NodeId) -> Option<Path>;
+
+    /// Distances from `source` to each of `targets` (`None` =
+    /// unreachable).
+    fn one_to_many(&mut self, source: NodeId, targets: &[NodeId]) -> Vec<Option<u64>> {
+        targets.iter().map(|&t| self.distance(source, t)).collect()
+    }
+
+    /// Full distance table `sources × targets`; row `i` equals
+    /// [`Self::one_to_many`] from `sources[i]`.
+    fn matrix(&mut self, sources: &[NodeId], targets: &[NodeId]) -> Vec<Vec<Option<u64>>> {
+        sources
+            .iter()
+            .map(|&s| self.one_to_many(s, targets))
+            .collect()
+    }
+
+    /// The `k` nearest `candidates` from `source`, sorted ascending by
+    /// `(distance, node id)`.
+    fn knn(&mut self, source: NodeId, candidates: &[NodeId], k: usize) -> Vec<(NodeId, u64)> {
+        let row = self.one_to_many(source, candidates);
+        let mut found: Vec<(u64, NodeId)> = row
+            .iter()
+            .zip(candidates)
+            .filter_map(|(d, &p)| d.map(|d| (d, p)))
+            .collect();
+        found.sort_unstable();
+        found.truncate(k);
+        found.into_iter().map(|(d, p)| (p, d)).collect()
+    }
+
+    /// The optimal detour `s → p → t` over `candidates`, minimizing
+    /// `(total, poi)`; `None` when no candidate has both legs. The
+    /// default prices every first leg, then scans candidates in
+    /// ascending `d(s,p)` order — the first leg lower-bounds the total,
+    /// so the scan (and its second-leg point queries) stops early.
+    fn via(&mut self, s: NodeId, t: NodeId, candidates: &[NodeId]) -> Option<ViaAnswer> {
+        let mut order: Vec<(u64, NodeId)> = self
+            .one_to_many(s, candidates)
+            .iter()
+            .zip(candidates)
+            .filter_map(|(d, &p)| d.map(|d| (d, p)))
+            .collect();
+        order.sort_unstable();
+        let mut best: Option<ViaAnswer> = None;
+        for &(to_poi, p) in &order {
+            if let Some(b) = best {
+                if to_poi > b.total {
+                    break;
+                }
+            }
+            let Some(from_poi) = self.distance(p, t) else {
+                continue;
+            };
+            let total = to_poi.saturating_add(from_poi);
+            let better = match best {
+                None => true,
+                Some(b) => total < b.total || (total == b.total && p < b.poi),
+            };
+            if better {
+                best = Some(ViaAnswer {
+                    poi: p,
+                    total,
+                    to_poi,
+                    from_poi,
+                });
+            }
+        }
+        best
+    }
 }
 
 /// The Arterial Hierarchy backend (the paper's contribution, and the
@@ -161,6 +240,7 @@ impl DistanceBackend for DijkstraBackend<'_> {
         Box::new(DijkstraSession {
             graph: self.graph,
             q: BidirectionalDijkstra::new(),
+            scenarios: ScenarioEngine::new(),
         })
     }
 }
@@ -168,6 +248,7 @@ impl DistanceBackend for DijkstraBackend<'_> {
 struct DijkstraSession<'a> {
     graph: &'a Graph,
     q: BidirectionalDijkstra,
+    scenarios: ScenarioEngine,
 }
 
 impl BackendSession for DijkstraSession<'_> {
@@ -177,6 +258,25 @@ impl BackendSession for DijkstraSession<'_> {
 
     fn path(&mut self, s: NodeId, t: NodeId) -> Option<Path> {
         self.q.path(self.graph, s, t)
+    }
+
+    // Batched shapes: one single-source sweep replaces |targets| (or
+    // |candidates|) separate bidirectional runs.
+
+    fn one_to_many(&mut self, source: NodeId, targets: &[NodeId]) -> Vec<Option<u64>> {
+        self.scenarios.one_to_many(self.graph, source, targets)
+    }
+
+    fn matrix(&mut self, sources: &[NodeId], targets: &[NodeId]) -> Vec<Vec<Option<u64>>> {
+        self.scenarios.matrix(self.graph, sources, targets)
+    }
+
+    fn knn(&mut self, source: NodeId, candidates: &[NodeId], k: usize) -> Vec<(NodeId, u64)> {
+        self.scenarios.knn(self.graph, source, candidates, k)
+    }
+
+    fn via(&mut self, s: NodeId, t: NodeId, candidates: &[NodeId]) -> Option<ViaAnswer> {
+        self.scenarios.via(self.graph, s, t, candidates)
     }
 }
 
@@ -237,6 +337,33 @@ impl BackendSession for LabelSession<'_> {
     fn path(&mut self, s: NodeId, t: NodeId) -> Option<Path> {
         self.q.path(self.ah, s, t)
     }
+
+    // Bucket-style batched sweeps (see `ah_labels::scenario`): each
+    // target's in-label is bucketed by hub once, then every source
+    // scans its out-label once — no per-pair merges.
+
+    fn one_to_many(&mut self, source: NodeId, targets: &[NodeId]) -> Vec<Option<u64>> {
+        self.labels.one_to_many(source, targets)
+    }
+
+    fn matrix(&mut self, sources: &[NodeId], targets: &[NodeId]) -> Vec<Vec<Option<u64>>> {
+        self.labels.many_to_many(sources, targets)
+    }
+
+    fn knn(&mut self, source: NodeId, candidates: &[NodeId], k: usize) -> Vec<(NodeId, u64)> {
+        self.labels.knn(source, candidates, k)
+    }
+
+    fn via(&mut self, s: NodeId, t: NodeId, candidates: &[NodeId]) -> Option<ViaAnswer> {
+        self.labels
+            .via(s, t, candidates)
+            .map(|(poi, to_poi, from_poi)| ViaAnswer {
+                poi,
+                total: to_poi.saturating_add(from_poi),
+                to_poi,
+                from_poi,
+            })
+    }
 }
 
 /// Wraps any backend and sleeps a fixed delay before each query — a
@@ -290,6 +417,30 @@ impl BackendSession for DelaySession<'_> {
         std::thread::sleep(self.delay);
         self.inner.path(s, t)
     }
+
+    // One delay per scenario *request* (not per internal point query):
+    // the wrapped call goes straight to the inner session's batched
+    // implementation.
+
+    fn one_to_many(&mut self, source: NodeId, targets: &[NodeId]) -> Vec<Option<u64>> {
+        std::thread::sleep(self.delay);
+        self.inner.one_to_many(source, targets)
+    }
+
+    fn matrix(&mut self, sources: &[NodeId], targets: &[NodeId]) -> Vec<Vec<Option<u64>>> {
+        std::thread::sleep(self.delay);
+        self.inner.matrix(sources, targets)
+    }
+
+    fn knn(&mut self, source: NodeId, candidates: &[NodeId], k: usize) -> Vec<(NodeId, u64)> {
+        std::thread::sleep(self.delay);
+        self.inner.knn(source, candidates, k)
+    }
+
+    fn via(&mut self, s: NodeId, t: NodeId, candidates: &[NodeId]) -> Option<ViaAnswer> {
+        std::thread::sleep(self.delay);
+        self.inner.via(s, t, candidates)
+    }
 }
 
 #[cfg(test)]
@@ -321,6 +472,38 @@ mod tests {
                     assert_eq!(p.dist.length, want.unwrap());
                 }
             }
+        }
+    }
+
+    #[test]
+    fn scenario_methods_agree_across_backends() {
+        let g = ah_data::fixtures::lattice(6, 6, 14);
+        let ah = AhIndex::build(&g, &BuildConfig::default());
+        let ch = ChIndex::build(&g);
+        let labels = LabelIndex::build(&g, ch.order());
+        let backends: Vec<Box<dyn DistanceBackend>> = vec![
+            Box::new(AhBackend::new(&ah)),
+            Box::new(ChBackend::new(&ch)),
+            Box::new(DijkstraBackend::new(&g)),
+            Box::new(LabelBackend::new(&labels, &ah)),
+        ];
+        let pois = ah_search::PoiSet::synthetic(g.num_nodes(), 4, 77);
+        let cands = pois.category(1);
+        assert!(!cands.is_empty());
+        let sources = [0u32, 7, 20];
+        let targets = [3u32, 35, 18, 0];
+        let reference_backend = DijkstraBackend::new(&g);
+        let mut reference = reference_backend.make_session();
+        let want_matrix = reference.matrix(&sources, &targets);
+        let want_knn = reference.knn(2, cands, 3);
+        let want_via = reference.via(0, 35, cands);
+        assert!(want_via.is_some());
+        for b in &backends {
+            let mut session = b.make_session();
+            assert_eq!(session.matrix(&sources, &targets), want_matrix, "{}", b.name());
+            assert_eq!(session.one_to_many(0, &targets), want_matrix[0], "{}", b.name());
+            assert_eq!(session.knn(2, cands, 3), want_knn, "{}", b.name());
+            assert_eq!(session.via(0, 35, cands), want_via, "{}", b.name());
         }
     }
 

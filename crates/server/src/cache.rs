@@ -1,10 +1,14 @@
-//! Sharded LRU cache for distance results.
+//! Sharded LRU cache for distance and via-detour results.
 //!
 //! Real serving traffic repeats itself (commuters, popular POIs), so the
-//! server consults this cache before touching the index. The key is the
-//! `(source, target)` pair; the value is the query answer, including
-//! *negative* answers (unreachable pairs), encoded as a sentinel so a miss
-//! is never confused with "known unreachable".
+//! server consults this cache before touching the index. The key packs a
+//! query *kind* tag, the `(source, target)` pair and — for via queries —
+//! the POI category into two `u64` words, so distance answers and
+//! via-detour answers for the same pair never collide; the value is the
+//! query answer, including *negative* answers (unreachable pairs),
+//! encoded as a sentinel so a miss is never confused with "known
+//! unreachable". Via entries additionally carry the winning POI id in a
+//! 32-bit aux word.
 //!
 //! The map is split into [`NUM_SHARDS`] independently locked shards
 //! (selected by a Fibonacci hash of the pair) so concurrent workers rarely
@@ -33,16 +37,32 @@ const NIL: u32 = u32::MAX;
 /// distance (weights are `u32`, paths are bounded), so it encodes `None`.
 const UNREACHABLE: u64 = u64::MAX;
 
+/// Key-space tag for plain `(s, t)` distance answers.
+const KIND_DISTANCE: u64 = 0;
+/// Key-space tag for via-detour answers (`(s, t)` plus POI category).
+const KIND_VIA: u64 = 1;
+
+/// Packs a query identity into the two-word cache key: the kind tag
+/// shares a word with the source, the sub-key (via's POI category, 0
+/// for distances) shares one with the target. Node ids and categories
+/// are 32-bit, so the packing is collision-free across kinds.
+#[inline]
+fn pack(kind: u64, s: NodeId, t: NodeId, sub: u32) -> (u64, u64) {
+    ((kind << 32) | s as u64, ((sub as u64) << 32) | t as u64)
+}
+
 struct Entry {
-    key: (NodeId, NodeId),
+    key: (u64, u64),
     value: u64,
+    /// Kind-specific payload word (via: the winning POI id).
+    aux: u32,
     prev: u32,
     next: u32,
 }
 
 /// One exact-LRU shard.
 struct Shard {
-    map: HashMap<(NodeId, NodeId), u32>,
+    map: HashMap<(u64, u64), u32>,
     arena: Vec<Entry>,
     head: u32, // most recently used
     tail: u32, // least recently used
@@ -94,16 +114,19 @@ impl Shard {
         self.head = i;
     }
 
-    fn get(&mut self, key: (NodeId, NodeId)) -> Option<u64> {
+    fn get(&mut self, key: (u64, u64)) -> Option<(u64, u32)> {
         let &i = self.map.get(&key)?;
         self.unlink(i);
         self.link_front(i);
-        Some(self.arena[i as usize].value)
+        let e = &self.arena[i as usize];
+        Some((e.value, e.aux))
     }
 
-    fn insert(&mut self, key: (NodeId, NodeId), value: u64) {
+    fn insert(&mut self, key: (u64, u64), value: u64, aux: u32) {
         if let Some(&i) = self.map.get(&key) {
-            self.arena[i as usize].value = value;
+            let e = &mut self.arena[i as usize];
+            e.value = value;
+            e.aux = aux;
             self.unlink(i);
             self.link_front(i);
             return;
@@ -112,6 +135,7 @@ impl Shard {
             self.arena.push(Entry {
                 key,
                 value,
+                aux,
                 prev: NIL,
                 next: NIL,
             });
@@ -126,6 +150,7 @@ impl Shard {
             let e = &mut self.arena[i as usize];
             e.key = key;
             e.value = value;
+            e.aux = aux;
             i
         };
         self.map.insert(key, i);
@@ -166,37 +191,81 @@ impl DistanceCache {
     }
 
     #[inline]
-    fn shard_for(&self, key: (NodeId, NodeId)) -> &Mutex<Shard> {
-        // Fibonacci hashing over the packed pair: cheap and well mixed.
-        let packed = ((key.0 as u64) << 32) | key.1 as u64;
+    fn shard_for(&self, key: (u64, u64)) -> &Mutex<Shard> {
+        // Fibonacci hashing over the mixed key words: cheap and well mixed.
+        let packed = key.0 ^ key.1.rotate_left(31);
         let h = packed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         &self.shards[(h >> (64 - SHARD_BITS)) as usize]
+    }
+
+    /// Raw keyed lookup with hit/miss accounting.
+    fn get_raw(&self, key: (u64, u64)) -> Option<(u64, u32)> {
+        let got = self.shard_for(key).lock().unwrap().get(key);
+        if got.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        got
+    }
+
+    /// Raw keyed insert honoring the clear-epoch protocol (see
+    /// [`DistanceCache::put_at`]).
+    fn put_raw_at(&self, key: (u64, u64), value: u64, aux: u32, epoch: u64) -> bool {
+        let mut shard = self.shard_for(key).lock().unwrap();
+        if self.epoch.load(Ordering::SeqCst) != epoch {
+            return false;
+        }
+        shard.insert(key, value, aux);
+        true
     }
 
     /// Cached answer for `(s, t)`: `Some(Some(d))` reachable with distance
     /// `d`, `Some(None)` known unreachable, `None` not cached.
     pub fn get(&self, s: NodeId, t: NodeId) -> Option<Option<u64>> {
-        let got = self.shard_for((s, t)).lock().unwrap().get((s, t));
-        match got {
-            Some(UNREACHABLE) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(None)
-            }
-            Some(d) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(Some(d))
-            }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
-            }
+        match self.get_raw(pack(KIND_DISTANCE, s, t, 0)) {
+            Some((UNREACHABLE, _)) => Some(None),
+            Some((d, _)) => Some(Some(d)),
+            None => None,
         }
     }
 
     /// Records the answer for `(s, t)`, including unreachability.
     pub fn put(&self, s: NodeId, t: NodeId, distance: Option<u64>) {
         let value = distance.unwrap_or(UNREACHABLE);
-        self.shard_for((s, t)).lock().unwrap().insert((s, t), value);
+        let key = pack(KIND_DISTANCE, s, t, 0);
+        self.shard_for(key).lock().unwrap().insert(key, value, 0);
+    }
+
+    /// Cached via-detour answer for `(s, t)` through POI category `cat`:
+    /// `Some(Some((poi, total)))` a best POI exists, `Some(None)` known
+    /// to have no reachable POI, `None` not cached. Lives in a key space
+    /// disjoint from plain distances, so a via answer for `(s, t)` never
+    /// shadows the point-to-point distance (or vice versa).
+    pub fn get_via(&self, s: NodeId, t: NodeId, cat: u32) -> Option<Option<(NodeId, u64)>> {
+        match self.get_raw(pack(KIND_VIA, s, t, cat)) {
+            Some((UNREACHABLE, _)) => Some(None),
+            Some((total, poi)) => Some(Some((poi, total))),
+            None => None,
+        }
+    }
+
+    /// Records the via-detour answer (best POI and total length, or
+    /// `None` when no category member connects `s` to `t`) under the
+    /// epoch protocol of [`DistanceCache::put_at`].
+    pub fn put_via_at(
+        &self,
+        s: NodeId,
+        t: NodeId,
+        cat: u32,
+        answer: Option<(NodeId, u64)>,
+        epoch: u64,
+    ) -> bool {
+        let (value, aux) = match answer {
+            Some((poi, total)) => (total, poi),
+            None => (UNREACHABLE, 0),
+        };
+        self.put_raw_at(pack(KIND_VIA, s, t, cat), value, aux, epoch)
     }
 
     /// Records the answer for `(s, t)` only if no [`DistanceCache::clear`]
@@ -212,12 +281,7 @@ impl DistanceCache {
     /// was stored.
     pub fn put_at(&self, s: NodeId, t: NodeId, distance: Option<u64>, epoch: u64) -> bool {
         let value = distance.unwrap_or(UNREACHABLE);
-        let mut shard = self.shard_for((s, t)).lock().unwrap();
-        if self.epoch.load(Ordering::SeqCst) != epoch {
-            return false;
-        }
-        shard.insert((s, t), value);
-        true
+        self.put_raw_at(pack(KIND_DISTANCE, s, t, 0), value, 0, epoch)
     }
 
     /// Lookups that found an entry.
@@ -311,8 +375,8 @@ mod tests {
         'outer: for a in 0..64u32 {
             for b in 0..64u32 {
                 if (a, 0) != (b, 1) {
-                    let pa = std::ptr::from_ref(c.shard_for((a, 0)));
-                    let pb = std::ptr::from_ref(c.shard_for((b, 1)));
+                    let pa = std::ptr::from_ref(c.shard_for(pack(KIND_DISTANCE, a, 0, 0)));
+                    let pb = std::ptr::from_ref(c.shard_for(pack(KIND_DISTANCE, b, 1, 0)));
                     if pa == pb {
                         same = Some(((a, 0), (b, 1)));
                         break 'outer;
@@ -330,22 +394,46 @@ mod tests {
     #[test]
     fn touch_on_get_protects_hot_entries() {
         let mut shard = Shard::new(2);
-        shard.insert((1, 1), 11);
-        shard.insert((2, 2), 22);
-        assert_eq!(shard.get((1, 1)), Some(11)); // touch: (2,2) is now LRU
-        shard.insert((3, 3), 33); // evicts (2,2)
-        assert_eq!(shard.get((1, 1)), Some(11));
+        shard.insert((1, 1), 11, 0);
+        shard.insert((2, 2), 22, 0);
+        assert_eq!(shard.get((1, 1)), Some((11, 0))); // touch: (2,2) is now LRU
+        shard.insert((3, 3), 33, 0); // evicts (2,2)
+        assert_eq!(shard.get((1, 1)), Some((11, 0)));
         assert_eq!(shard.get((2, 2)), None);
-        assert_eq!(shard.get((3, 3)), Some(33));
+        assert_eq!(shard.get((3, 3)), Some((33, 0)));
     }
 
     #[test]
     fn overwrite_updates_value_in_place() {
         let mut shard = Shard::new(2);
-        shard.insert((1, 1), 11);
-        shard.insert((1, 1), 12);
-        assert_eq!(shard.get((1, 1)), Some(12));
+        shard.insert((1, 1), 11, 5);
+        shard.insert((1, 1), 12, 6);
+        assert_eq!(shard.get((1, 1)), Some((12, 6)));
         assert_eq!(shard.map.len(), 1);
+    }
+
+    #[test]
+    fn via_and_distance_keys_never_collide() {
+        let c = DistanceCache::new(64);
+        c.put(5, 9, Some(100));
+        let e = c.epoch();
+        assert!(c.put_via_at(5, 9, 0, Some((42, 250)), e));
+        assert!(c.put_via_at(5, 9, 3, Some((77, 300)), e));
+        assert_eq!(c.get(5, 9), Some(Some(100)), "distance untouched by via");
+        assert_eq!(c.get_via(5, 9, 0), Some(Some((42, 250))));
+        assert_eq!(c.get_via(5, 9, 3), Some(Some((77, 300))), "per-category keys");
+        assert_eq!(c.get_via(5, 9, 1), None, "other categories miss");
+    }
+
+    #[test]
+    fn via_negative_answers_cache_distinctly() {
+        let c = DistanceCache::new(64);
+        assert_eq!(c.get_via(1, 2, 0), None, "cold miss");
+        assert!(c.put_via_at(1, 2, 0, None, c.epoch()));
+        assert_eq!(c.get_via(1, 2, 0), Some(None), "known no-POI, not a miss");
+        c.clear();
+        assert!(!c.put_via_at(1, 2, 0, Some((3, 4)), 0), "stale epoch refused");
+        assert_eq!(c.get_via(1, 2, 0), None);
     }
 
     #[test]

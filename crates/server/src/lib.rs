@@ -67,7 +67,15 @@ pub use backend::{
 pub use cache::{DistanceCache, NUM_SHARDS};
 pub use metrics::{LatencyHistogram, MetricsSnapshot, ServerMetrics};
 pub use queue::{BoundedQueue, TryPushError};
-pub use server::{Job, QueryKind, Request, Response, RunReport, Server, ServerConfig};
+pub use server::{
+    trace_kind, Job, MatrixRequest, QueryKind, Request, Response, RunReport, ScenarioResult,
+    Server, ServerConfig,
+};
+
+// Re-exported so scenario consumers (the edge, workloads, benches) can
+// name the POI wire contract and the via answer without depending on
+// `ah_search` directly.
+pub use ah_search::{PoiSet, ScenarioEngine, ViaAnswer, POI_CATEGORIES, POI_SEED};
 
 // Re-exported so serving-layer callers (the edge, the bench bins) can
 // configure tracing and inspect spans without naming `ah_obs` as a

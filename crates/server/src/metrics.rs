@@ -43,6 +43,13 @@ pub struct ServerMetrics {
     /// (the edge answers these with 429). Always 0 for closed-loop runs,
     /// whose feeder blocks instead of rejecting.
     pub rejected: Arc<Counter>,
+    /// Via-detour scenario requests served (`QueryKind::Via`).
+    pub via_requests: Arc<Counter>,
+    /// k-nearest-POI scenario requests served (`QueryKind::Knn`).
+    pub knn_requests: Arc<Counter>,
+    /// Batched distance-table requests served (`QueryKind::Matrix`) —
+    /// counted per request, not per cell.
+    pub matrix_requests: Arc<Counter>,
     /// Deepest the request queue has been — saturation headroom. A
     /// high-water mark at the queue's capacity means admission control
     /// engaged (or was one request away from engaging).
@@ -69,6 +76,9 @@ impl ServerMetrics {
         self.cache_hits.add(other.cache_hits.get());
         self.cache_misses.add(other.cache_misses.get());
         self.rejected.add(other.rejected.get());
+        self.via_requests.add(other.via_requests.get());
+        self.knn_requests.add(other.knn_requests.get());
+        self.matrix_requests.add(other.matrix_requests.get());
         self.queue_high_water.set_max(other.queue_high_water.get());
         self.queue_depth.set(other.queue_depth.get());
     }
@@ -116,6 +126,22 @@ impl ServerMetrics {
             "Distance queries computed by the backend",
             Metric::Counter(Arc::clone(&self.cache_misses)),
         );
+        // One series per scenario kind, distinguished by a `scenario`
+        // label on top of the caller's static labels.
+        for (scenario, counter) in [
+            ("via", &self.via_requests),
+            ("knn", &self.knn_requests),
+            ("matrix", &self.matrix_requests),
+        ] {
+            let mut with_scenario: Vec<(&str, &str)> = labels.to_vec();
+            with_scenario.push(("scenario", scenario));
+            reg.register(
+                "ah_server_scenario_requests_total",
+                &with_scenario,
+                "Scenario queries served, by kind",
+                Metric::Counter(Arc::clone(counter)),
+            );
+        }
     }
 
     /// Immutable snapshot for reporting.
@@ -143,6 +169,9 @@ impl ServerMetrics {
                 0.0
             },
             rejected: self.rejected.get(),
+            scenario_via: self.via_requests.get(),
+            scenario_knn: self.knn_requests.get(),
+            scenario_matrix: self.matrix_requests.get(),
             queue_high_water: self.queue_high_water.get(),
             queue_depth: self.queue_depth.get(),
             queue_wait_mean_us: self.queue_wait.mean_ns() / 1e3,
@@ -178,6 +207,12 @@ pub struct MetricsSnapshot {
     /// Requests refused at admission (bounded queue full → 429 at the
     /// edge). 0 for closed-loop runs.
     pub rejected: u64,
+    /// Via-detour scenario requests served.
+    pub scenario_via: u64,
+    /// k-nearest-POI scenario requests served.
+    pub scenario_knn: u64,
+    /// Batched distance-table requests served.
+    pub scenario_matrix: u64,
     /// Deepest the request queue has been.
     pub queue_high_water: u64,
     /// Queue depth at sampling time (0 after a drained run).
@@ -199,6 +234,7 @@ impl MetricsSnapshot {
                 "\"mean_us\":{:.3},\"p50_us\":{:.3},\"p95_us\":{:.3},",
                 "\"p99_us\":{:.3},\"cache_hits\":{},\"cache_misses\":{},",
                 "\"cache_hit_rate\":{:.4},\"rejected\":{},",
+                "\"scenario_via\":{},\"scenario_knn\":{},\"scenario_matrix\":{},",
                 "\"queue_high_water\":{},\"queue_depth\":{},",
                 "\"queue_wait_mean_us\":{:.3},\"queue_wait_p99_us\":{:.3}}}"
             ),
@@ -213,6 +249,9 @@ impl MetricsSnapshot {
             self.cache_misses,
             self.cache_hit_rate,
             self.rejected,
+            self.scenario_via,
+            self.scenario_knn,
+            self.scenario_matrix,
             self.queue_high_water,
             self.queue_depth,
             self.queue_wait_mean_us,

@@ -17,6 +17,7 @@ use std::time::Instant;
 
 use ah_graph::NodeId;
 use ah_obs::{Registry, Span, Stage, TraceConfig, Tracer};
+use ah_search::{PoiSet, ViaAnswer};
 
 use crate::backend::DistanceBackend;
 use crate::cache::DistanceCache;
@@ -31,6 +32,25 @@ pub enum QueryKind {
     /// Full shortest path (always computed; the response keeps the hop
     /// count and distance, not the node list, to stay allocation-light).
     Path,
+    /// Optimal detour `s → p → t` through the best POI `p` of category
+    /// `cat` (cacheable per `(s, t, cat)`; the winning POI rides in the
+    /// cache entry's aux word).
+    Via {
+        /// POI category to detour through.
+        cat: u32,
+    },
+    /// The `k` nearest POIs of category `cat` from the source, by
+    /// network distance (never cached — the answer is a list).
+    Knn {
+        /// POI category to search.
+        cat: u32,
+        /// Result count cap.
+        k: u32,
+    },
+    /// A batched distance table. The endpoint sets are too big for the
+    /// `Copy` request word and ride in [`Job::batch`] instead; `s` and
+    /// `t` are ignored.
+    Matrix,
 }
 
 /// One query in flight.
@@ -66,6 +86,61 @@ impl Request {
             kind: QueryKind::Path,
         }
     }
+
+    /// Via-detour request `s → best POI of cat → t`.
+    pub fn via(id: u64, s: NodeId, t: NodeId, cat: u32) -> Self {
+        Request {
+            id,
+            s,
+            t,
+            kind: QueryKind::Via { cat },
+        }
+    }
+
+    /// k-nearest-POI request from `s` over category `cat`.
+    pub fn knn(id: u64, s: NodeId, cat: u32, k: u32) -> Self {
+        Request {
+            id,
+            s,
+            t: s, // unused by knn; kept in range so generic checks pass
+            kind: QueryKind::Knn { cat, k },
+        }
+    }
+
+    /// Batched distance-table request; the endpoint sets travel in the
+    /// enclosing [`Job::batch`].
+    pub fn matrix(id: u64) -> Self {
+        Request {
+            id,
+            s: 0,
+            t: 0,
+            kind: QueryKind::Matrix,
+        }
+    }
+}
+
+/// Endpoint sets for one [`QueryKind::Matrix`] request: the answer is
+/// the full `sources × targets` table of network distances.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MatrixRequest {
+    /// Row endpoints (one table row per source).
+    pub sources: Vec<NodeId>,
+    /// Column endpoints.
+    pub targets: Vec<NodeId>,
+}
+
+/// The structured payload of a scenario answer, delivered alongside the
+/// fixed-size [`Response`] word (which only carries a headline
+/// distance). `None` for plain distance/path requests and for via
+/// requests with no reachable POI.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioResult {
+    /// The winning detour: POI, total length and both legs.
+    Via(ViaAnswer),
+    /// Nearest POIs `(poi, distance)`, ascending by `(distance, poi)`.
+    Knn(Vec<(NodeId, u64)>),
+    /// The distance table, row-major over the request's sources.
+    Matrix(Vec<Vec<Option<u64>>>),
 }
 
 /// The answer to one [`Request`].
@@ -93,6 +168,9 @@ pub struct Response {
 pub struct Job<T> {
     /// The query to serve.
     pub req: Request,
+    /// Endpoint sets for [`QueryKind::Matrix`] requests (boxed: matrix
+    /// requests are rare and heavy; everything else pays one `None`).
+    pub batch: Option<Box<MatrixRequest>>,
     /// Sampled trace span (`None` for the 1 − 1/N unsampled majority).
     pub span: Option<Box<Span>>,
     /// Opaque routing state returned to the producer with the
@@ -240,6 +318,9 @@ impl Server {
     pub fn run(&self, backend: &dyn DistanceBackend, requests: &[Request]) -> RunReport {
         let workers = self.cfg.workers.max(1);
         let num_nodes = backend.num_nodes();
+        // One synthetic POI set per run, shared read-only by the pool —
+        // the deterministic wire contract every client can reproduce.
+        let pois = PoiSet::default_for(num_nodes);
         let queue: BoundedQueue<Job<()>> = BoundedQueue::new(self.cfg.queue_capacity);
         let run_metrics = ServerMetrics::new();
         // Queue-wait latency flows into this run's own histogram (and is
@@ -262,6 +343,7 @@ impl Server {
                 let ready = &ready;
                 let cache = self.cache.as_ref();
                 let tracer = self.tracer.as_ref();
+                let pois = &pois;
                 scope.spawn(move || {
                     let _close = CloseOnDrop(queue);
                     // If make_session panics, this guard still reaches the
@@ -282,18 +364,29 @@ impl Server {
                             break;
                         }
                         for job in batch.drain(..) {
-                            let Job { req, mut span, .. } = job;
+                            let Job {
+                                req,
+                                batch: endpoints,
+                                mut span,
+                                ..
+                            } = job;
                             if let Some(s) = span.as_deref_mut() {
                                 s.stamp(Stage::Dequeue);
                             }
-                            local.push(timed_serve(
+                            // Closed-loop runs keep only the fixed-size
+                            // response word; scenario payloads are for
+                            // open-loop consumers (the edge).
+                            let (resp, _payload) = timed_serve(
                                 &req,
+                                endpoints.as_deref(),
                                 num_nodes,
+                                pois,
                                 session.as_mut(),
                                 cache,
                                 run_metrics,
                                 span.as_deref_mut(),
-                            ));
+                            );
+                            local.push(resp);
                             // Closed-loop runs have no serialize/flush
                             // stages — finish the (honest, partial) span
                             // right after compute.
@@ -311,15 +404,13 @@ impl Server {
             // the bounded queue. If every worker died, push returns false
             // (their guards closed the queue) and feeding stops.
             for req in requests {
-                let mut span = self.tracer.start(match req.kind {
-                    QueryKind::Distance => 0,
-                    QueryKind::Path => 1,
-                });
+                let mut span = self.tracer.start(trace_kind(req.kind));
                 if let Some(s) = span.as_deref_mut() {
                     s.stamp(Stage::Enqueue);
                 }
                 if !queue.push(Job {
                     req: *req,
+                    batch: None,
                     span,
                     tag: (),
                 }) {
@@ -363,7 +454,9 @@ impl Server {
     /// producers admit work with [`BoundedQueue::try_push`] (answering
     /// overload themselves when it returns `Full`), while one thread per
     /// worker runs `serve_queue`, each with its own reusable
-    /// [`crate::BackendSession`].
+    /// [`crate::BackendSession`]. Scenario requests (via / knn /
+    /// matrix) deliver their structured answer as the third `on_done`
+    /// argument; plain distance and path requests pass `None` there.
     ///
     /// **Graceful-shutdown ordering** — drain before exit, in this
     /// order, so no accepted request is ever dropped:
@@ -390,7 +483,7 @@ impl Server {
         &self,
         backend: &dyn DistanceBackend,
         queue: &BoundedQueue<Job<T>>,
-        mut on_done: impl FnMut(T, Response, Option<Box<Span>>),
+        mut on_done: impl FnMut(T, Response, Option<Box<ScenarioResult>>, Option<Box<Span>>),
     ) {
         struct CloseOnPanic<'a, T: Send>(&'a BoundedQueue<T>);
         impl<T: Send> Drop for CloseOnPanic<'_, T> {
@@ -403,6 +496,7 @@ impl Server {
         let _guard = CloseOnPanic(queue);
 
         let num_nodes = backend.num_nodes();
+        let pois = PoiSet::default_for(num_nodes);
         let cache = self.cache.as_ref();
         let mut session = backend.make_session();
         let mut batch: Vec<Job<T>> = Vec::with_capacity(self.cfg.batch_size);
@@ -412,19 +506,26 @@ impl Server {
                 break;
             }
             for job in batch.drain(..) {
-                let Job { req, mut span, tag } = job;
+                let Job {
+                    req,
+                    batch: endpoints,
+                    mut span,
+                    tag,
+                } = job;
                 if let Some(s) = span.as_deref_mut() {
                     s.stamp(Stage::Dequeue);
                 }
-                let resp = timed_serve(
+                let (resp, payload) = timed_serve(
                     &req,
+                    endpoints.as_deref(),
                     num_nodes,
+                    &pois,
                     session.as_mut(),
                     cache,
                     &self.metrics,
                     span.as_deref_mut(),
                 );
-                on_done(tag, resp, span);
+                on_done(tag, resp, payload, span);
             }
         }
     }
@@ -460,63 +561,108 @@ impl Drop for BarrierOnUnwind<'_> {
     }
 }
 
-/// Serves one request and records its latency and cache outcome into
-/// `metrics` — the per-query body shared by the closed-loop worker pool
-/// and the open-loop [`Server::serve_queue`] drain. A sampled span gets
-/// its cache-probe and compute stages stamped inside [`serve_one`].
+/// Trace-span kind code for a query (the tracer groups its per-stage
+/// histograms and slow-query ring entries by this). Public so edges
+/// admitting jobs directly into a [`BoundedQueue`] start their spans
+/// with the same codes the closed-loop engine uses.
+pub fn trace_kind(kind: QueryKind) -> u8 {
+    match kind {
+        QueryKind::Distance => 0,
+        QueryKind::Path => 1,
+        QueryKind::Via { .. } => 2,
+        QueryKind::Knn { .. } => 3,
+        QueryKind::Matrix => 4,
+    }
+}
+
+/// Serves one request and records its latency, cache outcome and
+/// scenario kind into `metrics` — the per-query body shared by the
+/// closed-loop worker pool and the open-loop [`Server::serve_queue`]
+/// drain. A sampled span gets its cache-probe and compute stages
+/// stamped inside [`serve_one`].
+#[allow(clippy::too_many_arguments)]
 fn timed_serve(
     req: &Request,
+    batch: Option<&MatrixRequest>,
     num_nodes: usize,
+    pois: &PoiSet,
     session: &mut dyn crate::backend::BackendSession,
     cache: Option<&DistanceCache>,
     metrics: &ServerMetrics,
     span: Option<&mut Span>,
-) -> Response {
+) -> (Response, Option<Box<ScenarioResult>>) {
     let t0 = Instant::now();
-    let resp = serve_one(req, num_nodes, session, cache, span);
+    let (resp, payload) = serve_one(req, batch, num_nodes, pois, session, cache, span);
     metrics.latency.record_ns(t0.elapsed().as_nanos() as u64);
-    // Only distance queries probe the cache; path requests stay out of
-    // the hit/miss ratio so the snapshot agrees with the cache's own
-    // counters.
-    if req.kind == QueryKind::Distance {
-        if resp.cache_hit {
-            metrics.cache_hits.inc();
-        } else {
-            metrics.cache_misses.inc();
+    // Only the kinds that probe the cache (distance, via) enter the
+    // hit/miss ratio, so the snapshot agrees with the cache's own
+    // counters; scenario kinds additionally tick their own counter.
+    match req.kind {
+        QueryKind::Distance => {
+            if resp.cache_hit {
+                metrics.cache_hits.inc();
+            } else {
+                metrics.cache_misses.inc();
+            }
         }
+        QueryKind::Via { .. } => {
+            metrics.via_requests.inc();
+            if resp.cache_hit {
+                metrics.cache_hits.inc();
+            } else {
+                metrics.cache_misses.inc();
+            }
+        }
+        QueryKind::Knn { .. } => metrics.knn_requests.inc(),
+        QueryKind::Matrix => metrics.matrix_requests.inc(),
+        QueryKind::Path => {}
     }
-    resp
+    (resp, payload)
 }
 
 /// Serves one request on a worker: bounds check, cache probe (distance
-/// queries only), then the backend session. Stage stamps: `CacheProbe`
-/// when the probe settles (immediately for path requests, which never
-/// probe) and `Compute` when the answer exists (immediately on a cache
-/// hit — the ~0 ns compute interval *is* the signal the backend was
-/// skipped).
+/// and via queries), then the backend session. Stage stamps:
+/// `CacheProbe` when the probe settles (immediately for the kinds that
+/// never probe) and `Compute` when the answer exists (immediately on a
+/// cache hit — the ~0 ns compute interval *is* the signal the backend
+/// was skipped). Scenario kinds return their structured answer as the
+/// second tuple element; plain distance/path requests return `None`.
 fn serve_one(
     req: &Request,
+    batch: Option<&MatrixRequest>,
     num_nodes: usize,
+    pois: &PoiSet,
     session: &mut dyn crate::backend::BackendSession,
     cache: Option<&DistanceCache>,
     mut span: Option<&mut Span>,
-) -> Response {
+) -> (Response, Option<Box<ScenarioResult>>) {
     let stamp = |stage: Stage, span: &mut Option<&mut Span>| {
         if let Some(s) = span.as_deref_mut() {
             s.stamp(stage);
         }
     };
-    if req.s as usize >= num_nodes || req.t as usize >= num_nodes {
+    let in_range = |v: NodeId| (v as usize) < num_nodes;
+    let endpoints_ok = match req.kind {
+        // Matrix ignores `s`/`t`; its batch ids are validated per cell.
+        QueryKind::Matrix => true,
+        // knn has no target; `t` mirrors `s` but is not consulted.
+        QueryKind::Knn { .. } => in_range(req.s),
+        _ => in_range(req.s) && in_range(req.t),
+    };
+    if !endpoints_ok {
         // Malformed request: answered, never forwarded to the backend
         // (whose index arrays it would overrun).
         stamp(Stage::CacheProbe, &mut span);
         stamp(Stage::Compute, &mut span);
-        return Response {
-            id: req.id,
-            distance: None,
-            hops: None,
-            cache_hit: false,
-        };
+        return (
+            Response {
+                id: req.id,
+                distance: None,
+                hops: None,
+                cache_hit: false,
+            },
+            None,
+        );
     }
     // Captured before the probe/compute: if the index is swapped (and
     // the cache cleared) while this query is in flight, the epoch check
@@ -530,12 +676,15 @@ fn serve_one(
                 stamp(Stage::CacheProbe, &mut span);
                 if let Some(cached) = cached {
                     stamp(Stage::Compute, &mut span);
-                    return Response {
-                        id: req.id,
-                        distance: cached,
-                        hops: None,
-                        cache_hit: true,
-                    };
+                    return (
+                        Response {
+                            id: req.id,
+                            distance: cached,
+                            hops: None,
+                            cache_hit: true,
+                        },
+                        None,
+                    );
                 }
             } else {
                 stamp(Stage::CacheProbe, &mut span);
@@ -545,12 +694,15 @@ fn serve_one(
             if let Some(c) = cache {
                 c.put_at(req.s, req.t, d, epoch.unwrap());
             }
-            Response {
-                id: req.id,
-                distance: d,
-                hops: None,
-                cache_hit: false,
-            }
+            (
+                Response {
+                    id: req.id,
+                    distance: d,
+                    hops: None,
+                    cache_hit: false,
+                },
+                None,
+            )
         }
         QueryKind::Path => {
             stamp(Stage::CacheProbe, &mut span);
@@ -565,12 +717,125 @@ fn serve_one(
             if let Some(c) = cache {
                 c.put_at(req.s, req.t, distance, epoch.unwrap());
             }
-            Response {
-                id: req.id,
-                distance,
-                hops,
-                cache_hit: false,
+            (
+                Response {
+                    id: req.id,
+                    distance,
+                    hops,
+                    cache_hit: false,
+                },
+                None,
+            )
+        }
+        QueryKind::Via { cat } => {
+            if let Some(c) = cache {
+                let cached = c.get_via(req.s, req.t, cat);
+                stamp(Stage::CacheProbe, &mut span);
+                if let Some(cached) = cached {
+                    // The cache keeps (poi, total); the legs are
+                    // reconstructed with two point queries — exact,
+                    // because shortest distances are unique, and far
+                    // cheaper than re-scanning the whole category.
+                    let payload = cached.map(|(poi, total)| {
+                        let to_poi = session.distance(req.s, poi).unwrap_or(u64::MAX);
+                        let from_poi = session.distance(poi, req.t).unwrap_or(u64::MAX);
+                        Box::new(ScenarioResult::Via(ViaAnswer {
+                            poi,
+                            total,
+                            to_poi,
+                            from_poi,
+                        }))
+                    });
+                    stamp(Stage::Compute, &mut span);
+                    return (
+                        Response {
+                            id: req.id,
+                            distance: cached.map(|(_, total)| total),
+                            hops: None,
+                            cache_hit: true,
+                        },
+                        payload,
+                    );
+                }
+            } else {
+                stamp(Stage::CacheProbe, &mut span);
             }
+            let answer = session.via(req.s, req.t, pois.category(cat));
+            stamp(Stage::Compute, &mut span);
+            if let Some(c) = cache {
+                c.put_via_at(
+                    req.s,
+                    req.t,
+                    cat,
+                    answer.map(|a| (a.poi, a.total)),
+                    epoch.unwrap(),
+                );
+            }
+            (
+                Response {
+                    id: req.id,
+                    distance: answer.map(|a| a.total),
+                    hops: None,
+                    cache_hit: false,
+                },
+                answer.map(|a| Box::new(ScenarioResult::Via(a))),
+            )
+        }
+        QueryKind::Knn { cat, k } => {
+            stamp(Stage::CacheProbe, &mut span);
+            let results = session.knn(req.s, pois.category(cat), k as usize);
+            stamp(Stage::Compute, &mut span);
+            (
+                Response {
+                    id: req.id,
+                    // Headline: distance to the nearest hit, if any.
+                    distance: results.first().map(|&(_, d)| d),
+                    hops: None,
+                    cache_hit: false,
+                },
+                Some(Box::new(ScenarioResult::Knn(results))),
+            )
+        }
+        QueryKind::Matrix => {
+            stamp(Stage::CacheProbe, &mut span);
+            let table = match batch {
+                None => Vec::new(),
+                Some(b) => {
+                    if b.sources.iter().chain(&b.targets).all(|&v| in_range(v)) {
+                        session.matrix(&b.sources, &b.targets)
+                    } else {
+                        // Out-of-range endpoints answer as unreachable
+                        // without touching the backend: valid columns are
+                        // swept, the rest scattered back as `None`.
+                        let valid: Vec<NodeId> =
+                            b.targets.iter().copied().filter(|&t| in_range(t)).collect();
+                        b.sources
+                            .iter()
+                            .map(|&s| {
+                                if !in_range(s) {
+                                    return vec![None; b.targets.len()];
+                                }
+                                let row = session.one_to_many(s, &valid);
+                                let mut it = row.into_iter();
+                                b.targets
+                                    .iter()
+                                    .map(|&t| if in_range(t) { it.next().unwrap() } else { None })
+                                    .collect()
+                            })
+                            .collect()
+                    }
+                }
+            };
+            stamp(Stage::Compute, &mut span);
+            (
+                Response {
+                    id: req.id,
+                    distance: None,
+                    hops: None,
+                    cache_hit: false,
+                },
+                Some(Box::new(ScenarioResult::Matrix(table))),
+            )
         }
     }
 }
@@ -803,7 +1068,7 @@ mod tests {
                 let server = &server;
                 let backend = &backend;
                 scope.spawn(move || {
-                    server.serve_queue(backend, queue, |tag, resp, span| {
+                    server.serve_queue(backend, queue, |tag, resp, _payload, span| {
                         // The worker stamped dequeue → compute; the
                         // producer (us) owns serialize/flush.
                         let span = span.expect("sample_every=1 traces everything");
@@ -822,6 +1087,7 @@ mod tests {
                 span.stamp(Stage::Enqueue);
                 assert!(queue.push(Job {
                     req,
+                    batch: None,
                     span: Some(span),
                     tag: id ^ 0xABCD,
                 }));
@@ -851,6 +1117,7 @@ mod tests {
         assert!(matches!(
             queue.try_push(Job {
                 req: late,
+                batch: None,
                 span: None,
                 tag: 0u64,
             }),
@@ -932,6 +1199,136 @@ mod tests {
         assert_eq!(report.responses.len(), 20);
         assert_eq!(server.tracer().spans_finished(), 0);
         assert!(server.tracer().recent().is_empty());
+    }
+
+    #[test]
+    fn scenario_requests_answer_exactly_in_closed_loop() {
+        let g = ah_data::fixtures::lattice(7, 7, 21);
+        let idx = AhIndex::build(&g, &BuildConfig::default());
+        let backend = AhBackend::new(&idx);
+        let n = g.num_nodes() as u32;
+        let pois = PoiSet::default_for(n as usize);
+        let mut engine = ah_search::ScenarioEngine::new();
+
+        let reqs: Vec<Request> = (0..30u64)
+            .map(|i| {
+                let s = (i as u32 * 11 + 2) % n;
+                let t = (i as u32 * 17 + 5) % n;
+                let cat = (i % 8) as u32;
+                if i % 2 == 0 {
+                    Request::via(i, s, t, cat)
+                } else {
+                    Request::knn(i, s, cat, 3)
+                }
+            })
+            .collect();
+        let server = Server::new(ServerConfig::with_workers(3));
+        let report = server.run(&backend, &reqs);
+        assert_eq!(report.responses.len(), reqs.len());
+        for (req, resp) in reqs.iter().zip(&report.responses) {
+            let want = match req.kind {
+                QueryKind::Via { cat } => engine
+                    .via(&g, req.s, req.t, pois.category(cat))
+                    .map(|a| a.total),
+                QueryKind::Knn { cat, k } => engine
+                    .knn(&g, req.s, pois.category(cat), k as usize)
+                    .first()
+                    .map(|&(_, d)| d),
+                _ => unreachable!(),
+            };
+            assert_eq!(resp.distance, want, "req {}", req.id);
+        }
+        assert_eq!(report.snapshot.scenario_via, 15);
+        assert_eq!(report.snapshot.scenario_knn, 15);
+        assert_eq!(report.snapshot.scenario_matrix, 0);
+    }
+
+    #[test]
+    fn via_cache_hit_replays_the_full_payload() {
+        let g = ah_data::fixtures::lattice(6, 6, 33);
+        let idx = AhIndex::build(&g, &BuildConfig::default());
+        let backend = AhBackend::new(&idx);
+        let pois = PoiSet::default_for(g.num_nodes());
+        let cat = (0..pois.categories())
+            .find(|&c| !pois.category(c).is_empty())
+            .expect("a 36-node set has POIs somewhere");
+        let server = Server::new(ServerConfig::with_workers(1));
+        let queue: BoundedQueue<Job<u64>> = BoundedQueue::new(8);
+        let done = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            let queue = &queue;
+            let done = &done;
+            let server = &server;
+            let backend = &backend;
+            scope.spawn(move || {
+                server.serve_queue(backend, queue, |tag, resp, payload, _span| {
+                    done.lock().unwrap().push((tag, resp, payload));
+                });
+            });
+            for id in 0..2u64 {
+                assert!(queue.push(Job {
+                    req: Request::via(id, 3, 30, cat),
+                    batch: None,
+                    span: None,
+                    tag: id,
+                }));
+            }
+            queue.close();
+        });
+        let done = done.into_inner().unwrap();
+        assert_eq!(done.len(), 2);
+        let (_, first, first_payload) = &done[0];
+        let (_, second, second_payload) = &done[1];
+        assert!(!first.cache_hit && second.cache_hit);
+        assert_eq!(first.distance, second.distance);
+        assert!(first_payload.is_some(), "a 6x6 lattice has POIs in range");
+        assert_eq!(
+            first_payload, second_payload,
+            "cached answers replay bit-identically, legs included"
+        );
+    }
+
+    #[test]
+    fn matrix_jobs_deliver_tables_and_mask_out_of_range_ids() {
+        let g = ah_data::fixtures::lattice(5, 5, 9);
+        let backend = DijkstraBackend::new(&g);
+        let server = Server::new(ServerConfig::with_workers(1));
+        let queue: BoundedQueue<Job<()>> = BoundedQueue::new(4);
+        let done = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            let queue = &queue;
+            let done = &done;
+            let server = &server;
+            let backend = &backend;
+            scope.spawn(move || {
+                server.serve_queue(backend, queue, |_tag, resp, payload, _span| {
+                    done.lock().unwrap().push((resp, payload));
+                });
+            });
+            assert!(queue.push(Job {
+                req: Request::matrix(0),
+                batch: Some(Box::new(MatrixRequest {
+                    sources: vec![0, 99, 12],
+                    targets: vec![3, 24, 999],
+                })),
+                span: None,
+                tag: (),
+            }));
+            queue.close();
+        });
+        let done = done.into_inner().unwrap();
+        let Some(ScenarioResult::Matrix(table)) = done[0].1.as_deref() else {
+            panic!("matrix payload expected, got {:?}", done[0].1);
+        };
+        assert_eq!(table.len(), 3);
+        assert_eq!(table[1], vec![None, None, None], "invalid source row");
+        let mut session = backend.make_session();
+        for (&s, row) in [0u32, 12].iter().zip([&table[0], &table[2]]) {
+            assert_eq!(row[0], session.distance(s, 3));
+            assert_eq!(row[1], session.distance(s, 24));
+            assert_eq!(row[2], None, "invalid target column");
+        }
+        assert_eq!(server.metrics().matrix_requests.get(), 1);
     }
 
     #[test]

@@ -12,7 +12,7 @@ mod churn;
 mod traffic;
 
 pub use churn::{ChurnPlan, ChurnRound, WeightChurn};
-pub use traffic::TrafficSchedule;
+pub use traffic::{ScenarioOp, TrafficSchedule};
 
 use ah_graph::{Graph, NodeId};
 use ah_search::{DijkstraDriver, SearchOptions};

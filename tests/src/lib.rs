@@ -1,2 +1,6 @@
-//! Placeholder library target; the real content lives in `tests/tests/*.rs`
-//! (cross-crate integration and property tests).
+//! Shared support code for the cross-crate integration and property
+//! suites in `tests/tests/*.rs` — most importantly the brute-force
+//! [`oracle`] every identity suite checks the engines against.
+
+#[path = "../support/oracle.rs"]
+pub mod oracle;

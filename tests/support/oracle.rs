@@ -1,0 +1,182 @@
+//! The shared brute-force oracle: first-principles reference answers
+//! every identity suite checks the engines against.
+//!
+//! This module deliberately reimplements textbook Dijkstra over
+//! [`ah_graph::Graph`]'s raw adjacency instead of reusing `ah_search` —
+//! the point of an oracle is independence from the code under test. It
+//! tracks path *length only*: the workspace's nuance component breaks
+//! ties between equal-length paths but never changes which length is
+//! minimal, so a length-only search is exact for every distance answer
+//! the serving layer exposes.
+//!
+//! Scenario references follow the workspace-wide determinism contract
+//! (`ah_search::scenario` module docs): k-NN sorted ascending by
+//! `(distance, node id)`, via minimizing `(total, poi id)`, unreachable
+//! candidates dropped.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use ah_graph::{Graph, NodeId};
+
+/// The reference via answer; field-compatible with
+/// `ah_search::ViaAnswer` but independently derived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ViaRef {
+    /// Chosen POI, minimizing `(total, poi)`.
+    pub poi: NodeId,
+    /// `d(s, poi) + d(poi, t)`.
+    pub total: u64,
+    /// First leg `d(s, poi)`.
+    pub to_poi: u64,
+    /// Second leg `d(poi, t)`.
+    pub from_poi: u64,
+}
+
+/// Forward single-source distances: `result[v] = d(source, v)`, `None`
+/// when unreachable. Plain binary-heap Dijkstra, no pruning, no reuse.
+pub fn dists_from(g: &Graph, source: NodeId) -> Vec<Option<u64>> {
+    multi_source(g, &[(source, 0)], false)
+}
+
+/// Backward single-source distances: `result[v] = d(v, target)`.
+pub fn dists_to(g: &Graph, target: NodeId) -> Vec<Option<u64>> {
+    multi_source(g, &[(target, 0)], true)
+}
+
+/// Multi-source Dijkstra with per-source offsets. `backward` follows
+/// in-edges (distances *to* the sources) instead of out-edges.
+pub fn multi_source(
+    g: &Graph,
+    sources: &[(NodeId, u64)],
+    backward: bool,
+) -> Vec<Option<u64>> {
+    let n = g.num_nodes();
+    let mut dist: Vec<u64> = vec![u64::MAX; n];
+    let mut heap: BinaryHeap<Reverse<(u64, NodeId)>> = BinaryHeap::new();
+    for &(s, d0) in sources {
+        if d0 < dist[s as usize] {
+            dist[s as usize] = d0;
+            heap.push(Reverse((d0, s)));
+        }
+    }
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue; // stale entry
+        }
+        let arcs = if backward { g.in_edges(u) } else { g.out_edges(u) };
+        for a in arcs {
+            let nd = d.saturating_add(u64::from(a.weight));
+            if nd < dist[a.head as usize] {
+                dist[a.head as usize] = nd;
+                heap.push(Reverse((nd, a.head)));
+            }
+        }
+    }
+    dist.into_iter()
+        .map(|d| (d != u64::MAX).then_some(d))
+        .collect()
+}
+
+/// Point-to-point reference distance.
+pub fn distance(g: &Graph, s: NodeId, t: NodeId) -> Option<u64> {
+    dists_from(g, s)[t as usize]
+}
+
+/// Reference one-to-many row.
+pub fn one_to_many(g: &Graph, source: NodeId, targets: &[NodeId]) -> Vec<Option<u64>> {
+    let d = dists_from(g, source);
+    targets.iter().map(|&t| d[t as usize]).collect()
+}
+
+/// Reference distance table: row `i` is [`one_to_many`] from
+/// `sources[i]`.
+pub fn matrix(g: &Graph, sources: &[NodeId], targets: &[NodeId]) -> Vec<Vec<Option<u64>>> {
+    sources.iter().map(|&s| one_to_many(g, s, targets)).collect()
+}
+
+/// Reference k-NN: the `k` nearest `candidates` from `source`, sorted
+/// ascending by `(distance, node id)`, unreachable dropped.
+pub fn knn(g: &Graph, source: NodeId, candidates: &[NodeId], k: usize) -> Vec<(NodeId, u64)> {
+    let d = dists_from(g, source);
+    let mut found: Vec<(u64, NodeId)> = candidates
+        .iter()
+        .filter_map(|&p| d[p as usize].map(|d| (d, p)))
+        .collect();
+    found.sort_unstable();
+    found.truncate(k);
+    found.into_iter().map(|(d, p)| (p, d)).collect()
+}
+
+/// Reference via: exhaustive scan over every candidate, minimizing
+/// `(d(s,p) + d(p,t), p)`; `None` when no candidate has both legs.
+pub fn via(g: &Graph, s: NodeId, t: NodeId, candidates: &[NodeId]) -> Option<ViaRef> {
+    let fwd = dists_from(g, s);
+    let bwd = dists_to(g, t);
+    candidates
+        .iter()
+        .filter_map(|&p| {
+            let a = fwd[p as usize]?;
+            let b = bwd[p as usize]?;
+            Some((a.saturating_add(b), p, a, b))
+        })
+        .min()
+        .map(|(total, poi, to_poi, from_poi)| ViaRef {
+            poi,
+            total,
+            to_poi,
+            from_poi,
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 0 —1→ 1 —1→ 2, slow direct 0 —5→ 2, and an isolated node 3.
+    fn tiny() -> Graph {
+        let mut b = ah_graph::GraphBuilder::new();
+        for i in 0..4 {
+            b.add_node(ah_graph::Point::new(i, 0));
+        }
+        b.add_edge(0, 1, 1);
+        b.add_edge(1, 2, 1);
+        b.add_edge(0, 2, 5);
+        b.build()
+    }
+
+    #[test]
+    fn forward_backward_and_unreachable() {
+        let g = tiny();
+        assert_eq!(dists_from(&g, 0), vec![Some(0), Some(1), Some(2), None]);
+        assert_eq!(dists_to(&g, 2), vec![Some(2), Some(1), Some(0), None]);
+        assert_eq!(distance(&g, 2, 0), None, "edges are directed");
+    }
+
+    #[test]
+    fn multi_source_offsets() {
+        let g = tiny();
+        let d = multi_source(&g, &[(0, 10), (1, 0)], false);
+        assert_eq!(d, vec![Some(10), Some(0), Some(1), None]);
+    }
+
+    #[test]
+    fn scenario_references() {
+        let g = tiny();
+        assert_eq!(matrix(&g, &[0, 1], &[2, 3]), vec![
+            vec![Some(2), None],
+            vec![Some(1), None],
+        ]);
+        assert_eq!(knn(&g, 0, &[3, 2, 1], 2), vec![(1, 1), (2, 2)]);
+        assert_eq!(
+            via(&g, 0, 2, &[1, 3]),
+            Some(ViaRef {
+                poi: 1,
+                total: 2,
+                to_poi: 1,
+                from_poi: 1
+            })
+        );
+        assert_eq!(via(&g, 2, 0, &[1]), None);
+    }
+}

@@ -2,10 +2,11 @@
 //! be **bit-identical** to an independently rebuilt graph at the final
 //! weights, and every backend rebuilt on it — AH, CH, hub labels, the
 //! sharded composition (refreshed incrementally, lane by lane) — must
-//! answer randomized Q1–Q10 workloads bit-equal to Dijkstra ground
-//! truth. This is the campaign that pins the live-update pipeline:
-//! if apply ever drifts from rebuild-from-scratch (weight clamping,
-//! nuance recomputation, closure encoding), these tests fail first.
+//! answer randomized Q1–Q10 workloads bit-equal to the shared
+//! brute-force oracle (`ah_tests::oracle`). This is the campaign that
+//! pins the live-update pipeline: if apply ever drifts from
+//! rebuild-from-scratch (weight clamping, nuance recomputation, closure
+//! encoding), these tests fail first.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -14,8 +15,8 @@ use ah_ch::{ChIndex, ChQuery};
 use ah_core::{AhIndex, AhQuery, BuildConfig};
 use ah_graph::{Graph, GraphBuilder, NodeId, WeightChange, WeightDelta, CLOSED};
 use ah_labels::LabelIndex;
-use ah_search::dijkstra_distance;
 use ah_shard::{ShardConfig, ShardedIndex, ShardedQuery};
+use ah_tests::oracle;
 use ah_workload::{generate_query_sets, WeightChurn};
 
 fn network() -> Graph {
@@ -114,7 +115,7 @@ fn all_backends_bit_identical_after_deltas() {
     let mut checked = 0usize;
     for set in &sets {
         for &(s, t) in &set.pairs {
-            let want = dijkstra_distance(patched, s, t).map(|d| d.length);
+            let want = oracle::distance(patched, s, t);
             assert_eq!(ahq.distance(&ah, s, t), want, "AH ({s},{t})");
             assert_eq!(chq.distance(&ch, s, t), want, "CH ({s},{t})");
             assert_eq!(labels.distance(s, t), want, "labels ({s},{t})");
@@ -198,12 +199,12 @@ fn closures_reroute_exactly() {
     let mut q = AhQuery::new();
     let n = patched.num_nodes() as u32;
     for t in [1, n / 3, n / 2, n - 1] {
-        let want = dijkstra_distance(&patched, 0, t).map(|d| d.length);
+        let want = oracle::distance(&patched, 0, t);
         assert_eq!(q.distance(&ah, 0, t), want, "(0,{t})");
         // Leaving node 0 now costs at least one CLOSED hop.
         assert!(want.unwrap() >= CLOSED as u64, "(0,{t}) dodged the closures");
         // Arriving is untouched: the inbound arcs kept their weights.
-        let back = dijkstra_distance(&patched, t, 0).map(|d| d.length);
+        let back = oracle::distance(&patched, t, 0);
         assert_eq!(q.distance(&ah, t, 0), back);
         assert!(back.unwrap() < CLOSED as u64);
     }

@@ -16,8 +16,12 @@ use std::sync::Arc;
 
 use ah_core::{AhIndex, AhQuery, BuildConfig};
 use ah_net::{EdgeConfig, EdgeServer};
-use ah_server::{AhBackend, DistanceBackend, LabelBackend, Server, ServerConfig, ShardedBackend};
+use ah_server::{
+    AhBackend, DijkstraBackend, DistanceBackend, LabelBackend, PoiSet, Server, ServerConfig,
+    ShardedBackend, POI_CATEGORIES,
+};
 use ah_shard::{ShardConfig, ShardedIndex};
+use ah_tests::oracle;
 use ah_workload::{generate_query_sets, TrafficSchedule};
 
 fn network() -> ah_graph::Graph {
@@ -224,6 +228,165 @@ fn http_path_queries_agree_with_distance_queries() {
                 assert!(resp.text().contains("\"hops\":"), "{}", resp.text());
             }
         }
+    });
+}
+
+/// Renders the exact JSON body the edge must produce for one oracle
+/// via answer — bit-equality, not tolerance.
+fn expected_via_body(g: &ah_graph::Graph, s: u32, t: u32, cat: u32, pois: &PoiSet) -> String {
+    match oracle::via(g, s, t, pois.category(cat)) {
+        Some(v) => format!(
+            "{{\"src\":{s},\"dst\":{t},\"cat\":{cat},\"poi\":{},\"total\":{},\"to_poi\":{},\"from_poi\":{},\"cache_hit\":false}}",
+            v.poi, v.total, v.to_poi, v.from_poi
+        ),
+        None => format!(
+            "{{\"src\":{s},\"dst\":{t},\"cat\":{cat},\"poi\":null,\"total\":null,\"to_poi\":null,\"from_poi\":null,\"cache_hit\":false}}"
+        ),
+    }
+}
+
+/// Randomized via/knn/matrix traffic over a live socket, every body
+/// bit-equal to the shared oracle's answer, for one backend.
+fn check_scenarios_over_http(g: &ah_graph::Graph, backend: &dyn DistanceBackend, name: &str) {
+    let pois = PoiSet::default_for(g.num_nodes());
+    let mut stream = traffic(g, 32, 0x5CE2);
+    stream.sort_unstable();
+    stream.dedup(); // distinct (s,t): every via answer is a cache miss
+    with_edge(backend, |addr| {
+        let mut c = ah_net::blocking::Client::connect(addr).unwrap();
+        for (i, &(s, t)) in stream.iter().enumerate() {
+            let cat = (i as u32) % POI_CATEGORIES;
+            let resp = c.get(&format!("/v1/via?src={s}&dst={t}&cat={cat}")).unwrap();
+            assert_eq!(resp.status, 200, "{name}: {}", resp.text());
+            assert_eq!(
+                resp.text(),
+                expected_via_body(g, s, t, cat, &pois),
+                "{name}: via ({s},{t}) cat {cat} diverged from the oracle"
+            );
+
+            let k = 1 + (i % 5);
+            let resp = c.get(&format!("/v1/knn?src={s}&cat={cat}&k={k}")).unwrap();
+            assert_eq!(resp.status, 200, "{name}: {}", resp.text());
+            let results: Vec<String> = oracle::knn(g, s, pois.category(cat), k)
+                .iter()
+                .map(|&(p, d)| format!("{{\"poi\":{p},\"distance\":{d}}}"))
+                .collect();
+            assert_eq!(
+                resp.text(),
+                format!(
+                    "{{\"src\":{s},\"cat\":{cat},\"k\":{k},\"results\":[{}]}}",
+                    results.join(",")
+                ),
+                "{name}: knn from {s} cat {cat} k {k} diverged from the oracle"
+            );
+        }
+        for window in stream.chunks(6) {
+            let sources: Vec<u32> = window.iter().map(|p| p.0).collect();
+            let targets: Vec<u32> = window.iter().map(|p| p.1).collect();
+            let body = format!(
+                "{{\"sources\":[{}],\"targets\":[{}]}}",
+                sources.iter().map(u32::to_string).collect::<Vec<_>>().join(","),
+                targets.iter().map(u32::to_string).collect::<Vec<_>>().join(",")
+            );
+            let resp = c.post_json("/v1/matrix", body.as_bytes()).unwrap();
+            assert_eq!(resp.status, 200, "{name}: {}", resp.text());
+            let rows: Vec<String> = oracle::matrix(g, &sources, &targets)
+                .iter()
+                .map(|row| {
+                    let cells: Vec<String> = row
+                        .iter()
+                        .map(|c| c.map_or("null".to_string(), |d| d.to_string()))
+                        .collect();
+                    format!("[{}]", cells.join(","))
+                })
+                .collect();
+            assert_eq!(
+                resp.text(),
+                format!(
+                    "{{\"rows\":{},\"cols\":{},\"distances\":[{}]}}",
+                    sources.len(),
+                    targets.len(),
+                    rows.join(",")
+                ),
+                "{name}: matrix {sources:?} × {targets:?} diverged from the oracle"
+            );
+        }
+    });
+}
+
+/// The tentpole identity: `/v1/via`, `/v1/knn` and `POST /v1/matrix`
+/// answers over a real socket are bit-equal to the brute-force oracle
+/// across every point-query serving backend.
+#[test]
+fn scenario_endpoints_bit_equal_oracle_across_backends() {
+    let g = network();
+    let idx = Arc::new(AhIndex::build(&g, &BuildConfig::default()));
+    let ch = ah_ch::ChIndex::build(&g);
+    let labels = ah_labels::LabelIndex::build(&g, ch.order());
+    let sharded = ShardedIndex::from_global(
+        &g,
+        idx.clone(),
+        &ShardConfig {
+            shards: 4,
+            ..Default::default()
+        },
+    );
+
+    let ah = AhBackend::new(&idx);
+    check_scenarios_over_http(&g, &ah, "ah");
+    let dij = DijkstraBackend::new(&g);
+    check_scenarios_over_http(&g, &dij, "dijkstra");
+    let lab = LabelBackend::new(&labels, &idx);
+    check_scenarios_over_http(&g, &lab, "labels");
+    let sh = ShardedBackend::new(&sharded);
+    check_scenarios_over_http(&g, &sh, "sharded");
+}
+
+/// Scenario-endpoint input validation over the socket: malformed
+/// matrix bodies and parameters answer `400` without dropping the
+/// connection, an oversized table answers `413`, and a body beyond the
+/// HTTP cap answers `413` at the framing layer.
+#[test]
+fn scenario_endpoints_reject_malformed_and_oversized_requests() {
+    let g = network();
+    let idx = AhIndex::build(&g, &BuildConfig::default());
+    let backend = AhBackend::new(&idx);
+    with_edge(&backend, |addr| {
+        let mut c = ah_net::blocking::Client::connect(addr).unwrap();
+        for bad in [
+            "not json at all",
+            "{\"sources\":[1,2]}",
+            "{\"sources\":\"1\",\"targets\":[2]}",
+            "{\"sources\":[],\"targets\":[]}",
+            "{\"sources\":[1,x],\"targets\":[2]}",
+            "{\"sources\":[1,-2],\"targets\":[2]}",
+        ] {
+            let resp = c.post_json("/v1/matrix", bad.as_bytes()).unwrap();
+            assert_eq!(resp.status, 400, "body {bad:?}: {}", resp.text());
+        }
+        // Semantically oversized: parses fine, exceeds the per-side cap.
+        let wide: Vec<String> = (0..65u32).map(|v| v.to_string()).collect();
+        let body = format!("{{\"sources\":[{}],\"targets\":[0]}}", wide.join(","));
+        let resp = c.post_json("/v1/matrix", body.as_bytes()).unwrap();
+        assert_eq!(resp.status, 413, "{}", resp.text());
+        // Scenario GET parameter validation.
+        for target in [
+            "/v1/via?src=1&dst=2",
+            "/v1/via?src=1&dst=2&cat=x",
+            "/v1/knn?src=1&cat=0",
+            "/v1/knn?src=1&cat=0&k=0",
+            "/v1/knn?src=1&cat=0&k=10000",
+        ] {
+            let resp = c.get(target).unwrap();
+            assert_eq!(resp.status, 400, "{target}: {}", resp.text());
+        }
+        // All of the above were well-framed: the connection survived.
+        assert_eq!(c.get("/healthz").unwrap().status, 200);
+        // A body beyond the HTTP byte cap is a framing-level 413.
+        let mut c2 = ah_net::blocking::Client::connect(addr).unwrap();
+        let huge = vec![b'x'; 8 * 1024];
+        let resp = c2.post_json("/v1/matrix", &huge).unwrap();
+        assert_eq!(resp.status, 413, "{}", resp.text());
     });
 }
 

@@ -1,15 +1,16 @@
 //! Hub-labeling exactness: `ah_labels` answers must be **bit-equal** to
-//! `AhQuery` and to a bidirectional Dijkstra ground truth on randomized
-//! Q1–Q10 workloads over several synthetic road networks — including
-//! unreachable pairs on one-way-heavy grids and the s == t diagonal.
+//! `AhQuery` and to the shared brute-force oracle
+//! (`ah_tests::oracle`) on randomized Q1–Q10 workloads over several
+//! synthetic road networks — including unreachable pairs on
+//! one-way-heavy grids and the s == t diagonal.
 
 use std::sync::Arc;
 
 use ah_ch::ChIndex;
 use ah_core::{AhIndex, AhQuery, BuildConfig};
 use ah_labels::LabelIndex;
-use ah_search::BidirectionalDijkstra;
 use ah_server::{DistanceBackend, LabelBackend};
+use ah_tests::oracle;
 use ah_workload::generate_query_sets;
 
 fn networks() -> Vec<(&'static str, ah_graph::Graph)> {
@@ -41,7 +42,6 @@ fn q1_to_q10_labels_equal_ah_and_dijkstra() {
         let backend = LabelBackend::new(&labels, &ah);
         let mut session = backend.make_session();
         let mut aq = AhQuery::new();
-        let mut bd = BidirectionalDijkstra::new();
 
         let sets = generate_query_sets(&g, 30, 0xAB5EED);
         for set in &sets {
@@ -60,9 +60,9 @@ fn q1_to_q10_labels_equal_ah_and_dijkstra() {
                     set.index
                 );
                 assert_eq!(
-                    bd.distance(&g, s, t).map(|d| d.length),
+                    oracle::distance(&g, s, t),
                     want,
-                    "{name} Q{} Dijkstra vs AH ({s},{t})",
+                    "{name} Q{} oracle vs AH ({s},{t})",
                     set.index
                 );
             }
@@ -110,11 +110,11 @@ fn unreachable_pairs_are_none() {
 
     let ch = ChIndex::build(&g);
     let labels = LabelIndex::build(&g, ch.order());
-    let mut bd = BidirectionalDijkstra::new();
     let mut crossing = 0usize;
     for s in (0..g.num_nodes() as u32).step_by(3) {
+        let want_row = oracle::dists_from(&g, s);
         for t in (0..g.num_nodes() as u32).step_by(4) {
-            let want = bd.distance(&g, s, t).map(|d| d.length);
+            let want = want_row[t as usize];
             assert_eq!(labels.distance(s, t), want, "({s},{t})");
             if want.is_none() {
                 crossing += 1;

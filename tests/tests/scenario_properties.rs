@@ -1,0 +1,158 @@
+//! Property-based tests (proptest) on the scenario kernels: k-NN,
+//! optimal detour (via) and batched distance tables over arbitrary
+//! strongly connected graphs, checked against the shared brute-force
+//! oracle (`ah_tests::oracle`) and against the kernels' own contracts
+//! (`docs/SCENARIOS.md`):
+//!
+//! * k-NN results are sorted ascending by `(distance, poi)` and
+//!   **dominance-free** — no excluded candidate beats an included one;
+//! * the via answer never loses to `d(s,p) + d(p,t)` for *any*
+//!   candidate `p`, and ties break toward the smaller POI id;
+//! * matrix row `i` is exactly the one-to-many row of `sources[i]`.
+
+use ah_graph::{Graph, GraphBuilder, NodeId, Point};
+use ah_search::ScenarioEngine;
+use ah_tests::oracle;
+use proptest::prelude::*;
+
+/// Strategy: a random strongly connected directed graph (bidirectional
+/// ring plus random extra arcs) with a sampled candidate (POI) set.
+fn arb_graph_and_pois() -> impl Strategy<Value = (Graph, Vec<NodeId>)> {
+    (
+        3usize..=24,
+        proptest::collection::vec((0i32..400, 0i32..400, 1u32..50), 0..80),
+        proptest::collection::vec(0usize..24, 1..10),
+    )
+        .prop_map(|(n, extra, poi_picks)| {
+            let mut b = GraphBuilder::new();
+            for i in 0..n {
+                let x = ((i * 73) % 19) as i32 * 20;
+                let y = ((i * 31) % 17) as i32 * 20;
+                b.add_node(Point::new(x, y));
+            }
+            for i in 0..n as u32 {
+                b.add_bidirectional_edge(i, (i + 1) % n as u32, 7);
+            }
+            for (xi, yi, w) in extra {
+                let u = (xi as u32) % n as u32;
+                let v = (yi as u32) % n as u32;
+                if u != v {
+                    b.add_edge(u, v, w);
+                }
+            }
+            let mut pois: Vec<NodeId> =
+                poi_picks.into_iter().map(|p| (p % n) as NodeId).collect();
+            pois.sort_unstable();
+            pois.dedup();
+            (b.build(), pois)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// k-NN is sorted by `(distance, poi)`, contains no unreachable
+    /// POIs, never exceeds `k`, is dominance-free, and bit-equals the
+    /// brute-force oracle.
+    #[test]
+    fn knn_is_sorted_dominance_free_and_exact(
+        (g, pois) in arb_graph_and_pois(),
+        src_pick in 0usize..24,
+        k in 1usize..6,
+    ) {
+        let src = (src_pick % g.num_nodes()) as NodeId;
+        let mut engine = ScenarioEngine::new();
+        let got = engine.knn(&g, src, &pois, k);
+        prop_assert!(got.len() <= k);
+        // Sorted strictly ascending by (distance, poi) — POIs are
+        // distinct, so lexicographic order is strict.
+        for w in got.windows(2) {
+            prop_assert!(
+                (w[0].1, w[0].0) < (w[1].1, w[1].0),
+                "unsorted: {:?} before {:?}", w[0], w[1]
+            );
+        }
+        // Dominance-free: every excluded reachable candidate is no
+        // better than the worst included one (only checkable when the
+        // result is full — a short result must mean the candidates ran
+        // out).
+        let included: std::collections::HashSet<NodeId> =
+            got.iter().map(|&(p, _)| p).collect();
+        if got.len() == k {
+            let worst = (got[k - 1].1, got[k - 1].0);
+            for &p in &pois {
+                if included.contains(&p) {
+                    continue;
+                }
+                if let Some(d) = oracle::distance(&g, src, p) {
+                    prop_assert!(
+                        (d, p) > worst,
+                        "excluded POI {p} at {d} dominates included {worst:?}"
+                    );
+                }
+            }
+        } else {
+            let reachable = pois
+                .iter()
+                .filter(|&&p| oracle::distance(&g, src, p).is_some())
+                .count();
+            prop_assert_eq!(got.len(), reachable.min(k));
+        }
+        prop_assert_eq!(got, oracle::knn(&g, src, &pois, k));
+    }
+
+    /// The via answer never loses to `d(s,p) + d(p,t)` for any sampled
+    /// candidate, breaks total-ties toward the smaller POI id, and
+    /// bit-equals the oracle (legs included).
+    #[test]
+    fn via_never_beaten_by_any_candidate(
+        (g, pois) in arb_graph_and_pois(),
+        s_pick in 0usize..24,
+        t_pick in 0usize..24,
+    ) {
+        let n = g.num_nodes();
+        let (s, t) = ((s_pick % n) as NodeId, (t_pick % n) as NodeId);
+        let mut engine = ScenarioEngine::new();
+        let got = engine.via(&g, s, t, &pois);
+        for &p in &pois {
+            let legs = oracle::distance(&g, s, p)
+                .zip(oracle::distance(&g, p, t))
+                .map(|(a, b)| a + b);
+            let Some(total) = legs else { continue };
+            let a = got.as_ref().expect("a routable candidate exists, via must answer");
+            prop_assert!(
+                (a.total, a.poi) <= (total, p),
+                "via chose ({}, {}) but candidate {p} offers {total}",
+                a.poi, a.total
+            );
+        }
+        let want = oracle::via(&g, s, t, &pois);
+        prop_assert_eq!(
+            got.map(|a| (a.poi, a.total, a.to_poi, a.from_poi)),
+            want.map(|a| (a.poi, a.total, a.to_poi, a.from_poi))
+        );
+    }
+
+    /// Matrix row `i` equals the one-to-many row of `sources[i]`, and
+    /// the whole table bit-equals the oracle.
+    #[test]
+    fn matrix_rows_are_one_to_many_rows(
+        (g, pois) in arb_graph_and_pois(),
+        src_picks in proptest::collection::vec(0usize..24, 1..5),
+    ) {
+        let n = g.num_nodes();
+        let sources: Vec<NodeId> = src_picks.iter().map(|&p| (p % n) as NodeId).collect();
+        let targets = &pois;
+        let mut engine = ScenarioEngine::new();
+        let table = engine.matrix(&g, &sources, targets);
+        prop_assert_eq!(table.len(), sources.len());
+        for (i, row) in table.iter().enumerate() {
+            prop_assert_eq!(
+                row,
+                &engine.one_to_many(&g, sources[i], targets),
+                "row {i} diverges from one-to-many of source {}", sources[i]
+            );
+        }
+        prop_assert_eq!(table, oracle::matrix(&g, &sources, targets));
+    }
+}

@@ -1,10 +1,13 @@
 //! Cross-shard exactness: sharded answers must be **bit-equal** to the
-//! unsharded `AhQuery` on randomized Q1–Q10 workloads — including the
-//! pairs whose endpoints straddle two or more shards, the ones that
-//! exercise boundary composition.
+//! unsharded `AhQuery` — itself pinned against the shared brute-force
+//! oracle (`ah_tests::oracle`) — on randomized Q1–Q10 workloads,
+//! including the pairs whose endpoints straddle two or more shards, the
+//! ones that exercise boundary composition.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+
+use ah_tests::oracle;
 
 use ah_core::{AhIndex, AhQuery, BuildConfig};
 use ah_server::{
@@ -41,6 +44,26 @@ fn sharded(g: &ah_graph::Graph, shards: usize) -> (Arc<AhIndex>, Arc<ShardedInde
 fn q1_to_q10_sharded_equals_unsharded() {
     let g = network();
     let sets = generate_query_sets(&g, 40, 2013);
+
+    // Ground truth first: the unsharded AH index agrees with the
+    // brute-force oracle on the whole workload (one Dijkstra row per
+    // distinct source).
+    {
+        let (global, _) = sharded(&g, 2);
+        let mut gq = AhQuery::new();
+        let mut rows: HashMap<u32, Vec<Option<u64>>> = HashMap::new();
+        for set in &sets {
+            for &(s, t) in &set.pairs {
+                let row = rows.entry(s).or_insert_with(|| oracle::dists_from(&g, s));
+                assert_eq!(
+                    gq.distance(&global, s, t),
+                    row[t as usize],
+                    "AH vs oracle ({s},{t})"
+                );
+            }
+        }
+    }
+
     for &k in &[2usize, 4, 7] {
         let (global, idx) = sharded(&g, k);
         let mut sq = ShardedQuery::new();

@@ -23,7 +23,10 @@
 //!    the report can cross-check client-observed `429`s against the
 //!    server's own `ah_queue_rejected_total`, plus the per-stage
 //!    `ah_stage_duration_seconds` sums/counts into the JSON's
-//!    `"server_stages"` key (`null` when the server isn't tracing).
+//!    `"server_stages"` key (`null` when the server isn't tracing),
+//!    the `ah_query_*` cost families summed per field into
+//!    `"server_cost"`, and `GET /debug/slo` embedded verbatim under
+//!    `"slo"`.
 //! 4. **Scenarios** (`--scenarios N`) — N mixed scenario requests
 //!    (`/v1/via`, `/v1/knn`, `POST /v1/matrix`) on one synchronous
 //!    connection, drawn from `TrafficSchedule::mixed`. With
@@ -51,7 +54,7 @@ use std::time::{Duration, Instant};
 use ah_core::AhQuery;
 use ah_net::blocking;
 use ah_search::ScenarioEngine;
-use ah_server::{LatencyHistogram, PoiSet, POI_CATEGORIES};
+use ah_server::{LatencyHistogram, PoiSet, COST_FIELD_NAMES, POI_CATEGORIES};
 use ah_store::Snapshot;
 use ah_workload::{ScenarioOp, TrafficSchedule};
 
@@ -594,6 +597,38 @@ fn main() {
         format!("{{{body}}}")
     };
 
+    // Per-query algorithmic cost families (`ah_query_*`): each field is
+    // one counter family with a `kind` label per series; sum the series
+    // so the report carries the run's total per field.
+    let cost_total = |field: &str| -> u64 {
+        let labelled = format!("ah_query_{field}{{");
+        let bare = format!("ah_query_{field} ");
+        metrics_text
+            .lines()
+            .filter(|l| l.starts_with(&labelled) || l.starts_with(&bare))
+            .filter_map(|l| l.split_whitespace().last()?.parse::<u64>().ok())
+            .sum()
+    };
+    let server_cost_json = {
+        let body = COST_FIELD_NAMES
+            .iter()
+            .map(|name| format!("\"{name}\":{}", cost_total(name)))
+            .collect::<Vec<_>>()
+            .join(",");
+        println!("server cost totals: {body}");
+        format!("{{{body}}}")
+    };
+
+    // The SLO evaluation as the server reports it — windows, burn
+    // rates, readiness — embedded verbatim (it is already JSON).
+    let slo_json = blocking::Client::connect(args.addr.as_str())
+        .and_then(|mut c| c.get("/debug/slo"))
+        .map(|resp| {
+            assert_eq!(resp.status, 200, "/debug/slo scrape failed");
+            resp.text()
+        })
+        .expect("/debug/slo scrape failed");
+
     // --------------------------------------------------------- shutdown
     let mut clean_shutdown = false;
     if args.shutdown {
@@ -636,6 +671,8 @@ fn main() {
             "  \"burst\": {},\n",
             "  \"server\": {{\"queries\":{},\"queue_high_water\":{},\"rejected\":{}}},\n",
             "  \"server_stages\": {},\n",
+            "  \"server_cost\": {},\n",
+            "  \"slo\": {},\n",
             "  \"clean_shutdown\": {}\n",
             "}}\n"
         ),
@@ -660,6 +697,8 @@ fn main() {
         server_high_water,
         server_rejected,
         server_stages_json,
+        server_cost_json,
+        slo_json.trim(),
         clean_shutdown,
     );
     let out = std::env::var("EDGE_BENCH_OUT").unwrap_or_else(|_| "BENCH_edge.json".into());

@@ -35,6 +35,11 @@
 //! `GET /debug/traces` (default 64; 0 disables tracing), and
 //! `--slow-query-us N` turns on the slow-query log for sampled spans
 //! at or above that total (see `docs/OBSERVABILITY.md`).
+//! `--slo-p99-us N` / `--slo-error-pct P` arm the SLO policy behind
+//! `GET /readyz` (degrades 200→503 with a JSON reason while the
+//! fast-window burn rate or p99 violates the objective, recovers as
+//! the window slides) and `GET /debug/slo` (both windows, burn rates,
+//! the policy); without either flag `/readyz` always answers 200.
 //!
 //! On shutdown the bin prints a JSON report (edge counters, admission
 //! stats, serving latency quantiles, and the tracer's per-stage
@@ -47,8 +52,8 @@ use std::time::Duration;
 use ah_bench::{obtain_indices, snapshot_path, HarnessArgs};
 use ah_net::{EdgeConfig, EdgeServer, ReloadHandler};
 use ah_server::{
-    AhBackend, DelayBackend, DeltaReloader, DistanceBackend, LabelBackend, Server, ServerConfig,
-    ShardedBackend, SnapshotBackend, SnapshotServer, TraceConfig,
+    now_ns, AhBackend, DelayBackend, DeltaReloader, DistanceBackend, LabelBackend, Server,
+    ServerConfig, ShardedBackend, SloPolicy, SnapshotBackend, SnapshotServer, TraceConfig,
 };
 
 struct EdgeArgs {
@@ -64,6 +69,21 @@ struct EdgeArgs {
     backend: String,
     trace_sample: u64,
     slow_query_us: u64,
+    slo_p99_us: u64,
+    slo_error_pct: f64,
+}
+
+impl EdgeArgs {
+    /// The SLO policy the edge's `/readyz` and `/debug/slo` evaluate;
+    /// inactive (always ready) unless at least one objective flag was
+    /// given.
+    fn slo_policy(&self) -> SloPolicy {
+        SloPolicy {
+            p99_target_ns: self.slo_p99_us.saturating_mul(1000),
+            error_budget: self.slo_error_pct / 100.0,
+            ..Default::default()
+        }
+    }
 }
 
 fn parse_args() -> EdgeArgs {
@@ -83,6 +103,8 @@ fn parse_args() -> EdgeArgs {
         backend: "ah".to_string(),
         trace_sample: 64,
         slow_query_us: 0,
+        slo_p99_us: 0,
+        slo_error_pct: 0.0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -138,6 +160,19 @@ fn parse_args() -> EdgeArgs {
                     .and_then(|v| v.parse().ok())
                     .expect("--slow-query-us needs microseconds");
             }
+            "--slo-p99-us" => {
+                a.slo_p99_us = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--slo-p99-us needs microseconds (0 disables the latency objective)");
+            }
+            "--slo-error-pct" => {
+                a.slo_error_pct = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&p: &f64| (0.0..=100.0).contains(&p))
+                    .expect("--slo-error-pct needs a percentage in [0, 100]");
+            }
             "--backend" => {
                 a.backend = it.next().expect("--backend needs ah|labels");
                 assert!(
@@ -151,7 +186,8 @@ fn parse_args() -> EdgeArgs {
                  --backend ah|labels | --load-index PATH | --save-index PATH | \
                  --addr HOST:PORT | --workers N | --queue N | --max-conns N | \
                  --slow-us N | --retry-after N | --allow-shutdown | --allow-reload | \
-                 --trace-sample N | --slow-query-us N)"
+                 --trace-sample N | --slow-query-us N | --slo-p99-us N | \
+                 --slo-error-pct P)"
             ),
         }
     }
@@ -238,6 +274,7 @@ fn main() {
             max_connections: args.max_conns,
             retry_after_secs: args.retry_after,
             allow_shutdown: args.allow_shutdown,
+            slo: args.slo_policy(),
             ..Default::default()
         },
     )
@@ -298,6 +335,7 @@ fn main() {
             "  \"responses\": {{{}}},\n",
             "  \"reload\": {{\"enabled\":{},\"swaps\":{},\"failures\":{},\"generation\":{}}},\n",
             "  \"serving\": {},\n",
+            "  \"slo\": {},\n",
             "  \"trace\": {{\"sample_every\":{},\"spans_finished\":{},\"slow\":{}}},\n",
             "  \"stage_breakdown\": {}\n",
             "}}\n"
@@ -322,6 +360,9 @@ fn main() {
         reloader.as_ref().map_or(0, |r| r.failures()),
         snap.generation(),
         snapshot.to_json(),
+        args.slo_policy()
+            .evaluate(server.slo_windows(), now_ns())
+            .to_json(),
         args.trace_sample,
         server.tracer().spans_finished(),
         server.tracer().slow_finished(),

@@ -13,7 +13,11 @@
 //!   per-scenario costs on the POI wire contract's default set —
 //!   `via_ns`, `knn_ns` and `matrix8x8_ns` (see `docs/SCENARIOS.md`) —
 //!   and the `labels` row additionally reports label shape and build
-//!   cost (`avg_label_entries`, `bytes_per_node`, `build_secs`).
+//!   cost (`avg_label_entries`, `bytes_per_node`, `build_secs`). Every
+//!   row also carries `cost_per_query` — the run's drained algorithmic
+//!   cost (nodes settled, edges relaxed, label entries merged, …)
+//!   averaged per request, the paper's search-space axis next to the
+//!   wall-clock one.
 //!
 //! Results go to stdout and, machine-readably, to `BENCH_server.json`
 //! (override the path with the `SERVE_BENCH_OUT` environment variable) so
@@ -32,7 +36,10 @@
 //! `"trace_overhead"` key together with the traced run's per-stage
 //! latency breakdown (`"stage_breakdown"`). `--assert-trace-overhead`
 //! turns the measurement into a hard gate: the bin panics if tracing
-//! costs 5% QPS or more (see `docs/OBSERVABILITY.md`).
+//! costs 5% QPS or more (see `docs/OBSERVABILITY.md`). A second A/B
+//! measures cost accounting the same way — per-request drain gated off
+//! versus fully enabled, under `"cost_overhead"` — and
+//! `--assert-cost-overhead` gates it at 2%.
 //!
 //! `--shards K` additionally builds (or loads) a region-sharded index
 //! (`ah_shard`) and serves the same stream through a `ShardedServer` —
@@ -52,9 +59,10 @@ use std::sync::Arc;
 
 use ah_bench::{load_dataset, obtain_indices, time_once, time_query_set, HarnessArgs};
 use ah_server::{
-    AhBackend, ChBackend, DeltaReloader, DijkstraBackend, DistanceBackend, LabelBackend, PoiSet,
-    Request, RunReport, Server, ServerConfig, ShardedRunReport, ShardedServer,
-    ShardedServerConfig, SnapshotServer, TraceConfig, POI_CATEGORIES,
+    AhBackend, ChBackend, CostCounters, DeltaReloader, DijkstraBackend, DistanceBackend,
+    LabelBackend, PoiSet, Request, RunReport, Server, ServerConfig, ShardedRunReport,
+    ShardedServer, ShardedServerConfig, SnapshotServer, TraceConfig, COST_FIELD_NAMES,
+    POI_CATEGORIES,
 };
 use ah_shard::ShardConfig;
 use ah_workload::{TrafficSchedule, WeightChurn};
@@ -67,6 +75,9 @@ struct Row {
     backend: &'static str,
     threads: usize,
     report: RunReport,
+    /// Total algorithmic cost drained during the reported run (summed
+    /// over kinds) — the source of the comparison rows' `cost_per_query`.
+    cost: CostCounters,
     /// Extra JSON fields (each starting with a comma), appended after
     /// the snapshot — the backend comparison uses this for `query_ns`
     /// and the labels row's shape/build stats.
@@ -146,7 +157,7 @@ fn run_one(
     requests: &[Request],
     trace_sample: u64,
 ) -> Row {
-    let report = (0..REPS)
+    let (report, server) = (0..REPS)
         .map(|_| {
             // A fresh server per rep: every measurement starts cache-cold.
             let server = Server::new(ServerConfig {
@@ -157,16 +168,34 @@ fn run_one(
                 },
                 ..Default::default()
             });
-            server.run(backend, requests)
+            let report = server.run(backend, requests);
+            (report, server)
         })
-        .max_by(|a, b| a.snapshot.qps.total_cmp(&b.snapshot.qps))
+        .max_by(|a, b| a.0.snapshot.qps.total_cmp(&b.0.snapshot.qps))
         .expect("REPS >= 1");
     Row {
         backend: backend.name(),
         threads,
         report,
+        // Fresh server per rep, so the lifetime total is exactly the
+        // reported run's total.
+        cost: server.metrics().cost.total(),
         extra: String::new(),
     }
+}
+
+/// `{"settled_nodes":12.3, …}` — the run's total algorithmic cost
+/// averaged per query, in the canonical cost-field order.
+fn cost_per_query_json(total: &CostCounters, queries: usize) -> String {
+    let per = |v: u64| v as f64 / queries.max(1) as f64;
+    let fields = total
+        .as_array()
+        .iter()
+        .zip(COST_FIELD_NAMES)
+        .map(|(&v, name)| format!("\"{name}\":{:.2}", per(v)))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!("{{{fields}}}")
 }
 
 /// Renders the sharded run (per-lane stats + cross-shard mix) as the
@@ -235,6 +264,7 @@ fn main() {
     let mut args = HarnessArgs::default();
     let mut trace_sample: u64 = 64;
     let mut assert_trace_overhead = false;
+    let mut assert_cost_overhead = false;
     let mut churn_rounds: usize = 2;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -249,6 +279,7 @@ fn main() {
                     .expect("--trace-sample needs a number (0 disables tracing)");
             }
             "--assert-trace-overhead" => assert_trace_overhead = true,
+            "--assert-cost-overhead" => assert_cost_overhead = true,
             "--churn" => {
                 churn_rounds = it
                     .next()
@@ -258,7 +289,8 @@ fn main() {
             other => panic!(
                 "unknown argument {other} (try --through S9 | --pairs N | --seed N | \
                  --threads N | --shards K | --labels | --save-index PATH | \
-                 --load-index PATH | --trace-sample N | --assert-trace-overhead | --churn N)"
+                 --load-index PATH | --trace-sample N | --assert-trace-overhead | \
+                 --assert-cost-overhead | --churn N)"
             ),
         }
     }
@@ -350,7 +382,8 @@ fn main() {
         let (via_ns, knn_ns, matrix_ns) = scenario_times(backend, &pois, &scenario_sample);
         row.extra = format!(
             ",\"query_ns\":{query_ns:.1},\"via_ns\":{via_ns:.1},\"knn_ns\":{knn_ns:.1},\
-             \"matrix8x8_ns\":{matrix_ns:.1}"
+             \"matrix8x8_ns\":{matrix_ns:.1},\"cost_per_query\":{}",
+            cost_per_query_json(&row.cost, requests.len())
         );
         if backend.name() == "labels" {
             let st = labels.stats();
@@ -440,6 +473,64 @@ fn main() {
                  \"asserted\":{assert_trace_overhead}}}"
             ),
             traced_server.tracer().stage_breakdown_json(),
+        )
+    };
+
+    // Cost-accounting overhead A/B: the same AH stream with the
+    // per-request cost drain gated off (the kernels' plain counters
+    // still run — "compiled in but unsampled") versus fully enabled.
+    // Tracing is off on both sides so the measurement isolates the
+    // cost path: one `take_cost` drain plus a handful of relaxed
+    // atomic adds per request.
+    let cost_overhead_json = {
+        let run_once = |cost_accounting: bool| {
+            let server = Server::new(ServerConfig {
+                workers: args.threads,
+                trace: TraceConfig {
+                    sample_every: 0,
+                    ..Default::default()
+                },
+                cost_accounting,
+                ..Default::default()
+            });
+            server.run(&ah_backend, &requests).snapshot.qps
+        };
+        // Interleave the A/B reps (and discard one warmup run) so slow
+        // drift — thermal, cache state — lands on both sides equally,
+        // and alternate which side leads each pair so periodic
+        // interference (cgroup throttling) cannot systematically tax
+        // one side; back-to-back best-of-N would attribute all drift to
+        // whichever side ran second.
+        let _ = run_once(false);
+        let mut qps_off = 0.0f64;
+        let mut qps_on = 0.0f64;
+        for rep in 0..REPS {
+            for &side in if rep % 2 == 0 { &[false, true] } else { &[true, false] } {
+                if side {
+                    qps_on = qps_on.max(run_once(true));
+                } else {
+                    qps_off = qps_off.max(run_once(false));
+                }
+            }
+        }
+        let overhead_pct = if qps_off > 0.0 {
+            100.0 * (qps_off - qps_on) / qps_off
+        } else {
+            0.0
+        };
+        println!(
+            "\ncost-accounting overhead: {qps_off:.0} qps unsampled, {qps_on:.0} qps enabled \
+             ({overhead_pct:+.2}%)"
+        );
+        if assert_cost_overhead {
+            assert!(
+                overhead_pct < 2.0,
+                "cost accounting costs {overhead_pct:.2}% QPS (budget: 2%)"
+            );
+        }
+        format!(
+            "{{\"qps_off\":{qps_off:.1},\"qps_on\":{qps_on:.1},\
+             \"overhead_pct\":{overhead_pct:.3},\"asserted\":{assert_cost_overhead}}}"
         )
     };
 
@@ -620,6 +711,7 @@ fn main() {
             "  \"backend_comparison\": [\n    {}\n  ],\n",
             "  \"speedup_1_to_max_workers\": {:.3},\n",
             "  \"trace_overhead\": {},\n",
+            "  \"cost_overhead\": {},\n",
             "  \"stage_breakdown\": {},\n",
             "  \"sharded\": {},\n",
             "  \"reload\": {}\n",
@@ -646,6 +738,7 @@ fn main() {
             .join(",\n    "),
         speedup,
         trace_overhead_json,
+        cost_overhead_json,
         stage_breakdown_json,
         sharded_json,
         reload_json,

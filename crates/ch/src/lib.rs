@@ -26,6 +26,7 @@
 
 use ah_contraction::{contract_adaptive, BidirUpwardQuery, ContractionConfig, Hierarchy};
 use ah_graph::{Dist, Graph, NodeId, Path};
+use ah_obs::CostCounters;
 
 /// A built Contraction Hierarchies index.
 pub struct ChIndex {
@@ -88,6 +89,7 @@ impl ChIndex {
 #[derive(Default)]
 pub struct ChQuery {
     inner: BidirUpwardQuery,
+    cost: CostCounters,
 }
 
 // Concurrency contract, checked at compile time: one `ChIndex` is shared
@@ -102,6 +104,7 @@ impl ChQuery {
     pub fn new() -> ChQuery {
         ChQuery {
             inner: BidirUpwardQuery::new(),
+            cost: CostCounters::default(),
         }
     }
 
@@ -117,18 +120,42 @@ impl ChQuery {
 
     /// Distance with the nuance tie-break component.
     pub fn distance_full(&mut self, idx: &ChIndex, s: NodeId, t: NodeId) -> Option<Dist> {
-        self.inner
-            .distance(&idx.hierarchy, s, t, |_| true, |_| true)
+        let d = self
+            .inner
+            .distance(&idx.hierarchy, s, t, |_| true, |_| true);
+        self.accumulate_cost();
+        d
     }
 
     /// Shortest path from `s` to `t` in the original network.
     pub fn path(&mut self, idx: &ChIndex, s: NodeId, t: NodeId) -> Option<Path> {
-        self.inner.path(&idx.hierarchy, s, t, |_| true, |_| true)
+        let p = self.inner.path(&idx.hierarchy, s, t, |_| true, |_| true);
+        self.accumulate_cost();
+        p
     }
 
     /// Nodes settled by the last query (telemetry).
     pub fn settled_count(&self) -> usize {
         self.inner.settled_count
+    }
+
+    /// Algorithmic cost accumulated since the last
+    /// [`take_cost`](Self::take_cost) drain (possibly several queries).
+    pub fn cost(&self) -> &CostCounters {
+        &self.cost
+    }
+
+    /// Drains and returns the accumulated cost tally.
+    pub fn take_cost(&mut self) -> CostCounters {
+        self.cost.take()
+    }
+
+    fn accumulate_cost(&mut self) {
+        // The inner engine resets its counters per search, so fold them
+        // into the drainable tally after every call.
+        self.cost.nodes_settled += self.inner.settled_count as u64;
+        self.cost.heap_pops += self.inner.heap_pops as u64;
+        self.cost.edges_relaxed += self.inner.relaxed_arcs as u64;
     }
 }
 

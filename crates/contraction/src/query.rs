@@ -28,6 +28,10 @@ pub struct BidirUpwardQuery {
     meeting: Option<NodeId>,
     /// Settled-node counters for the last query (experiment telemetry).
     pub settled_count: usize,
+    /// Heap pops (including stale entries) for the last query.
+    pub heap_pops: usize,
+    /// Upward arcs examined for relaxation during the last query.
+    pub relaxed_arcs: usize,
     /// Stall-on-demand: skip expanding nodes proven suboptimal through a
     /// higher-ranked neighbour. Pure optimization, on by default.
     pub stall_on_demand: bool,
@@ -61,6 +65,8 @@ impl BidirUpwardQuery {
             heap_b: BinaryHeap::new(),
             meeting: None,
             settled_count: 0,
+            heap_pops: 0,
+            relaxed_arcs: 0,
             stall_on_demand: true,
         }
     }
@@ -161,6 +167,8 @@ impl BidirUpwardQuery {
         self.heap_b.clear();
         self.meeting = None;
         self.settled_count = 0;
+        self.heap_pops = 0;
+        self.relaxed_arcs = 0;
 
         if s == t {
             self.meeting = Some(s);
@@ -194,6 +202,7 @@ impl BidirUpwardQuery {
             let forward = if go_f && go_b { top_f <= top_b } else { go_f };
             if forward {
                 let Reverse((d, u)) = self.heap_f.pop().expect("peeked");
+                self.heap_pops += 1;
                 if self.settled_f.get(u as usize) {
                     continue;
                 }
@@ -210,6 +219,7 @@ impl BidirUpwardQuery {
                 if self.stall_on_demand && stalled(h, u, d, &self.dist_f, true) {
                     continue;
                 }
+                self.relaxed_arcs += h.up_out(u).len();
                 for a in h.up_out(u) {
                     if self.settled_f.get(a.to as usize) || !allow_f(a.to) {
                         continue;
@@ -224,6 +234,7 @@ impl BidirUpwardQuery {
                 }
             } else {
                 let Reverse((d, u)) = self.heap_b.pop().expect("peeked");
+                self.heap_pops += 1;
                 if self.settled_b.get(u as usize) {
                     continue;
                 }
@@ -240,6 +251,7 @@ impl BidirUpwardQuery {
                 if self.stall_on_demand && stalled(h, u, d, &self.dist_b, false) {
                     continue;
                 }
+                self.relaxed_arcs += h.up_in(u).len();
                 for a in h.up_in(u) {
                     if self.settled_b.get(a.to as usize) || !allow_b(a.to) {
                         continue;

@@ -6,6 +6,7 @@ use std::collections::BinaryHeap;
 
 use ah_contraction::HArc;
 use ah_graph::{Dist, NodeId, Path, Point, INFINITY, INVALID_NODE};
+use ah_obs::CostCounters;
 use ah_search::StampedVec;
 
 use crate::config::QueryConfig;
@@ -38,6 +39,7 @@ pub struct AhQuery {
     meeting: Option<NodeId>,
     /// Nodes settled by the last query (telemetry for the experiments).
     pub settled_count: usize,
+    cost: CostCounters,
 }
 
 impl Default for AhQuery {
@@ -68,7 +70,22 @@ impl AhQuery {
             heap_b: BinaryHeap::new(),
             meeting: None,
             settled_count: 0,
+            cost: CostCounters::default(),
         }
+    }
+
+    /// Algorithmic cost accumulated since the last
+    /// [`take_cost`](Self::take_cost) drain. Unlike
+    /// [`settled_count`](Self::settled_count) (which resets per query)
+    /// this spans queries, so a request composed of several point
+    /// queries drains one total.
+    pub fn cost(&self) -> &CostCounters {
+        &self.cost
+    }
+
+    /// Drains and returns the accumulated cost tally.
+    pub fn take_cost(&mut self) -> CostCounters {
+        self.cost.take()
     }
 
     /// Network distance from `s` to `t`, or `None` if unreachable.
@@ -171,11 +188,13 @@ impl AhQuery {
 
             if forward {
                 let Reverse((d, u)) = self.heap_f.pop().expect("peeked");
+                self.cost.heap_pops += 1;
                 if self.settled_f.get(u as usize) {
                     continue;
                 }
                 self.settled_f.set(u as usize, true);
                 self.settled_count += 1;
+                self.cost.nodes_settled += 1;
                 let other = self.dist_b.get(u as usize);
                 if !other.is_infinite() {
                     let through = d.concat(other);
@@ -200,14 +219,17 @@ impl AhQuery {
                     &mut self.parc_f,
                     &self.settled_f,
                     &mut self.heap_f,
+                    &mut self.cost,
                 );
             } else {
                 let Reverse((d, u)) = self.heap_b.pop().expect("peeked");
+                self.cost.heap_pops += 1;
                 if self.settled_b.get(u as usize) {
                     continue;
                 }
                 self.settled_b.set(u as usize, true);
                 self.settled_count += 1;
+                self.cost.nodes_settled += 1;
                 let other = self.dist_f.get(u as usize);
                 if !other.is_infinite() {
                     let through = other.concat(d);
@@ -232,6 +254,7 @@ impl AhQuery {
                     &mut self.parc_b,
                     &self.settled_b,
                     &mut self.heap_b,
+                    &mut self.cost,
                 );
             }
         }
@@ -271,6 +294,7 @@ fn expand(
     parc: &mut StampedVec<PArc>,
     settled: &StampedVec<bool>,
     heap: &mut BinaryHeap<Reverse<(Dist, NodeId)>>,
+    cost: &mut CostCounters,
 ) {
     let own_level = idx.level[u as usize];
     if cfg.elevating && own_level < sep {
@@ -280,6 +304,7 @@ fn expand(
             &idx.elevating.backward
         };
         if let Some((_lvl, arcs)) = side.best_set(u, own_level, sep) {
+            cost.edges_relaxed += arcs.len() as u64;
             for a in arcs {
                 if settled.get(a.to as usize) {
                     continue;
@@ -303,6 +328,7 @@ fn expand(
     } else {
         idx.hierarchy.up_in(u)
     };
+    cost.edges_relaxed += arcs.len() as u64;
     for a in arcs {
         if settled.get(a.to as usize) {
             continue;

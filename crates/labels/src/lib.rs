@@ -60,6 +60,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use ah_graph::{Dist, Graph, NodeId, INFINITY};
+use ah_obs::CostCounters;
 
 pub mod scenario;
 
@@ -300,6 +301,19 @@ impl LabelIndex {
     /// `t` is unreachable from `s` — bit-identical to `AhQuery`,
     /// `ChQuery` and plain Dijkstra on `Dist`.
     pub fn distance_full(&self, s: NodeId, t: NodeId) -> Option<Dist> {
+        let mut scratch = CostCounters::default();
+        self.distance_full_with_cost(s, t, &mut scratch)
+    }
+
+    /// [`Self::distance_full`] with cost accounting: every label entry
+    /// the two-pointer merge advances past is one
+    /// `label_entries_merged` — the labels analogue of a settled node.
+    pub fn distance_full_with_cost(
+        &self,
+        s: NodeId,
+        t: NodeId,
+        cost: &mut CostCounters,
+    ) -> Option<Dist> {
         let (a, b) = (self.out_labels(s), self.in_labels(t));
         let (mut i, mut j) = (0, 0);
         let mut best = INFINITY;
@@ -317,6 +331,7 @@ impl LabelIndex {
                 }
             }
         }
+        cost.label_entries_merged += (i + j) as u64;
         (!best.is_infinite()).then_some(best)
     }
 

@@ -19,6 +19,7 @@
 use std::collections::HashMap;
 
 use ah_graph::{Dist, NodeId, INFINITY};
+use ah_obs::CostCounters;
 
 use crate::LabelIndex;
 
@@ -31,9 +32,22 @@ impl LabelIndex {
     /// Buckets the in-labels of `targets` by hub, ready for
     /// [`Self::sweep_source`].
     pub fn bucket_targets(&self, targets: &[NodeId]) -> TargetBuckets {
+        let mut scratch = CostCounters::default();
+        self.bucket_targets_with_cost(targets, &mut scratch)
+    }
+
+    /// [`Self::bucket_targets`] with cost accounting: every in-label
+    /// entry dropped into a bucket counts as one `label_entries_merged`.
+    pub fn bucket_targets_with_cost(
+        &self,
+        targets: &[NodeId],
+        cost: &mut CostCounters,
+    ) -> TargetBuckets {
         let mut buckets: TargetBuckets = HashMap::new();
         for (j, &t) in targets.iter().enumerate() {
-            for e in self.in_labels(t) {
+            let entries = self.in_labels(t);
+            cost.label_entries_merged += entries.len() as u64;
+            for e in entries {
                 buckets
                     .entry(e.hub)
                     .or_default()
@@ -52,9 +66,25 @@ impl LabelIndex {
         buckets: &TargetBuckets,
         width: usize,
     ) -> Vec<Option<u64>> {
+        let mut scratch = CostCounters::default();
+        self.sweep_source_with_cost(source, buckets, width, &mut scratch)
+    }
+
+    /// [`Self::sweep_source`] with cost accounting: each out-label entry
+    /// scanned and each bucket hit priced count as `label_entries_merged`.
+    pub fn sweep_source_with_cost(
+        &self,
+        source: NodeId,
+        buckets: &TargetBuckets,
+        width: usize,
+        cost: &mut CostCounters,
+    ) -> Vec<Option<u64>> {
         let mut best = vec![INFINITY; width];
-        for e in self.out_labels(source) {
+        let entries = self.out_labels(source);
+        cost.label_entries_merged += entries.len() as u64;
+        for e in entries {
             if let Some(hits) = buckets.get(&e.hub) {
+                cost.label_entries_merged += hits.len() as u64;
                 for &(j, dt) in hits {
                     let d = e.dist.concat(dt);
                     if d < best[j as usize] {
@@ -75,10 +105,21 @@ impl LabelIndex {
         sources: &[NodeId],
         targets: &[NodeId],
     ) -> Vec<Vec<Option<u64>>> {
-        let buckets = self.bucket_targets(targets);
+        let mut scratch = CostCounters::default();
+        self.many_to_many_with_cost(sources, targets, &mut scratch)
+    }
+
+    /// [`Self::many_to_many`] with cost accounting.
+    pub fn many_to_many_with_cost(
+        &self,
+        sources: &[NodeId],
+        targets: &[NodeId],
+        cost: &mut CostCounters,
+    ) -> Vec<Vec<Option<u64>>> {
+        let buckets = self.bucket_targets_with_cost(targets, cost);
         sources
             .iter()
-            .map(|&s| self.sweep_source(s, &buckets, targets.len()))
+            .map(|&s| self.sweep_source_with_cost(s, &buckets, targets.len(), cost))
             .collect()
     }
 
@@ -89,11 +130,34 @@ impl LabelIndex {
         self.sweep_source(source, &buckets, targets.len())
     }
 
+    /// [`Self::one_to_many`] with cost accounting.
+    pub fn one_to_many_with_cost(
+        &self,
+        source: NodeId,
+        targets: &[NodeId],
+        cost: &mut CostCounters,
+    ) -> Vec<Option<u64>> {
+        let buckets = self.bucket_targets_with_cost(targets, cost);
+        self.sweep_source_with_cost(source, &buckets, targets.len(), cost)
+    }
+
     /// The `k` nearest `candidates` from `source` by network distance,
     /// sorted ascending by `(distance, node id)`; unreachable candidates
     /// dropped. One batched sweep prices every candidate.
     pub fn knn(&self, source: NodeId, candidates: &[NodeId], k: usize) -> Vec<(NodeId, u64)> {
-        let row = self.one_to_many(source, candidates);
+        let mut scratch = CostCounters::default();
+        self.knn_with_cost(source, candidates, k, &mut scratch)
+    }
+
+    /// [`Self::knn`] with cost accounting.
+    pub fn knn_with_cost(
+        &self,
+        source: NodeId,
+        candidates: &[NodeId],
+        k: usize,
+        cost: &mut CostCounters,
+    ) -> Vec<(NodeId, u64)> {
+        let row = self.one_to_many_with_cost(source, candidates, cost);
         let mut found: Vec<(u64, NodeId)> = row
             .iter()
             .zip(candidates)
@@ -115,14 +179,26 @@ impl LabelIndex {
         t: NodeId,
         candidates: &[NodeId],
     ) -> Option<(NodeId, u64, u64)> {
-        let to = self.one_to_many(s, candidates);
+        let mut scratch = CostCounters::default();
+        self.via_with_cost(s, t, candidates, &mut scratch)
+    }
+
+    /// [`Self::via`] with cost accounting.
+    pub fn via_with_cost(
+        &self,
+        s: NodeId,
+        t: NodeId,
+        candidates: &[NodeId],
+        cost: &mut CostCounters,
+    ) -> Option<(NodeId, u64, u64)> {
+        let to = self.one_to_many_with_cost(s, candidates, cost);
         // Backward legs: a 1-wide many-to-many with the candidate set as
         // sources — the bucket holds only L_in(t).
         let from: Vec<Option<u64>> = {
-            let buckets = self.bucket_targets(&[t]);
+            let buckets = self.bucket_targets_with_cost(&[t], cost);
             candidates
                 .iter()
-                .map(|&p| self.sweep_source(p, &buckets, 1)[0])
+                .map(|&p| self.sweep_source_with_cost(p, &buckets, 1, cost)[0])
                 .collect()
         };
         let mut best: Option<(u64, NodeId, u64, u64)> = None;

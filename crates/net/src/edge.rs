@@ -38,7 +38,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use ah_obs::{Counter, Gauge, Metric, Registry};
+use ah_obs::{now_ns, CostCounters, Counter, Gauge, Metric, Registry, SloPolicy};
 use ah_server::{
     trace_kind, BoundedQueue, DistanceBackend, Job, MatrixRequest, Request, Response,
     ScenarioResult, Server, Span, Stage, Tracer, TryPushError,
@@ -146,6 +146,12 @@ pub struct EdgeConfig {
     /// Expose `GET /admin/shutdown` (for loopback smoke tests and
     /// supervised deployments; leave off on untrusted networks).
     pub allow_shutdown: bool,
+    /// Service-level objectives evaluated by `GET /readyz` and
+    /// `GET /debug/slo` against the server's rolling windows (which
+    /// also absorb the edge's own `429`/`503` rejections as errors).
+    /// The default policy has no active objective: `/readyz` always
+    /// answers `200`.
+    pub slo: SloPolicy,
 }
 
 impl Default for EdgeConfig {
@@ -164,6 +170,7 @@ impl Default for EdgeConfig {
             retry_after_secs: 1,
             poller: PollerKind::default(),
             allow_shutdown: false,
+            slo: SloPolicy::default(),
         }
     }
 }
@@ -296,6 +303,10 @@ impl EdgeMetrics {
 /// their historical `/metrics` names via [`Counter::store`].
 struct EdgeMirrors {
     backend: Arc<Gauge>,
+    build_info: Arc<Gauge>,
+    uptime: Arc<Gauge>,
+    /// When this edge began serving — drives `ah_uptime_seconds`.
+    started: Instant,
     connections_open: Arc<Gauge>,
     in_flight: Arc<Gauge>,
     queue_capacity: Arc<Gauge>,
@@ -313,8 +324,27 @@ impl EdgeMirrors {
             "The distance backend serving this edge (always 1)",
         );
         backend.set(1);
+        let format_version = ah_store::VERSION.to_string();
+        let build_info = reg.gauge(
+            "ah_build_info",
+            &[
+                ("version", env!("CARGO_PKG_VERSION")),
+                ("format_version", &format_version),
+                ("backend", backend_name),
+            ],
+            "Build and serving identity (value is always 1)",
+        );
+        build_info.set(1);
+        let uptime = reg.gauge(
+            "ah_uptime_seconds",
+            &[],
+            "Seconds since this edge began serving",
+        );
         EdgeMirrors {
             backend,
+            build_info,
+            uptime,
+            started: Instant::now(),
             connections_open: reg.gauge("ah_edge_connections_open", &[], "Connections currently open"),
             in_flight: reg.gauge(
                 "ah_edge_in_flight",
@@ -795,6 +825,7 @@ impl EventLoop<'_> {
                         // Shed at the door: best-effort 503, then close.
                         self.shared.metrics.shed_connections.inc();
                         self.shared.metrics.count_response(503);
+                        self.server.slo_windows().record(now_ns(), 0, true);
                         let _ = stream.set_nonblocking(true);
                         let body = http::json_error("connection limit reached");
                         let retry = self.cfg.retry_after_secs.to_string();
@@ -1012,6 +1043,19 @@ impl EventLoop<'_> {
                     );
                 }
             }
+            "/readyz" => {
+                // Readiness keys off the SLO policy's fast window: a
+                // tripped objective degrades to 503 within seconds and
+                // recovers as soon as the bad seconds age out. The
+                // probe itself is never recorded as traffic.
+                let status = self.cfg.slo.evaluate(self.server.slo_windows(), now_ns());
+                let code = if status.ready { 200 } else { 503 };
+                self.respond_now(token, code, keep, status.to_json().into_bytes());
+            }
+            "/debug/slo" => {
+                let status = self.cfg.slo.evaluate(self.server.slo_windows(), now_ns());
+                self.respond_now(token, 200, keep, status.to_json().into_bytes());
+            }
             "/debug/traces" => {
                 let body = self.server.tracer().traces_json().into_bytes();
                 self.respond_now(token, 200, keep, body);
@@ -1149,6 +1193,9 @@ impl EventLoop<'_> {
                     self.server.tracer().finish(s, 429);
                 }
                 self.shared.metrics.count_response(429);
+                // A shed request is an error in the same windows the
+                // SLO policy evaluates — overload burns the budget.
+                self.server.slo_windows().record(now_ns(), 0, true);
                 let retry = self.cfg.retry_after_secs.to_string();
                 let body = http::json_error("server overloaded, retry later");
                 conn.slots.push_back(Slot {
@@ -1171,6 +1218,7 @@ impl EventLoop<'_> {
                     self.server.tracer().finish(s, 503);
                 }
                 self.shared.metrics.count_response(503);
+                self.server.slo_windows().record(now_ns(), 0, true);
                 let body = http::json_error("shutting down");
                 conn.slots.push_back(Slot {
                     id: slot_id,
@@ -1243,6 +1291,16 @@ impl EventLoop<'_> {
                         render_matrix_json(rows, cols, payload.as_deref())
                     }
                 };
+                // The worker drained the kernel-side cost in
+                // `timed_serve`; the response body size is only known
+                // here, so `bytes_out` joins the same per-kind families
+                // (and the sampled span) at serialize time.
+                let mut out_cost = CostCounters::default();
+                out_cost.bytes_out = body.len() as u64;
+                self.server
+                    .metrics()
+                    .cost
+                    .record(pending_cost_kind(pending), &out_cost);
                 slot.state = SlotState::Ready(http::response(
                     200,
                     "application/json",
@@ -1252,6 +1310,7 @@ impl EventLoop<'_> {
                 ));
                 if let Some(mut s) = span {
                     s.stamp(Stage::Serialize);
+                    s.add_cost(&out_cost);
                     slot.span = Some(s);
                 }
                 self.shared.metrics.count_response(200);
@@ -1416,6 +1475,8 @@ impl EventLoop<'_> {
     fn render_metrics(&self) -> String {
         let mi = &self.mirrors;
         mi.backend.set(1);
+        mi.build_info.set(1);
+        mi.uptime.set(mi.started.elapsed().as_secs());
         mi.connections_open.set(self.conns.len() as u64);
         mi.in_flight.set(self.in_flight as u64);
         mi.queue_capacity.set(self.jobs.capacity() as u64);
@@ -1424,6 +1485,18 @@ impl EventLoop<'_> {
         mi.queue_rejected.store(self.jobs.rejected());
         mi.server_queries.store(self.server.metrics().latency.count());
         self.server.registry().render()
+    }
+}
+
+/// Maps a pending edge query onto the serving layer's cost-kind index
+/// (the same order [`trace_kind`] and `COST_KIND_NAMES` use).
+fn pending_cost_kind(pending: PendingQuery) -> usize {
+    match pending {
+        PendingQuery::Distance { .. } => 0,
+        PendingQuery::Path { .. } => 1,
+        PendingQuery::Via { .. } => 2,
+        PendingQuery::Knn { .. } => 3,
+        PendingQuery::Matrix { .. } => 4,
     }
 }
 

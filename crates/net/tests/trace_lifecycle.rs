@@ -94,6 +94,7 @@ fn every_200_traces_a_complete_monotonic_span_and_debug_traces_is_json() {
             ring_capacity: 1024,
             slow_threshold_ns: 0,
         },
+        ..Default::default()
     });
     let edge = EdgeServer::bind(
         "127.0.0.1:0",

@@ -1,0 +1,219 @@
+//! Algorithmic cost accounting — measure the work, not just the clock.
+//!
+//! The paper evaluates methods by *search-space size* (vertices visited
+//! per query), not only by wall time; a pruning regression that doubles
+//! the search space can hide inside latency noise for a long time.
+//! [`CostCounters`] is the plain, allocation-free tally every query
+//! kernel fills in as it runs: the Dijkstra drivers count settles /
+//! relaxations / heap pops, the label merge counts entries scanned, the
+//! sharded composition counts shard hops and boundary-matrix lookups,
+//! and the serving layer adds cache probes and bytes written.
+//!
+//! The struct deliberately holds plain `u64`s, not atomics: each kernel
+//! owns its accumulator and drains it per query with
+//! [`CostCounters::take`]; aggregation into shared atomic counters (the
+//! `ah_query_*` registry families) happens once per request at the
+//! serving layer, so the per-edge hot path pays only a local integer
+//! increment.
+
+/// Number of cost fields — the layout contract shared with
+/// [`CostCounters::as_array`] and the span-ring word layout.
+pub const NUM_COST_FIELDS: usize = 9;
+
+/// Field names, index-aligned with [`CostCounters::as_array`]. Used for
+/// JSON keys; the Prometheus families are `ah_query_<name>` (e.g.
+/// `ah_query_settled_nodes`).
+pub const COST_FIELD_NAMES: [&str; NUM_COST_FIELDS] = [
+    "settled_nodes",
+    "relaxed_edges",
+    "heap_pops",
+    "label_entries_merged",
+    "cache_probes",
+    "cache_hits",
+    "shard_hops",
+    "boundary_lookups",
+    "bytes_out",
+];
+
+/// Per-query algorithmic cost tally. All fields count *work done*, so
+/// every field is monotone within a query and `merge` is plain
+/// addition.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CostCounters {
+    /// Nodes settled (popped with a final distance) across every
+    /// Dijkstra-family search the query ran — the paper's search-space
+    /// metric. Label-only queries report 0.
+    pub nodes_settled: u64,
+    /// Arcs relaxed (distance comparisons against a neighbor).
+    pub edges_relaxed: u64,
+    /// Priority-queue pops, including stale entries that were skipped
+    /// without settling — `heap_pops >= nodes_settled` always.
+    pub heap_pops: u64,
+    /// Hub-label entries examined by two-pointer merges and bucket
+    /// sweeps (the labels backend's analogue of the search space).
+    pub label_entries_merged: u64,
+    /// Distance-cache probes issued by the serving layer.
+    pub cache_probes: u64,
+    /// Distance-cache probes that hit.
+    pub cache_hits: u64,
+    /// Distinct shards a sharded query consulted.
+    pub shard_hops: u64,
+    /// Border-to-border boundary-matrix cells read while composing a
+    /// cross-shard (or reentrant same-shard) answer.
+    pub boundary_lookups: u64,
+    /// Response-body bytes written for this query (stamped at the edge
+    /// once the body is rendered).
+    pub bytes_out: u64,
+}
+
+impl CostCounters {
+    /// A zeroed tally.
+    pub const fn new() -> Self {
+        CostCounters {
+            nodes_settled: 0,
+            edges_relaxed: 0,
+            heap_pops: 0,
+            label_entries_merged: 0,
+            cache_probes: 0,
+            cache_hits: 0,
+            shard_hops: 0,
+            boundary_lookups: 0,
+            bytes_out: 0,
+        }
+    }
+
+    /// Adds `other` into `self` field by field (saturating, so merging
+    /// sentinel-poisoned tallies cannot wrap).
+    pub fn merge(&mut self, other: &CostCounters) {
+        let mut a = self.as_array();
+        let b = other.as_array();
+        for (x, y) in a.iter_mut().zip(b) {
+            *x = x.saturating_add(y);
+        }
+        *self = Self::from_array(a);
+    }
+
+    /// Drains the tally: returns the current counts and resets `self`
+    /// to zero. This is the per-query handoff every kernel exposes as
+    /// `take_cost`.
+    pub fn take(&mut self) -> CostCounters {
+        std::mem::take(self)
+    }
+
+    /// The fields as a fixed array, index-aligned with
+    /// [`COST_FIELD_NAMES`] — the layout the span ring serializes and
+    /// the registry loops over.
+    pub fn as_array(&self) -> [u64; NUM_COST_FIELDS] {
+        [
+            self.nodes_settled,
+            self.edges_relaxed,
+            self.heap_pops,
+            self.label_entries_merged,
+            self.cache_probes,
+            self.cache_hits,
+            self.shard_hops,
+            self.boundary_lookups,
+            self.bytes_out,
+        ]
+    }
+
+    /// Inverse of [`CostCounters::as_array`].
+    pub fn from_array(a: [u64; NUM_COST_FIELDS]) -> Self {
+        CostCounters {
+            nodes_settled: a[0],
+            edges_relaxed: a[1],
+            heap_pops: a[2],
+            label_entries_merged: a[3],
+            cache_probes: a[4],
+            cache_hits: a[5],
+            shard_hops: a[6],
+            boundary_lookups: a[7],
+            bytes_out: a[8],
+        }
+    }
+
+    /// True when every field is zero (nothing was counted).
+    pub fn is_zero(&self) -> bool {
+        self.as_array().iter().all(|&v| v == 0)
+    }
+
+    /// Renders the tally as a JSON object with [`COST_FIELD_NAMES`]
+    /// keys — the shape `/debug/traces` and the BENCH reports share.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(192);
+        out.push('{');
+        for (i, (name, v)) in COST_FIELD_NAMES.iter().zip(self.as_array()).enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(name);
+            out.push_str("\":");
+            out.push_str(&v.to_string());
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn array_round_trip_covers_every_field() {
+        let a: [u64; NUM_COST_FIELDS] = std::array::from_fn(|i| (i as u64 + 1) * 10);
+        let c = CostCounters::from_array(a);
+        assert_eq!(c.as_array(), a);
+        assert_eq!(c.nodes_settled, 10);
+        assert_eq!(c.bytes_out, 90);
+        assert!(!c.is_zero());
+        assert!(CostCounters::default().is_zero());
+    }
+
+    #[test]
+    fn merge_adds_and_saturates() {
+        let mut a = CostCounters {
+            nodes_settled: 3,
+            heap_pops: u64::MAX - 1,
+            ..Default::default()
+        };
+        let b = CostCounters {
+            nodes_settled: 4,
+            heap_pops: 10,
+            label_entries_merged: 7,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.nodes_settled, 7);
+        assert_eq!(a.heap_pops, u64::MAX, "saturating, never wrapping");
+        assert_eq!(a.label_entries_merged, 7);
+    }
+
+    #[test]
+    fn take_drains_the_tally() {
+        let mut c = CostCounters {
+            edges_relaxed: 5,
+            ..Default::default()
+        };
+        let got = c.take();
+        assert_eq!(got.edges_relaxed, 5);
+        assert!(c.is_zero(), "drained after take");
+    }
+
+    #[test]
+    fn json_lists_every_field_once() {
+        let c = CostCounters {
+            nodes_settled: 1,
+            bytes_out: 2,
+            ..Default::default()
+        };
+        let j = c.to_json();
+        for name in COST_FIELD_NAMES {
+            assert_eq!(j.matches(name).count(), 1, "{name} in {j}");
+        }
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"settled_nodes\":1"));
+        assert!(j.contains("\"bytes_out\":2"));
+    }
+}

@@ -22,18 +22,32 @@
 //!   `/debug/traces` endpoint and a threshold-gated slow-query log;
 //!   per-stage durations feed `ah_stage_duration_seconds` histograms
 //!   in the registry.
+//! - [`CostCounters`]: per-query *algorithmic* cost tallies (nodes
+//!   settled, edges relaxed, label entries merged, shard hops, …) that
+//!   the search kernels fill in and the serving layer aggregates into
+//!   `ah_query_*` families — the paper's search-space metric made
+//!   observable in production.
+//! - [`SloWindows`] / [`SloPolicy`]: a lock-free ring of per-second
+//!   aggregate slots (request/error counts + latency histograms)
+//!   evaluated with multi-window burn rates against latency and
+//!   error-budget objectives, feeding `/debug/slo` and the `/readyz`
+//!   degradation decision.
 //!
 //! See `docs/OBSERVABILITY.md` for the metric-name catalog, label
 //! schema, trace record layout, and sampling/overhead guidance.
 
 mod clock;
+mod cost;
 mod metrics;
 mod registry;
+mod slo;
 mod trace;
 
 pub use clock::now_ns;
+pub use cost::{CostCounters, COST_FIELD_NAMES, NUM_COST_FIELDS};
 pub use metrics::{Counter, Gauge, Histogram, BUCKETS};
 pub use registry::{Metric, Registry};
+pub use slo::{SloPolicy, SloStatus, SloWindows, WindowStats};
 pub use trace::{
     Span, SpanRecord, SpanRing, Stage, TraceConfig, Tracer, INTERVAL_NAMES, NUM_STAGES,
     STAGE_NAMES,

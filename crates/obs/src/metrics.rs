@@ -193,6 +193,20 @@ impl Histogram {
         (1u64 << (BUCKETS - 1)) as f64
     }
 
+    /// Clears every bucket and the running totals (relaxed stores).
+    /// Not linearizable against concurrent [`Histogram::record_ns`]
+    /// calls — an observation racing the reset may land partially and
+    /// be dropped. Exists for windowed per-second slots
+    /// ([`crate::SloWindows`]) where best-effort zeroing at a second
+    /// boundary is acceptable; lifetime metrics never reset.
+    pub fn reset(&self) {
+        for c in &self.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.total_ns.store(0, Ordering::Relaxed);
+        self.count.store(0, Ordering::Relaxed);
+    }
+
     /// Merges another histogram's counts into this one, bucket by
     /// bucket — lossless because every instance shares the same fixed
     /// bucket layout (this is what lets per-lane/per-worker histograms

@@ -286,6 +286,62 @@ mod tests {
     }
 
     #[test]
+    fn help_and_type_emit_once_per_family_across_call_sites() {
+        // The invariant the Prometheus exposition format demands: a
+        // family registered under many label sets — by *different call
+        // sites, interleaved with other families* (exactly how the
+        // edge, the lanes, and the tracer all land in one registry) —
+        // renders one # HELP and one # TYPE line, with every series of
+        // the family grouped contiguously under them.
+        let r = Registry::new();
+        // Call site 1: the "edge" registers shard 0 series.
+        r.counter("ah_multi_total", &[("shard", "0")], "multi help").inc();
+        r.histogram("ah_multi_seconds", &[("shard", "0")], "hist help");
+        // Call site 2: an unrelated family lands in between.
+        r.gauge("ah_other_gauge", &[], "other").set(3);
+        // Call site 3: a "lane" registers more label sets of the same
+        // families, including via the replace path.
+        r.counter("ah_multi_total", &[("shard", "1")], "multi help");
+        r.register(
+            "ah_multi_total",
+            &[("shard", "2"), ("backend", "AH")],
+            "multi help",
+            Metric::Counter(Arc::new(Counter::new())),
+        );
+        r.histogram("ah_multi_seconds", &[("shard", "1")], "hist help");
+
+        let text = r.render();
+        for family in ["ah_multi_total", "ah_multi_seconds", "ah_other_gauge"] {
+            assert_eq!(
+                text.matches(&format!("# TYPE {family} ")).count(),
+                1,
+                "TYPE for {family} must appear exactly once:\n{text}"
+            );
+            assert_eq!(
+                text.matches(&format!("# HELP {family} ")).count(),
+                1,
+                "HELP for {family} must appear exactly once:\n{text}"
+            );
+        }
+        // All three label sets rendered under the one header…
+        assert!(text.contains("ah_multi_total{shard=\"0\"} 1"), "{text}");
+        assert!(text.contains("ah_multi_total{shard=\"1\"} 0"), "{text}");
+        assert!(
+            text.contains("ah_multi_total{shard=\"2\",backend=\"AH\"} 0"),
+            "{text}"
+        );
+        // …and grouped contiguously: no series line of another family
+        // may sit between a family's TYPE line and its last series.
+        let type_pos = text.find("# TYPE ah_multi_total").unwrap();
+        let last_series = text.rfind("ah_multi_total{").unwrap();
+        let between = &text[type_pos..last_series];
+        assert!(
+            !between.contains("ah_other_gauge") && !between.contains("ah_multi_seconds"),
+            "family block interleaved with another family:\n{text}"
+        );
+    }
+
+    #[test]
     fn empty_histogram_still_renders_inf_bucket() {
         let r = Registry::new();
         r.histogram("ah_empty_seconds", &[], "");

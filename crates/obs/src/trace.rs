@@ -21,6 +21,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::clock::now_ns;
+use crate::cost::{CostCounters, NUM_COST_FIELDS};
 use crate::metrics::{Counter, Histogram};
 use crate::registry::{Metric, Registry};
 
@@ -87,6 +88,10 @@ pub struct SpanRecord {
     pub status: u16,
     /// Per-stage stamps, indexed by [`Stage`].
     pub stages: [u64; NUM_STAGES],
+    /// Algorithmic cost of the traced query (nodes settled, edges
+    /// relaxed, label entries merged, …) — what the request *did*, not
+    /// just when it did it.
+    pub cost: CostCounters,
 }
 
 impl SpanRecord {
@@ -137,6 +142,7 @@ impl Span {
                 kind,
                 status: 0,
                 stages: [0; NUM_STAGES],
+                cost: CostCounters::default(),
             },
         }
     }
@@ -158,15 +164,23 @@ impl Span {
     pub fn record(&self) -> &SpanRecord {
         &self.rec
     }
+
+    /// Merges per-query algorithmic cost into the span. Additive, so
+    /// the worker's kernel tally and the edge's later bytes-out stamp
+    /// compose into one record.
+    #[inline]
+    pub fn add_cost(&mut self, cost: &CostCounters) {
+        self.rec.cost.merge(cost);
+    }
 }
 
-const RING_WORDS: usize = 2 + NUM_STAGES;
+const RING_WORDS: usize = 2 + NUM_STAGES + NUM_COST_FIELDS;
 
 struct RingSlot {
     /// Seqlock: even = stable, odd = write in progress. Starts at 0;
     /// a slot with `seq < 2` has never been written.
     seq: AtomicU64,
-    /// `[trace_id, kind<<32|status, stages[0..7]]`.
+    /// `[trace_id, kind<<32|status, stages[0..7], cost[0..9]]`.
     words: [AtomicU64; RING_WORDS],
 }
 
@@ -237,6 +251,9 @@ impl SpanRing {
         for (k, &t) in rec.stages.iter().enumerate() {
             slot.words[2 + k].store(t, Ordering::Relaxed);
         }
+        for (k, c) in rec.cost.as_array().into_iter().enumerate() {
+            slot.words[2 + NUM_STAGES + k].store(c, Ordering::Relaxed);
+        }
         slot.seq.store(seq + 2, Ordering::Release);
     }
 
@@ -255,6 +272,10 @@ impl SpanRing {
             for (k, s) in stages.iter_mut().enumerate() {
                 *s = slot.words[2 + k].load(Ordering::Relaxed);
             }
+            let mut cost = [0u64; NUM_COST_FIELDS];
+            for (k, c) in cost.iter_mut().enumerate() {
+                *c = slot.words[2 + NUM_STAGES + k].load(Ordering::Relaxed);
+            }
             if slot.seq.load(Ordering::Acquire) != seq1 {
                 continue; // torn read; skip
             }
@@ -263,6 +284,7 @@ impl SpanRing {
                 kind: (ks >> 32) as u8,
                 status: (ks & 0xFFFF) as u16,
                 stages,
+                cost: CostCounters::from_array(cost),
             });
         }
         out
@@ -439,7 +461,7 @@ impl Tracer {
                 concat!(
                     "{{\"trace_id\":{},\"kind\":\"{}\",\"status\":{},",
                     "\"complete\":{},\"monotonic\":{},\"total_ns\":{},",
-                    "\"stages\":{{{}}}}}"
+                    "\"stages\":{{{}}},\"cost\":{}}}"
                 ),
                 r.trace_id,
                 kind_name(r.kind),
@@ -448,6 +470,7 @@ impl Tracer {
                 r.is_monotonic(),
                 r.total_ns(),
                 stages,
+                r.cost.to_json(),
             ));
         }
         out.push_str("]}\n");
@@ -481,6 +504,9 @@ fn kind_name(kind: u8) -> &'static str {
     match kind {
         0 => "distance",
         1 => "path",
+        2 => "via",
+        3 => "knn",
+        4 => "matrix",
         _ => "other",
     }
 }
@@ -576,6 +602,7 @@ mod tests {
                 kind: 0,
                 status: 200,
                 stages: [id; NUM_STAGES],
+                cost: CostCounters::from_array([id; NUM_COST_FIELDS]),
             };
             ring.push(&rec);
         }
@@ -584,11 +611,18 @@ mod tests {
         for r in &snap {
             assert!(r.trace_id >= 7, "{r:?}"); // only the newest survive
             assert_eq!(r.stages, [r.trace_id; NUM_STAGES]); // no torn slots
+            assert_eq!(r.cost.as_array(), [r.trace_id; NUM_COST_FIELDS]);
         }
     }
 
     #[test]
     fn ring_concurrent_pushes_and_snapshots_stay_consistent() {
+        // Seqlock torn-read regression test: 4 writers hammer an
+        // 8-slot ring far past capacity while a reader snapshots.
+        // Every record's stage stamps *and* cost words are derived
+        // from its trace_id, so any half-written slot surfacing — in
+        // the original stage words or the newer cost words — fails the
+        // internal-consistency assertion.
         let ring = SpanRing::new(8);
         std::thread::scope(|scope| {
             for tid in 0..4u64 {
@@ -601,6 +635,7 @@ mod tests {
                             kind: 0,
                             status: 200,
                             stages: [v; NUM_STAGES],
+                            cost: CostCounters::from_array([v.wrapping_mul(3); NUM_COST_FIELDS]),
                         });
                     }
                 });
@@ -613,6 +648,11 @@ mod tests {
                         // consistent — the seqlock never exposes a
                         // half-written slot.
                         assert_eq!(r.stages, [r.trace_id; NUM_STAGES], "torn: {r:?}");
+                        assert_eq!(
+                            r.cost.as_array(),
+                            [r.trace_id.wrapping_mul(3); NUM_COST_FIELDS],
+                            "torn cost words: {r:?}"
+                        );
                     }
                 }
             });

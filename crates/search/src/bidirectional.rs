@@ -9,6 +9,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use ah_graph::{Dist, NodeId, Path, INFINITY, INVALID_NODE};
+use ah_obs::CostCounters;
 
 use crate::search_graph::SearchGraph;
 use crate::stamped::StampedVec;
@@ -25,6 +26,7 @@ pub struct BidirectionalDijkstra {
     heap_f: BinaryHeap<Reverse<(Dist, NodeId)>>,
     heap_b: BinaryHeap<Reverse<(Dist, NodeId)>>,
     meeting: Option<NodeId>,
+    cost: CostCounters,
 }
 
 impl Default for BidirectionalDijkstra {
@@ -46,7 +48,19 @@ impl BidirectionalDijkstra {
             heap_f: BinaryHeap::new(),
             heap_b: BinaryHeap::new(),
             meeting: None,
+            cost: CostCounters::default(),
         }
+    }
+
+    /// Algorithmic cost accumulated since the last
+    /// [`take_cost`](Self::take_cost) drain (both search sides).
+    pub fn cost(&self) -> &CostCounters {
+        &self.cost
+    }
+
+    /// Drains and returns the accumulated cost tally.
+    pub fn take_cost(&mut self) -> CostCounters {
+        self.cost.take()
     }
 
     /// Shortest distance from `s` to `t`, or `None` if unreachable.
@@ -138,12 +152,14 @@ impl BidirectionalDijkstra {
             }) else {
                 break;
             };
+            self.cost.heap_pops += 1;
 
             if forward {
                 if self.settled_f.get(u as usize) {
                     continue;
                 }
                 self.settled_f.set(u as usize, true);
+                self.cost.nodes_settled += 1;
                 let other = self.dist_b.get(u as usize);
                 if !other.is_infinite() {
                     let through = d.concat(other);
@@ -154,6 +170,7 @@ impl BidirectionalDijkstra {
                 }
                 buf.clear();
                 g.for_each_out(u, |v, w, nu| buf.push((v, w, nu)));
+                self.cost.edges_relaxed += buf.len() as u64;
                 expand(
                     u,
                     d,
@@ -168,6 +185,7 @@ impl BidirectionalDijkstra {
                     continue;
                 }
                 self.settled_b.set(u as usize, true);
+                self.cost.nodes_settled += 1;
                 let other = self.dist_f.get(u as usize);
                 if !other.is_infinite() {
                     let through = d.concat(other);
@@ -178,6 +196,7 @@ impl BidirectionalDijkstra {
                 }
                 buf.clear();
                 g.for_each_in(u, |v, w, nu| buf.push((v, w, nu)));
+                self.cost.edges_relaxed += buf.len() as u64;
                 expand(
                     u,
                     d,

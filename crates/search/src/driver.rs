@@ -4,6 +4,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use ah_graph::{Dist, NodeId, INFINITY, INVALID_NODE};
+use ah_obs::CostCounters;
 
 use crate::search_graph::SearchGraph;
 use crate::stamped::StampedVec;
@@ -65,6 +66,7 @@ pub struct DijkstraDriver {
     settled_mark: StampedVec<bool>,
     settled_order: Vec<NodeId>,
     heap: BinaryHeap<Reverse<(Dist, NodeId)>>,
+    cost: CostCounters,
 }
 
 impl Default for DijkstraDriver {
@@ -83,6 +85,7 @@ impl DijkstraDriver {
             settled_mark: StampedVec::new(0, false),
             settled_order: Vec::new(),
             heap: BinaryHeap::new(),
+            cost: CostCounters::default(),
         }
     }
 
@@ -130,6 +133,7 @@ impl DijkstraDriver {
         // borrowed adjacency of `g`, without a per-node allocation.
         let mut buf: Vec<(NodeId, u64, u64)> = Vec::with_capacity(16);
         while let Some(Reverse((d, u))) = self.heap.pop() {
+            self.cost.heap_pops += 1;
             if self.settled_mark.get(u as usize) {
                 continue; // stale heap entry
             }
@@ -139,6 +143,7 @@ impl DijkstraDriver {
             }
             self.settled_mark.set(u as usize, true);
             self.settled_order.push(u);
+            self.cost.nodes_settled += 1;
             if opts.target == Some(u) {
                 return SearchOutcome::TargetReached(d);
             }
@@ -162,6 +167,7 @@ impl DijkstraDriver {
                 Direction::Forward => g.for_each_out(u, |v, w, nu| buf.push((v, w, nu))),
                 Direction::Backward => g.for_each_in(u, |v, w, nu| buf.push((v, w, nu))),
             }
+            self.cost.edges_relaxed += buf.len() as u64;
             for &(v, w, nu) in &buf {
                 relax(self, v, w, nu, &mut allow);
             }
@@ -192,6 +198,19 @@ impl DijkstraDriver {
     /// Nodes in the order they were settled.
     pub fn settled_order(&self) -> &[NodeId] {
         &self.settled_order
+    }
+
+    /// Algorithmic cost accumulated since the last
+    /// [`take_cost`](Self::take_cost) drain. Unlike the per-run
+    /// buffers this tally spans runs, so a query composed of several
+    /// driver runs (scenario sweeps, boundary probes) drains one total.
+    pub fn cost(&self) -> &CostCounters {
+        &self.cost
+    }
+
+    /// Drains and returns the accumulated cost tally.
+    pub fn take_cost(&mut self) -> CostCounters {
+        self.cost.take()
     }
 
     /// Reconstructs the tree path to `v`. For a forward run the returned

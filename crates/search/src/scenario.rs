@@ -151,6 +151,15 @@ impl ScenarioEngine {
         Self::default()
     }
 
+    /// Drains the algorithmic cost both drivers accumulated since the
+    /// last drain — one tally per scenario query, however many sweeps
+    /// it ran.
+    pub fn take_cost(&mut self) -> ah_obs::CostCounters {
+        let mut c = self.fwd.take_cost();
+        c.merge(&self.bwd.take_cost());
+        c
+    }
+
     /// Distances from `source` to each of `targets` (`None` =
     /// unreachable), from one forward Dijkstra run.
     pub fn one_to_many<G: SearchGraph>(

@@ -12,6 +12,7 @@ use ah_ch::{ChIndex, ChQuery};
 use ah_core::{AhIndex, AhQuery, QueryConfig};
 use ah_graph::{Graph, NodeId, Path};
 use ah_labels::LabelIndex;
+use ah_obs::CostCounters;
 use ah_search::{BidirectionalDijkstra, ScenarioEngine, ViaAnswer};
 
 /// A query method that can serve concurrent traffic from a shared index.
@@ -117,6 +118,15 @@ pub trait BackendSession {
         }
         best
     }
+
+    /// Drains the algorithmic cost accumulated since the last drain —
+    /// typically everything the current request did, however many
+    /// kernel runs it took (a via detour is several point queries; a
+    /// matrix is many sweeps). The default returns zeros for backends
+    /// that predate cost accounting.
+    fn take_cost(&mut self) -> CostCounters {
+        CostCounters::default()
+    }
 }
 
 /// The Arterial Hierarchy backend (the paper's contribution, and the
@@ -168,6 +178,10 @@ impl BackendSession for AhSession<'_> {
     fn path(&mut self, s: NodeId, t: NodeId) -> Option<Path> {
         self.q.path(self.idx, s, t)
     }
+
+    fn take_cost(&mut self) -> CostCounters {
+        self.q.take_cost()
+    }
 }
 
 /// The Contraction Hierarchies backend (strongest baseline).
@@ -211,6 +225,10 @@ impl BackendSession for ChSession<'_> {
 
     fn path(&mut self, s: NodeId, t: NodeId) -> Option<Path> {
         self.q.path(self.idx, s, t)
+    }
+
+    fn take_cost(&mut self) -> CostCounters {
+        self.q.take_cost()
     }
 }
 
@@ -278,6 +296,12 @@ impl BackendSession for DijkstraSession<'_> {
     fn via(&mut self, s: NodeId, t: NodeId, candidates: &[NodeId]) -> Option<ViaAnswer> {
         self.scenarios.via(self.graph, s, t, candidates)
     }
+
+    fn take_cost(&mut self) -> CostCounters {
+        let mut c = self.q.take_cost();
+        c.merge(&self.scenarios.take_cost());
+        c
+    }
 }
 
 /// The hub-labeling backend: distance queries answered from sorted
@@ -319,6 +343,7 @@ impl DistanceBackend for LabelBackend<'_> {
             labels: self.labels,
             ah: self.ah,
             q: AhQuery::new(),
+            cost: CostCounters::default(),
         })
     }
 }
@@ -327,11 +352,14 @@ struct LabelSession<'a> {
     labels: &'a LabelIndex,
     ah: &'a AhIndex,
     q: AhQuery,
+    cost: CostCounters,
 }
 
 impl BackendSession for LabelSession<'_> {
     fn distance(&mut self, s: NodeId, t: NodeId) -> Option<u64> {
-        self.labels.distance(s, t)
+        self.labels
+            .distance_full_with_cost(s, t, &mut self.cost)
+            .map(|d| d.length)
     }
 
     fn path(&mut self, s: NodeId, t: NodeId) -> Option<Path> {
@@ -343,26 +371,37 @@ impl BackendSession for LabelSession<'_> {
     // scans its out-label once — no per-pair merges.
 
     fn one_to_many(&mut self, source: NodeId, targets: &[NodeId]) -> Vec<Option<u64>> {
-        self.labels.one_to_many(source, targets)
+        self.labels
+            .one_to_many_with_cost(source, targets, &mut self.cost)
     }
 
     fn matrix(&mut self, sources: &[NodeId], targets: &[NodeId]) -> Vec<Vec<Option<u64>>> {
-        self.labels.many_to_many(sources, targets)
+        self.labels
+            .many_to_many_with_cost(sources, targets, &mut self.cost)
     }
 
     fn knn(&mut self, source: NodeId, candidates: &[NodeId], k: usize) -> Vec<(NodeId, u64)> {
-        self.labels.knn(source, candidates, k)
+        self.labels
+            .knn_with_cost(source, candidates, k, &mut self.cost)
     }
 
     fn via(&mut self, s: NodeId, t: NodeId, candidates: &[NodeId]) -> Option<ViaAnswer> {
         self.labels
-            .via(s, t, candidates)
+            .via_with_cost(s, t, candidates, &mut self.cost)
             .map(|(poi, to_poi, from_poi)| ViaAnswer {
                 poi,
                 total: to_poi.saturating_add(from_poi),
                 to_poi,
                 from_poi,
             })
+    }
+
+    fn take_cost(&mut self) -> CostCounters {
+        // Label merges plus whatever the AH engine spent on path
+        // requests (labels certify lengths, not routes).
+        let mut c = self.cost.take();
+        c.merge(&self.q.take_cost());
+        c
     }
 }
 
@@ -440,6 +479,10 @@ impl BackendSession for DelaySession<'_> {
     fn via(&mut self, s: NodeId, t: NodeId, candidates: &[NodeId]) -> Option<ViaAnswer> {
         std::thread::sleep(self.delay);
         self.inner.via(s, t, candidates)
+    }
+
+    fn take_cost(&mut self) -> CostCounters {
+        self.inner.take_cost()
     }
 }
 

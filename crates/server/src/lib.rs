@@ -65,7 +65,7 @@ pub use backend::{
     LabelBackend,
 };
 pub use cache::{DistanceCache, NUM_SHARDS};
-pub use metrics::{LatencyHistogram, MetricsSnapshot, ServerMetrics};
+pub use metrics::{CostMetrics, LatencyHistogram, MetricsSnapshot, ServerMetrics, COST_KIND_NAMES};
 pub use queue::{BoundedQueue, TryPushError};
 pub use server::{
     trace_kind, Job, MatrixRequest, QueryKind, Request, Response, RunReport, ScenarioResult,
@@ -80,7 +80,10 @@ pub use ah_search::{PoiSet, ScenarioEngine, ViaAnswer, POI_CATEGORIES, POI_SEED}
 // Re-exported so serving-layer callers (the edge, the bench bins) can
 // configure tracing and inspect spans without naming `ah_obs` as a
 // separate dependency.
-pub use ah_obs::{Registry, Span, SpanRecord, Stage, TraceConfig, Tracer};
+pub use ah_obs::{
+    now_ns, CostCounters, Registry, SloPolicy, SloStatus, SloWindows, Span, SpanRecord, Stage,
+    TraceConfig, Tracer, WindowStats, COST_FIELD_NAMES, NUM_COST_FIELDS,
+};
 pub use sharded::{
     ShardLaneReport, ShardedBackend, ShardedRunReport, ShardedServer, ShardedServerConfig,
 };

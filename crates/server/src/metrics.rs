@@ -11,7 +11,7 @@
 
 use std::sync::Arc;
 
-use ah_obs::{Counter, Gauge, Metric, Registry};
+use ah_obs::{CostCounters, Counter, Gauge, Metric, Registry, COST_FIELD_NAMES, NUM_COST_FIELDS};
 
 /// The serving layer's latency histogram — a re-export of
 /// [`ah_obs::Histogram`], kept under its historical name. Buckets are
@@ -57,6 +57,104 @@ pub struct ServerMetrics {
     /// Queue depth when the metrics were last sampled (a gauge, not a
     /// counter; 0 after a drained run).
     pub queue_depth: Arc<Gauge>,
+    /// Per-kind algorithmic cost totals (the `ah_query_*` families):
+    /// what each request class *did* — nodes settled, edges relaxed,
+    /// label entries merged — not just how long it took.
+    pub cost: CostMetrics,
+}
+
+/// Request-kind names indexing [`CostMetrics`] rows; the order matches
+/// the trace-span kind ids (`ah_obs` span `kind` word).
+pub const COST_KIND_NAMES: [&str; 5] = ["distance", "path", "via", "knn", "matrix"];
+
+/// Lock-free per-kind aggregation of [`CostCounters`]: one atomic
+/// counter per `(request kind, cost field)` pair, rendered as one
+/// Prometheus family per field (`ah_query_settled_nodes`,
+/// `ah_query_relaxed_edges`, …) with a `kind` label on each series.
+#[derive(Debug)]
+pub struct CostMetrics {
+    /// `counters[kind][field]`, kinds indexed by [`COST_KIND_NAMES`],
+    /// fields by [`ah_obs::COST_FIELD_NAMES`].
+    counters: Vec<[Arc<Counter>; NUM_COST_FIELDS]>,
+}
+
+impl Default for CostMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CostMetrics {
+    /// Creates zeroed per-kind cost counters.
+    pub fn new() -> Self {
+        CostMetrics {
+            counters: (0..COST_KIND_NAMES.len())
+                .map(|_| std::array::from_fn(|_| Arc::new(Counter::new())))
+                .collect(),
+        }
+    }
+
+    /// Folds one drained per-query tally into the `kind` row. Out-of-range
+    /// kinds (future span ids) are dropped rather than misattributed.
+    pub fn record(&self, kind: usize, cost: &CostCounters) {
+        let Some(row) = self.counters.get(kind) else {
+            return;
+        };
+        for (counter, v) in row.iter().zip(cost.as_array()) {
+            if v > 0 {
+                counter.add(v);
+            }
+        }
+    }
+
+    /// The accumulated tally for one request kind.
+    pub fn kind_total(&self, kind: usize) -> CostCounters {
+        let mut arr = [0u64; NUM_COST_FIELDS];
+        if let Some(row) = self.counters.get(kind) {
+            for (slot, counter) in arr.iter_mut().zip(row) {
+                *slot = counter.get();
+            }
+        }
+        CostCounters::from_array(arr)
+    }
+
+    /// The accumulated tally summed across every request kind.
+    pub fn total(&self) -> CostCounters {
+        let mut c = CostCounters::default();
+        for kind in 0..COST_KIND_NAMES.len() {
+            c.merge(&self.kind_total(kind));
+        }
+        c
+    }
+
+    /// Adds another cost table's counts into this one.
+    pub fn merge_from(&self, other: &CostMetrics) {
+        for (mine, theirs) in self.counters.iter().zip(&other.counters) {
+            for (counter, v) in mine.iter().zip(theirs) {
+                counter.add(v.get());
+            }
+        }
+    }
+
+    /// Registers one `ah_query_<field>` counter family per cost field,
+    /// each with one series per request kind (a `kind` label on top of
+    /// the caller's static labels).
+    pub fn register_into(&self, reg: &Registry, labels: &[(&str, &str)]) {
+        for (field, name) in COST_FIELD_NAMES.iter().enumerate() {
+            let family = format!("ah_query_{name}");
+            let help = format!("Per-query algorithmic cost: {name}, by request kind");
+            for (kind, kind_name) in COST_KIND_NAMES.iter().enumerate() {
+                let mut with_kind: Vec<(&str, &str)> = labels.to_vec();
+                with_kind.push(("kind", kind_name));
+                reg.register(
+                    &family,
+                    &with_kind,
+                    &help,
+                    Metric::Counter(Arc::clone(&self.counters[kind][field])),
+                );
+            }
+        }
+    }
 }
 
 impl ServerMetrics {
@@ -81,6 +179,7 @@ impl ServerMetrics {
         self.matrix_requests.add(other.matrix_requests.get());
         self.queue_high_water.set_max(other.queue_high_water.get());
         self.queue_depth.set(other.queue_depth.get());
+        self.cost.merge_from(&other.cost);
     }
 
     /// Folds a queue's saturation state into the metrics: the depth
@@ -142,6 +241,7 @@ impl ServerMetrics {
                 Metric::Counter(Arc::clone(counter)),
             );
         }
+        self.cost.register_into(reg, labels);
     }
 
     /// Immutable snapshot for reporting.

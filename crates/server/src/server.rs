@@ -16,7 +16,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use ah_graph::NodeId;
-use ah_obs::{Registry, Span, Stage, TraceConfig, Tracer};
+use ah_obs::{now_ns, Registry, SloWindows, Span, Stage, TraceConfig, Tracer};
 use ah_search::{PoiSet, ViaAnswer};
 
 use crate::backend::DistanceBackend;
@@ -194,6 +194,12 @@ pub struct ServerConfig {
     /// recent-trace ring behind `/debug/traces`, and the slow-query
     /// threshold). `sample_every: 0` disables tracing entirely.
     pub trace: TraceConfig,
+    /// Per-request algorithmic cost accounting (`ah_query_*` families,
+    /// span cost fields). The kernels' plain counters always run; this
+    /// gates only the per-request drain into the shared atomics, so
+    /// turning it off gives the "compiled in but unsampled" baseline
+    /// the cost-overhead A/B measures against.
+    pub cost_accounting: bool,
 }
 
 impl Default for ServerConfig {
@@ -204,6 +210,7 @@ impl Default for ServerConfig {
             cache_capacity: 64 * 1024,
             batch_size: 32,
             trace: TraceConfig::default(),
+            cost_accounting: true,
         }
     }
 }
@@ -236,6 +243,7 @@ pub struct Server {
     metrics: ServerMetrics,
     registry: Arc<Registry>,
     tracer: Arc<Tracer>,
+    slo: Arc<SloWindows>,
 }
 
 impl Server {
@@ -267,6 +275,7 @@ impl Server {
             metrics,
             registry,
             tracer,
+            slo: Arc::new(SloWindows::new()),
         }
     }
 
@@ -289,6 +298,13 @@ impl Server {
     /// The request tracer (sampling collector + recent-trace ring).
     pub fn tracer(&self) -> &Arc<Tracer> {
         &self.tracer
+    }
+
+    /// The rolling per-second window ring every served query feeds.
+    /// The edge shares this ring so its rejections (429/503) land in
+    /// the same error-rate windows the SLO policy evaluates.
+    pub fn slo_windows(&self) -> &Arc<SloWindows> {
+        &self.slo
     }
 
     /// Lifetime cache hit rate (0 when caching is disabled).
@@ -343,6 +359,8 @@ impl Server {
                 let ready = &ready;
                 let cache = self.cache.as_ref();
                 let tracer = self.tracer.as_ref();
+                let slo = self.slo.as_ref();
+                let cost_accounting = self.cfg.cost_accounting;
                 let pois = &pois;
                 scope.spawn(move || {
                     let _close = CloseOnDrop(queue);
@@ -384,6 +402,8 @@ impl Server {
                                 session.as_mut(),
                                 cache,
                                 run_metrics,
+                                slo,
+                                cost_accounting,
                                 span.as_deref_mut(),
                             );
                             local.push(resp);
@@ -523,6 +543,8 @@ impl Server {
                     session.as_mut(),
                     cache,
                     &self.metrics,
+                    &self.slo,
+                    self.cfg.cost_accounting,
                     span.as_deref_mut(),
                 );
                 on_done(tag, resp, payload, span);
@@ -576,10 +598,12 @@ pub fn trace_kind(kind: QueryKind) -> u8 {
 }
 
 /// Serves one request and records its latency, cache outcome and
-/// scenario kind into `metrics` — the per-query body shared by the
-/// closed-loop worker pool and the open-loop [`Server::serve_queue`]
-/// drain. A sampled span gets its cache-probe and compute stages
-/// stamped inside [`serve_one`].
+/// scenario kind into `metrics`, its latency into the `slo` window
+/// ring, and its drained algorithmic cost into the per-kind cost
+/// counters (and the sampled span, when present) — the per-query body
+/// shared by the closed-loop worker pool and the open-loop
+/// [`Server::serve_queue`] drain. A sampled span gets its cache-probe
+/// and compute stages stamped inside [`serve_one`].
 #[allow(clippy::too_many_arguments)]
 fn timed_serve(
     req: &Request,
@@ -589,11 +613,43 @@ fn timed_serve(
     session: &mut dyn crate::backend::BackendSession,
     cache: Option<&DistanceCache>,
     metrics: &ServerMetrics,
-    span: Option<&mut Span>,
+    slo: &SloWindows,
+    cost_accounting: bool,
+    mut span: Option<&mut Span>,
 ) -> (Response, Option<Box<ScenarioResult>>) {
     let t0 = Instant::now();
-    let (resp, payload) = serve_one(req, batch, num_nodes, pois, session, cache, span);
-    metrics.latency.record_ns(t0.elapsed().as_nanos() as u64);
+    let (resp, payload) = serve_one(
+        req,
+        batch,
+        num_nodes,
+        pois,
+        session,
+        cache,
+        span.as_deref_mut(),
+    );
+    let elapsed_ns = t0.elapsed().as_nanos() as u64;
+    metrics.latency.record_ns(elapsed_ns);
+    // Served queries are successes by definition here; errors (edge
+    // rejections, malformed requests) are recorded by the layer that
+    // refuses them, into this same ring.
+    slo.record(now_ns(), elapsed_ns, false);
+    // Drain what the kernels tallied for this request, add the
+    // serving-layer cache outcome, and attribute it to the request
+    // kind — this is the "what did the algorithm do" ledger next to
+    // the wall-clock one above.
+    if cost_accounting {
+        let mut cost = session.take_cost();
+        if matches!(req.kind, QueryKind::Distance | QueryKind::Via { .. }) && cache.is_some() {
+            cost.cache_probes += 1;
+            if resp.cache_hit {
+                cost.cache_hits += 1;
+            }
+        }
+        metrics.cost.record(trace_kind(req.kind) as usize, &cost);
+        if let Some(s) = span.as_deref_mut() {
+            s.add_cost(&cost);
+        }
+    }
     // Only the kinds that probe the cache (distance, via) enter the
     // hit/miss ratio, so the snapshot agrees with the cache's own
     // counters; scenario kinds additionally tick their own counter.
@@ -874,6 +930,7 @@ mod tests {
             cache_capacity: 1024,
             batch_size: 8,
             trace: TraceConfig::default(),
+            ..Default::default()
         });
         let report = server.run(&backend, &reqs);
         assert_eq!(report.responses.len(), reqs.len());
@@ -1017,6 +1074,7 @@ mod tests {
             cache_capacity: 0,
             batch_size: 1,
             trace: TraceConfig::default(),
+            ..Default::default()
         });
         let reqs: Vec<Request> = (0..16).map(|i| Request::distance(i, 0, 1)).collect();
         let _ = server.run(&PanicOnSessionBackend, &reqs);
@@ -1034,6 +1092,7 @@ mod tests {
             cache_capacity: 0,
             batch_size: 2,
             trace: TraceConfig::default(),
+            ..Default::default()
         });
         let reqs: Vec<Request> = (0..64).map(|i| Request::distance(i, 0, 1)).collect();
         let _ = server.run(&PanicBackend, &reqs);
@@ -1056,6 +1115,7 @@ mod tests {
                 sample_every: 1, // trace every request
                 ..Default::default()
             },
+            ..Default::default()
         });
         let queue: BoundedQueue<Job<u64>> = BoundedQueue::new(64);
         queue.set_wait_histogram(Arc::clone(&server.metrics().queue_wait));
@@ -1136,6 +1196,7 @@ mod tests {
             cache_capacity: 0,
             batch_size: 2,
             trace: TraceConfig::default(),
+            ..Default::default()
         });
         let reqs: Vec<Request> = (0..64)
             .map(|i| Request::distance(i, (i % 16) as u32, ((i * 5 + 1) % 16) as u32))

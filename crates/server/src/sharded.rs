@@ -73,6 +73,10 @@ impl BackendSession for ShardedSession<'_> {
     fn path(&mut self, s: NodeId, t: NodeId) -> Option<Path> {
         self.q.path(self.idx, s, t)
     }
+
+    fn take_cost(&mut self) -> ah_obs::CostCounters {
+        self.q.take_cost()
+    }
 }
 
 /// Serving parameters for a [`ShardedServer`].

@@ -24,6 +24,7 @@
 
 use ah_core::AhQuery;
 use ah_graph::{NodeId, Path};
+use ah_obs::CostCounters;
 use ah_search::{Direction, DijkstraDriver, SearchOptions};
 
 use crate::index::{ShardedIndex, UNREACHABLE};
@@ -52,6 +53,9 @@ pub struct ShardedQuery {
     db: Vec<u64>,
     /// How the most recent query was routed.
     pub last_route: Route,
+    /// Routing-level cost (shard hops, boundary-matrix lookups); the
+    /// sub-engines keep their own tallies until [`Self::take_cost`].
+    cost: CostCounters,
 }
 
 impl Default for ShardedQuery {
@@ -71,7 +75,20 @@ impl ShardedQuery {
             da: Vec::new(),
             db: Vec::new(),
             last_route: Route::Local,
+            cost: CostCounters::default(),
         }
+    }
+
+    /// Drains the accumulated cost tally: the routing layer's shard hops
+    /// and boundary-matrix lookups merged with every sub-engine's counts
+    /// (global/local AH searches, border fan-out sweeps).
+    pub fn take_cost(&mut self) -> CostCounters {
+        let mut c = self.cost.take();
+        c.merge(&self.global.take_cost());
+        c.merge(&self.local.take_cost());
+        c.merge(&self.fwd.take_cost());
+        c.merge(&self.bwd.take_cost());
+        c
     }
 
     /// Network distance from `s` to `t`, or `None` if unreachable.
@@ -84,8 +101,10 @@ impl ShardedQuery {
         let a = idx.shard_of(s) as usize;
         let b = idx.shard_of(t) as usize;
         if a == b {
+            self.cost.shard_hops += 1;
             self.same_shard(idx, a, s, t)
         } else {
+            self.cost.shard_hops += 2;
             self.cross_shard(idx, a, b, s, t)
         }
     }
@@ -138,6 +157,7 @@ impl ShardedQuery {
             if du.is_infinite() || dq.is_infinite() {
                 continue;
             }
+            self.cost.boundary_lookups += 1;
             if let Some(mid) = idx.border_distance(bi, bj) {
                 best = best.min(du.length + mid + dq.length);
             }
@@ -195,6 +215,7 @@ impl ShardedQuery {
                 if dq == UNREACHABLE {
                     continue;
                 }
+                self.cost.boundary_lookups += 1;
                 if let Some(mid) = idx.border_distance(bi, bj) {
                     best = best.min(du + mid + dq);
                 }
